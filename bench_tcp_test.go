@@ -1,0 +1,68 @@
+package dcdht
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkClusterTCPRetrieve is the real-deployment spot check for
+// Figure 6: it builds an actual TCP ring on loopback — the same protocol
+// code the simulator runs, on real sockets and the real clock — and
+// measures UMS retrieve latency and message cost. This is the
+// reproduction's equivalent of the paper validating its simulator
+// against the 64-node cluster implementation (§5.1).
+func BenchmarkClusterTCPRetrieve(b *testing.B) {
+	const peers = 16
+	cfg := NodeConfig{
+		Replicas:       10,
+		Seed:           31,
+		StabilizeEvery: 200 * time.Millisecond,
+		GraceDelay:     20 * time.Millisecond,
+	}
+	nodes := make([]*Node, 0, peers)
+	first, err := StartNode("127.0.0.1:0", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	first.CreateRing()
+	nodes = append(nodes, first)
+	for i := 1; i < peers; i++ {
+		nd, err := StartNode("127.0.0.1:0", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := nd.Join(first.Addr()); err != nil {
+			b.Fatalf("join %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	time.Sleep(time.Second) // let stabilization settle
+
+	keys := make([]Key, 8)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("tcp-bench-%d", i))
+		if _, err := nodes[i%peers].Insert(keys[i], []byte("cluster payload")); err != nil {
+			b.Fatalf("insert: %v", err)
+		}
+	}
+
+	var msgs, probes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := nodes[i%peers].Retrieve(keys[i%len(keys)])
+		if err != nil {
+			b.Fatalf("retrieve: %v", err)
+		}
+		msgs += r.Msgs
+		probes += r.Probed
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+}

@@ -1,0 +1,118 @@
+// Command dcdht-bench regenerates every table and figure of the paper's
+// evaluation (§3.3 analysis, Figures 6–12) and prints them as series
+// tables, optionally writing CSV files.
+//
+// Usage:
+//
+//	dcdht-bench                 # quick sweeps (minutes)
+//	dcdht-bench -full           # paper-scale axes (10,000 peers, 3h windows)
+//	dcdht-bench -figure 7,8     # only selected figures
+//	dcdht-bench -csv out/       # also write CSV per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale axes (10,000 peers, 3-hour windows; slow)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	figures := flag.String("figure", "all", "comma-separated list: analysis,6,7,8,9,10,11,12,ablations")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
+	flag.Parse()
+
+	opts := exp.Options{Full: *full, Seed: *seed}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figures, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	wanted := func(tags ...string) bool {
+		if want["all"] {
+			return true
+		}
+		for _, t := range tags {
+			if want[t] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var tables []*exp.Table
+	emit := func(t *exp.Table) {
+		t.Render(os.Stdout)
+		fmt.Println()
+		tables = append(tables, t)
+	}
+
+	if wanted("analysis") {
+		emit(exp.AnalysisExpectedRetrievals(opts))
+		emit(exp.AnalysisIndirectSuccess(opts))
+	}
+	if wanted("6") {
+		emit(exp.Figure6(opts))
+	}
+	if wanted("7", "8") {
+		t7, t8 := exp.Figures7And8(opts)
+		if wanted("7") {
+			emit(t7)
+		}
+		if wanted("8") {
+			emit(t8)
+		}
+	}
+	if wanted("9", "10") {
+		t9, t10 := exp.Figures9And10(opts)
+		if wanted("9") {
+			emit(t9)
+		}
+		if wanted("10") {
+			emit(t10)
+		}
+	}
+	if wanted("11") {
+		emit(exp.Figure11(opts))
+	}
+	if wanted("12") {
+		emit(exp.Figure12(opts))
+	}
+	if wanted("ablations") {
+		emit(exp.AblationRLU(opts))
+		emit(exp.AblationGraceDelay(opts))
+		emit(exp.AblationSuccessorList(opts))
+		emit(exp.AblationDataHandoff(opts))
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			name := fmt.Sprintf("table%02d.csv", i)
+			if idx := strings.Index(t.Title, ":"); idx > 0 {
+				name = strings.ToLower(strings.ReplaceAll(
+					strings.ReplaceAll(t.Title[:idx], " ", "_"), "§", "s")) + ".csv"
+			}
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			t.CSV(f)
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(tables), *csvDir)
+	}
+}

@@ -1,0 +1,144 @@
+// Command dcdht-node runs a real peer over TCP — the deployment unit of
+// the paper's 64-node cluster experiment — or performs one-shot client
+// operations through an ephemeral peer.
+//
+// Usage:
+//
+//	dcdht-node serve -listen 127.0.0.1:4000                  # first node
+//	dcdht-node serve -listen 127.0.0.1:4001 -join 127.0.0.1:4000
+//	dcdht-node put  -via 127.0.0.1:4000 agenda:mon "standup 9am"
+//	dcdht-node get  -via 127.0.0.1:4000 agenda:mon
+//	dcdht-node last -via 127.0.0.1:4000 agenda:mon           # KTS last_ts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	dcdht "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "put", "get", "last":
+		client(os.Args[1], os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dcdht-node serve|put|get|last [flags] [args]")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "address to listen on")
+	join := fs.String("join", "", "bootstrap peer; empty creates a new ring")
+	replicas := fs.Int("replicas", 10, "|Hr|: replicas per data (must match the ring)")
+	indirect := fs.Bool("indirect", false, "use the indirect counter initialization only")
+	fs.Parse(args)
+
+	cfg := dcdht.NodeConfig{Replicas: *replicas}
+	if *indirect {
+		cfg.Mode = dcdht.ModeIndirect
+	}
+	node, err := dcdht.StartNode(*listen, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "start: %v\n", err)
+		os.Exit(1)
+	}
+	if *join == "" {
+		node.CreateRing()
+		fmt.Printf("created ring; listening on %s\n", node.Addr())
+	} else {
+		if err := node.Join(*join); err != nil {
+			fmt.Fprintf(os.Stderr, "join %s: %v\n", *join, err)
+			os.Exit(1)
+		}
+		fmt.Printf("joined via %s; listening on %s\n", *join, node.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("leaving gracefully (handing off replicas and counters)...")
+	if err := node.Leave(); err != nil {
+		fmt.Fprintf(os.Stderr, "leave: %v\n", err)
+	}
+}
+
+func client(op string, args []string) {
+	fs := flag.NewFlagSet(op, flag.ExitOnError)
+	via := fs.String("via", "", "address of any ring member (required)")
+	replicas := fs.Int("replicas", 10, "|Hr|: must match the ring")
+	fs.Parse(args)
+	if *via == "" || fs.NArg() < 1 {
+		fmt.Fprintf(os.Stderr, "usage: dcdht-node %s -via addr key [value]\n", op)
+		os.Exit(2)
+	}
+	key := dcdht.Key(fs.Arg(0))
+
+	node, err := dcdht.StartNode("127.0.0.1:0", dcdht.NodeConfig{
+		Replicas:       *replicas,
+		StabilizeEvery: 200 * time.Millisecond,
+		GraceDelay:     100 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "start: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		node.Leave()
+	}()
+	if err := node.Join(*via); err != nil {
+		fmt.Fprintf(os.Stderr, "join %s: %v\n", *via, err)
+		os.Exit(1)
+	}
+	// One stabilization round so the ephemeral peer is fully linked.
+	time.Sleep(500 * time.Millisecond)
+
+	switch op {
+	case "put":
+		if fs.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "put needs a value")
+			os.Exit(2)
+		}
+		r, err := node.Insert(key, []byte(fs.Arg(1)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "put: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stored %d/%d replicas with %v in %s (%d msgs)\n",
+			r.Stored, *replicas, r.TS, r.Elapsed.Round(time.Millisecond), r.Msgs)
+	case "get":
+		r, err := node.Retrieve(key)
+		if err != nil && !dcdht.IsNoCurrent(err) {
+			fmt.Fprintf(os.Stderr, "get: %v\n", err)
+			os.Exit(1)
+		}
+		status := "CURRENT"
+		if !r.Current {
+			status = "most recent available (currency not provable)"
+		}
+		fmt.Printf("%s\n  status: %s, %v, probed %d replicas, %d msgs, %s\n",
+			r.Data, status, r.TS, r.Probed, r.Msgs, r.Elapsed.Round(time.Millisecond))
+	case "last":
+		ts, err := node.LastTS(key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "last: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("last timestamp for %q: %v\n", key, ts)
+	}
+}

@@ -1,0 +1,81 @@
+// Command dcdht-sim runs one simulated scenario with explicit knobs and
+// prints the aggregate metrics — a workbench for exploring the design
+// space beyond the paper's fixed sweeps.
+//
+// Example:
+//
+//	dcdht-sim -peers 2000 -alg UMS-Direct -replicas 10 -duration 1h \
+//	          -churn 1 -fail 0.05 -updates 1 -queries 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/network/simwire"
+)
+
+func main() {
+	peers := flag.Int("peers", 1000, "number of peers")
+	alg := flag.String("alg", "UMS-Direct", "algorithm: BRK, UMS-Indirect, UMS-Direct")
+	replicas := flag.Int("replicas", 10, "|Hr|: replicas per data")
+	keys := flag.Int("keys", 20, "working-set size")
+	duration := flag.Duration("duration", time.Hour, "measured window of simulated time")
+	queries := flag.Int("queries", 30, "retrieve operations at uniform times")
+	churn := flag.Float64("churn", 1, "peer departures per second")
+	fail := flag.Float64("fail", 0.05, "fraction of departures that are failures")
+	updates := flag.Float64("updates", 1, "updates per key per hour")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	cluster := flag.Bool("cluster", false, "use the LAN cluster profile instead of Table 1")
+	flag.Parse()
+
+	var algorithm exp.Algorithm
+	switch *alg {
+	case string(exp.AlgBRK):
+		algorithm = exp.AlgBRK
+	case string(exp.AlgUMSIndirect):
+		algorithm = exp.AlgUMSIndirect
+	case string(exp.AlgUMSDirect):
+		algorithm = exp.AlgUMSDirect
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	sc := exp.Table1Scenario(algorithm, *peers, *seed)
+	sc.Replicas = *replicas
+	sc.Keys = *keys
+	sc.Duration = *duration
+	sc.Queries = *queries
+	sc.ChurnRate = *churn
+	sc.FailRate = *fail
+	sc.UpdateRate = *updates
+	if *cluster {
+		sc.Net = simwire.Cluster()
+		sc.Chord.RPCTimeout = 250 * time.Millisecond
+		sc.Chord.StabilizeEvery = 2 * time.Second
+		sc.Chord.FixFingersEvery = 2 * time.Second
+		sc.Chord.CheckPredEvery = 2 * time.Second
+		sc.Grace = 10 * time.Millisecond
+	}
+
+	fmt.Fprintf(os.Stderr, "running %s: peers=%d |Hr|=%d keys=%d duration=%s churn=%g/s fail=%.0f%% updates=%g/h\n",
+		algorithm, sc.Peers, sc.Replicas, sc.Keys, sc.Duration, sc.ChurnRate, 100*sc.FailRate, sc.UpdateRate)
+	r := exp.Run(sc)
+
+	fmt.Printf("algorithm          %s\n", algorithm)
+	fmt.Printf("response time      %.3f s (stddev %.3f, min %.3f, max %.3f)\n",
+		r.RespTime.Mean(), r.RespTime.StdDev(), r.RespTime.Min(), r.RespTime.Max())
+	fmt.Printf("messages/retrieve  %.1f (stddev %.1f)\n", r.Msgs.Mean(), r.Msgs.StdDev())
+	fmt.Printf("replicas probed    %.2f (nums)\n", r.Probed.Mean())
+	fmt.Printf("provably current   %.0f%%\n", 100*r.CurrentRate)
+	fmt.Printf("stale fallbacks    %d\n", r.StaleReturns)
+	fmt.Printf("failed queries     %d / %d\n", r.QueriesFailed, r.QueriesRun)
+	fmt.Printf("updates run        %d (failed %d)\n", r.UpdatesRun, r.UpdatesFailed)
+	fmt.Printf("churn events       %d (failures %d)\n", r.ChurnEvents, r.FailEvents)
+	fmt.Printf("network messages   %d total\n", r.TotalNetMsgs)
+	fmt.Printf("simulation         %d events in %s wall time\n", r.SimEvents, r.WallTime.Round(time.Millisecond))
+}

@@ -1,0 +1,240 @@
+// Package dcdht is a Go reproduction of "Data Currency in Replicated
+// DHTs" (Akbarinia, Pacitti, Valduriez — SIGMOD 2007): an Update
+// Management Service (UMS) that retrieves provably current replicas from
+// a replicated DHT, built on a Key-based Timestamping Service (KTS) that
+// generates monotonic per-key timestamps with distributed local counters.
+//
+// The package offers two deployment styles with one protocol codebase:
+//
+//   - NewSimNetwork builds a deterministic simulated network (virtual
+//     time, the paper's Table 1 latency/bandwidth model, churn and
+//     failures on demand) — the equivalent of the paper's SimJava study;
+//   - StartNode runs a real peer over TCP — the equivalent of the
+//     paper's 64-node cluster deployment.
+//
+// The evaluation harness that regenerates the paper's figures lives in
+// internal/exp and is exposed through cmd/dcdht-bench and the root
+// benchmarks in bench_test.go.
+package dcdht
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/exp"
+	"repro/internal/kts"
+	"repro/internal/network/simwire"
+)
+
+// Key names a data item.
+type Key = core.Key
+
+// Timestamp is the 128-bit KTS logical timestamp.
+type Timestamp = core.Timestamp
+
+// Result reports one operation's outcome and cost (response time,
+// messages, replicas probed, currency).
+type Result = dht.OpResult
+
+// Errors re-exported for callers to classify with errors.Is.
+var (
+	ErrNotFound         = core.ErrNotFound
+	ErrNoCurrentReplica = core.ErrNoCurrentReplica
+	ErrUnreachable      = core.ErrUnreachable
+	ErrTimeout          = core.ErrTimeout
+)
+
+// Mode selects the KTS counter initialization strategy.
+type Mode = kts.InitMode
+
+// The two UMS variants of the paper's evaluation.
+const (
+	ModeDirect   = kts.ModeDirect
+	ModeIndirect = kts.ModeIndirect
+)
+
+// IsNoCurrent reports whether err is the "stale but available" retrieve
+// outcome: no replica carried the last generated timestamp, so the most
+// recent available one was returned (Figure 2's data_mr path).
+func IsNoCurrent(err error) bool { return errors.Is(err, core.ErrNoCurrentReplica) }
+
+// Analysis helpers (§3.3, §4.2.2 closed forms).
+var (
+	// ExpectedRetrievals is E(X), the expected number of replicas UMS
+	// probes given the probability of currency and availability.
+	ExpectedRetrievals = analysis.ExpectedRetrievals
+	// IndirectSuccessProb is ps = 1-(1-pt)^|Hr|.
+	IndirectSuccessProb = analysis.IndirectSuccessProb
+	// ReplicasForSuccess inverts ps for a target probability.
+	ReplicasForSuccess = analysis.ReplicasForSuccess
+)
+
+// SimConfig tunes a simulated network. The zero value gives the paper's
+// Table 1 environment with 10 replicas and the direct algorithm.
+type SimConfig struct {
+	// Replicas is |Hr|. Default 10 (Table 1).
+	Replicas int
+	// Mode selects UMS-Direct or UMS-Indirect. Default direct.
+	Mode Mode
+	// Seed makes the whole simulation reproducible. Default 1.
+	Seed int64
+	// Cluster selects the LAN profile instead of Table 1's WAN model.
+	Cluster bool
+	// FailureRate is the fraction of ChurnOne departures that crash
+	// instead of leaving gracefully. Default 0.05 (Table 1).
+	FailureRate float64
+	// GraceDelay overrides the indirect algorithm's wait.
+	GraceDelay time.Duration
+	// Inspect enables KTS periodic inspection with the given period.
+	Inspect time.Duration
+}
+
+// SimNetwork is a simulated deployment of peers running Chord + KTS +
+// UMS + BRK. All methods drive virtual time; a retrieve that takes 6
+// simulated seconds returns in microseconds of wall time.
+type SimNetwork struct {
+	cfg SimConfig
+	d   *exp.Deployment
+	rng interface{ Intn(int) int }
+}
+
+// NewSimNetwork builds and assembles a simulated network of n peers.
+func NewSimNetwork(n int, cfg SimConfig) *SimNetwork {
+	if n <= 0 {
+		panic("dcdht: network needs at least one peer")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.FailureRate == 0 {
+		cfg.FailureRate = 0.05
+	}
+	net := simwire.Table1()
+	sc := exp.Table1Scenario(exp.AlgUMSDirect, n, cfg.Seed)
+	chordCfg := sc.Chord
+	if cfg.Cluster {
+		net = simwire.Cluster()
+		chordCfg.RPCTimeout = 250 * time.Millisecond
+		chordCfg.StabilizeEvery = 2 * time.Second
+		chordCfg.FixFingersEvery = 2 * time.Second
+		chordCfg.CheckPredEvery = 2 * time.Second
+	}
+	d := exp.NewDeployment(exp.DeployConfig{
+		Peers:        n,
+		Replicas:     cfg.Replicas,
+		Seed:         cfg.Seed,
+		Net:          net,
+		Chord:        chordCfg,
+		KTSMode:      cfg.Mode,
+		GraceDelay:   cfg.GraceDelay,
+		InspectEvery: cfg.Inspect,
+	})
+	sim := &SimNetwork{cfg: cfg, d: d, rng: d.K.NewRand("facade")}
+	// Let maintenance settle before handing the network to the caller.
+	d.RunFor(time.Minute)
+	return sim
+}
+
+// Peers returns the number of live peers.
+func (s *SimNetwork) Peers() int { return len(s.d.LivePeers()) }
+
+// Now returns the current virtual time.
+func (s *SimNetwork) Now() time.Duration { return s.d.K.Now() }
+
+// Advance runs the simulation for d of virtual time (churn timers,
+// stabilization, background repair all progress).
+func (s *SimNetwork) Advance(d time.Duration) { s.d.RunFor(d) }
+
+// Insert stores data under key with a fresh KTS timestamp, issued from a
+// random live peer (UMS insert).
+func (s *SimNetwork) Insert(key Key, data []byte) (Result, error) {
+	return s.opFromRandomPeer(func(p *exp.Peer) (Result, error) {
+		return p.UMS.Insert(key, data)
+	})
+}
+
+// Retrieve returns the current replica of key (UMS retrieve), issued
+// from a random live peer.
+func (s *SimNetwork) Retrieve(key Key) (Result, error) {
+	return s.opFromRandomPeer(func(p *exp.Peer) (Result, error) {
+		return p.UMS.Retrieve(key)
+	})
+}
+
+// InsertBRK and RetrieveBRK run the BRICKS baseline side by side for
+// comparisons.
+func (s *SimNetwork) InsertBRK(key Key, data []byte) (Result, error) {
+	return s.opFromRandomPeer(func(p *exp.Peer) (Result, error) {
+		return p.BRK.Insert(key, data)
+	})
+}
+
+// RetrieveBRK performs a baseline retrieval (read all replicas, highest
+// version wins).
+func (s *SimNetwork) RetrieveBRK(key Key) (Result, error) {
+	return s.opFromRandomPeer(func(p *exp.Peer) (Result, error) {
+		return p.BRK.Retrieve(key)
+	})
+}
+
+// LastTS asks KTS for the last timestamp generated for key.
+func (s *SimNetwork) LastTS(key Key) (Timestamp, error) {
+	var ts Timestamp
+	var err error
+	p := s.d.RandomLivePeer(s.rng)
+	if p == nil {
+		return ts, fmt.Errorf("dcdht: no live peer: %w", core.ErrUnreachable)
+	}
+	if !s.d.Do(func() { ts, err = p.KTS.LastTS(key, nil) }) {
+		return ts, fmt.Errorf("dcdht: simulation stalled: %w", core.ErrTimeout)
+	}
+	return ts, err
+}
+
+// ChurnOne makes one random peer depart (gracefully or by failure per
+// FailureRate) and joins a fresh replacement, keeping the population
+// constant — one event of the paper's churn process.
+func (s *SimNetwork) ChurnOne() {
+	s.d.Do(func() {
+		victim := s.d.RandomLivePeer(s.rng)
+		if victim == nil {
+			return
+		}
+		fail := s.rng.Intn(10000) < int(s.cfg.FailureRate*10000)
+		s.d.Depart(victim, fail)
+		s.d.SpawnJoin(s.rng)
+	})
+}
+
+// FailOne crashes one random peer without replacement (drops the
+// population by one, losing its replicas and counters).
+func (s *SimNetwork) FailOne() {
+	s.d.Do(func() {
+		if victim := s.d.RandomLivePeer(s.rng); victim != nil {
+			s.d.Depart(victim, true)
+		}
+	})
+}
+
+// Close stops the simulation.
+func (s *SimNetwork) Close() { s.d.K.Stop() }
+
+func (s *SimNetwork) opFromRandomPeer(fn func(*exp.Peer) (Result, error)) (Result, error) {
+	p := s.d.RandomLivePeer(s.rng)
+	if p == nil {
+		return Result{}, fmt.Errorf("dcdht: no live peer: %w", core.ErrUnreachable)
+	}
+	var res Result
+	var err error
+	if !s.d.Do(func() { res, err = fn(p) }) {
+		return res, fmt.Errorf("dcdht: simulation stalled: %w", core.ErrTimeout)
+	}
+	return res, err
+}

@@ -1,0 +1,213 @@
+package dcdht
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSimNetworkInsertRetrieve(t *testing.T) {
+	n := NewSimNetwork(48, SimConfig{Replicas: 5, Seed: 1})
+	defer n.Close()
+	if got := n.Peers(); got != 48 {
+		t.Fatalf("peers = %d", got)
+	}
+	if _, err := n.Insert("greeting", []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := n.Retrieve("greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != "hello world" || !r.Current {
+		t.Fatalf("got %q current=%v", r.Data, r.Current)
+	}
+	if r.Elapsed <= 0 || r.Msgs <= 0 {
+		t.Fatalf("metrics missing: %+v", r)
+	}
+}
+
+func TestSimNetworkUpdateSupersedes(t *testing.T) {
+	n := NewSimNetwork(32, SimConfig{Replicas: 5, Seed: 2})
+	defer n.Close()
+	n.Insert("doc", []byte("v1"))
+	n.Insert("doc", []byte("v2"))
+	n.Insert("doc", []byte("v3"))
+	r, err := n.Retrieve("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != "v3" {
+		t.Fatalf("got %q", r.Data)
+	}
+	ts, err := n.LastTS("doc")
+	if err != nil || ts != r.TS {
+		t.Fatalf("last_ts %v vs retrieved %v (err %v)", ts, r.TS, err)
+	}
+}
+
+func TestSimNetworkSurvivesChurn(t *testing.T) {
+	n := NewSimNetwork(40, SimConfig{Replicas: 8, Seed: 3})
+	defer n.Close()
+	for i := 0; i < 6; i++ {
+		n.Insert(Key(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i := 0; i < 10; i++ {
+		n.ChurnOne()
+		n.Advance(30 * time.Second)
+	}
+	current := 0
+	for i := 0; i < 6; i++ {
+		r, err := n.Retrieve(Key(fmt.Sprintf("k%d", i)))
+		if err != nil && !errors.Is(err, ErrNoCurrentReplica) {
+			t.Errorf("retrieve k%d: %v", i, err)
+			continue
+		}
+		if string(r.Data) != fmt.Sprintf("v%d", i) {
+			t.Errorf("k%d = %q", i, r.Data)
+		}
+		if r.Current {
+			current++
+		}
+	}
+	if current == 0 {
+		t.Fatal("no retrieve returned a provably current replica after churn")
+	}
+	if n.Peers() != 40 {
+		t.Fatalf("population drifted to %d", n.Peers())
+	}
+}
+
+func TestSimNetworkBRKBaseline(t *testing.T) {
+	n := NewSimNetwork(32, SimConfig{Replicas: 5, Seed: 4})
+	defer n.Close()
+	if _, err := n.InsertBRK("b", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := n.RetrieveBRK("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != "v1" {
+		t.Fatalf("got %q", r.Data)
+	}
+	if r.Probed != 5 {
+		t.Fatalf("BRK probed %d, want all 5", r.Probed)
+	}
+	// UMS on the same network probes fewer.
+	n.Insert("u", []byte("v1"))
+	ru, err := n.Retrieve("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.Probed >= r.Probed {
+		t.Fatalf("UMS probed %d vs BRK %d", ru.Probed, r.Probed)
+	}
+}
+
+func TestSimNetworkMissingKey(t *testing.T) {
+	n := NewSimNetwork(16, SimConfig{Replicas: 5, Seed: 5})
+	defer n.Close()
+	if _, err := n.Retrieve("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnalysisReexports(t *testing.T) {
+	if e := ExpectedRetrievals(0.35, 10); e >= 3 {
+		t.Fatalf("E(X) = %v", e)
+	}
+	if ps := IndirectSuccessProb(0.3, 13); ps <= 0.99 {
+		t.Fatalf("ps = %v", ps)
+	}
+	if n := ReplicasForSuccess(0.3, 0.99); n != 13 {
+		t.Fatalf("replicas = %d", n)
+	}
+}
+
+// TestTCPRingEndToEnd is the cluster deployment in miniature: real
+// sockets, real clocks, same protocol code.
+func TestTCPRingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration test")
+	}
+	const peers = 8
+	cfg := NodeConfig{
+		Replicas:       5,
+		Seed:           7,
+		StabilizeEvery: 100 * time.Millisecond,
+		GraceDelay:     50 * time.Millisecond,
+	}
+	nodes := make([]*Node, 0, peers)
+	first, err := StartNode("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.CreateRing()
+	nodes = append(nodes, first)
+	for i := 1; i < peers; i++ {
+		nd, err := StartNode("127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Join(first.Addr()); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	time.Sleep(time.Second) // a few stabilization rounds
+
+	if _, err := nodes[2].Insert("tcp-key", []byte("over the wire")); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	r, err := nodes[6].Retrieve("tcp-key")
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	if string(r.Data) != "over the wire" || !r.Current {
+		t.Fatalf("got %q current=%v", r.Data, r.Current)
+	}
+
+	// Update through another node; everyone must see the new value.
+	if _, err := nodes[5].Insert("tcp-key", []byte("updated")); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	for _, nd := range []*Node{nodes[0], nodes[3], nodes[7]} {
+		r, err := nd.Retrieve("tcp-key")
+		if err != nil {
+			t.Fatalf("retrieve after update: %v", err)
+		}
+		if string(r.Data) != "updated" {
+			t.Fatalf("stale read: %q", r.Data)
+		}
+	}
+
+	// A graceful leave keeps data and counters available.
+	if err := nodes[4].Leave(); err != nil {
+		t.Logf("leave reported: %v (tolerated)", err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	r, err = nodes[1].Retrieve("tcp-key")
+	if err != nil {
+		t.Fatalf("retrieve after leave: %v", err)
+	}
+	if string(r.Data) != "updated" {
+		t.Fatalf("after leave: %q", r.Data)
+	}
+	if _, err := nodes[1].Insert("tcp-key", []byte("v3")); err != nil {
+		t.Fatalf("insert after leave: %v", err)
+	}
+	ts, err := nodes[2].LastTS("tcp-key")
+	if err != nil {
+		t.Fatalf("last_ts: %v", err)
+	}
+	if ts.IsZero() {
+		t.Fatal("last_ts lost after leave")
+	}
+}

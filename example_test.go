@@ -1,0 +1,61 @@
+package dcdht_test
+
+import (
+	"fmt"
+
+	dcdht "repro"
+)
+
+// Example shows the core loop: insert, update, retrieve-current on a
+// simulated 32-peer network.
+func Example() {
+	net := dcdht.NewSimNetwork(32, dcdht.SimConfig{Replicas: 5, Seed: 7})
+	defer net.Close()
+
+	net.Insert("motd", []byte("v1"))
+	net.Insert("motd", []byte("v2"))
+
+	r, err := net.Retrieve("motd")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s current=%v ts=%v probed=%d\n", r.Data, r.Current, r.TS, r.Probed)
+	// Output: v2 current=true ts=ts(2) probed=1
+}
+
+// ExampleExpectedRetrievals reproduces the paper's §3.3 example: with
+// 35% of replicas current and available, UMS retrieves fewer than 3
+// replicas in expectation.
+func ExampleExpectedRetrievals() {
+	e := dcdht.ExpectedRetrievals(0.35, 10)
+	fmt.Printf("E(X) = %.2f (< 3: %v)\n", e, e < 3)
+	// Output: E(X) = 2.82 (< 3: true)
+}
+
+// ExampleReplicasForSuccess reproduces the §4.2.2 example: 13 replicas
+// push the indirect algorithm's success probability above 99% at
+// pt = 0.3.
+func ExampleReplicasForSuccess() {
+	n := dcdht.ReplicasForSuccess(0.3, 0.99)
+	fmt.Printf("%d replicas, ps = %.4f\n", n, dcdht.IndirectSuccessProb(0.3, n))
+	// Output: 13 replicas, ps = 0.9903
+}
+
+// ExampleSimNetwork_ChurnOne shows that data survives peer churn: every
+// departure is replaced by a fresh joiner, and UMS still retrieves the
+// latest value.
+func ExampleSimNetwork_ChurnOne() {
+	net := dcdht.NewSimNetwork(40, dcdht.SimConfig{Replicas: 8, Seed: 11})
+	defer net.Close()
+
+	net.Insert("doc", []byte("original"))
+	for i := 0; i < 5; i++ {
+		net.ChurnOne()
+	}
+	net.Insert("doc", []byte("revised"))
+
+	r, err := net.Retrieve("doc")
+	fmt.Printf("%s err=%v peers=%d\n", r.Data, err, net.Peers())
+	// Output: revised err=<nil> peers=40
+}

@@ -1,0 +1,117 @@
+// Package analysis implements the paper's probabilistic cost model
+// (§3.3 and §4.2.2): the expected number of replicas UMS retrieves to
+// find a current one, its 1/pt upper bound (Theorem 1), and the success
+// probability of the indirect initialization algorithm. A Monte Carlo
+// estimator cross-checks the closed forms and the simulator.
+package analysis
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ExpectedRetrievals evaluates Equation 1: the expected number of
+// replicas UMS retrieves, E(X) = Σ_{i=1..|Hr|} i · pt · (1-pt)^(i-1),
+// for probability of currency-and-availability pt and |Hr| replicas.
+//
+// The sum is truncated at hr because UMS never probes more than |Hr|
+// positions. Following the paper's expectation over the probe sequence,
+// the tail case "no current replica found after |Hr| probes" costs hr
+// probes with probability (1-pt)^hr.
+func ExpectedRetrievals(pt float64, hr int) float64 {
+	if hr <= 0 {
+		return 0
+	}
+	if pt <= 0 {
+		return float64(hr)
+	}
+	if pt >= 1 {
+		return 1
+	}
+	e := 0.0
+	for i := 1; i <= hr; i++ {
+		e += float64(i) * pt * math.Pow(1-pt, float64(i-1))
+	}
+	// All-stale walks probe every replica position.
+	e += float64(hr) * math.Pow(1-pt, float64(hr))
+	return e
+}
+
+// UpperBound is Theorem 1's bound, E(X) < 1/pt, combined with Equation
+// 5's cap at the number of replicas: min(1/pt, |Hr|).
+func UpperBound(pt float64, hr int) float64 {
+	if pt <= 0 {
+		return float64(hr)
+	}
+	return math.Min(1/pt, float64(hr))
+}
+
+// IndirectSuccessProb is §4.2.2's ps = 1 - (1-pt)^|Hr|: the probability
+// the indirect algorithm finds at least one current replica.
+func IndirectSuccessProb(pt float64, hr int) float64 {
+	if hr <= 0 {
+		return 0
+	}
+	if pt <= 0 {
+		return 0
+	}
+	if pt >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-pt, float64(hr))
+}
+
+// ReplicasForSuccess returns the smallest |Hr| that pushes ps above the
+// target success probability, e.g. pt=0.3 and target 0.99 → 13 replicas
+// (the paper's example).
+func ReplicasForSuccess(pt, target float64) int {
+	if pt <= 0 || pt >= 1 || target <= 0 {
+		return 0
+	}
+	if target >= 1 {
+		return math.MaxInt32
+	}
+	// 1-(1-pt)^n >= target  ⇔  n >= log(1-target)/log(1-pt)
+	n := math.Log(1-target) / math.Log(1-pt)
+	return int(math.Ceil(n))
+}
+
+// MonteCarloRetrievals simulates UMS's probe loop directly: each of the
+// trials draws |Hr| replica states (current-and-available with
+// probability pt) and counts probes until the first current replica (or
+// hr when none exists). It returns the mean probe count.
+func MonteCarloRetrievals(rng *rand.Rand, pt float64, hr, trials int) float64 {
+	if trials <= 0 || hr <= 0 {
+		return 0
+	}
+	total := 0
+	for t := 0; t < trials; t++ {
+		probes := hr // pessimistic: no current replica anywhere
+		for i := 1; i <= hr; i++ {
+			if rng.Float64() < pt {
+				probes = i
+				break
+			}
+		}
+		total += probes
+	}
+	return float64(total) / float64(trials)
+}
+
+// MonteCarloIndirectSuccess estimates ps by sampling: one trial succeeds
+// when at least one of the |Hr| replicas is current and available.
+func MonteCarloIndirectSuccess(rng *rand.Rand, pt float64, hr, trials int) float64 {
+	if trials <= 0 || hr <= 0 {
+		return 0
+	}
+	ok := 0
+	for t := 0; t < trials; t++ {
+		for i := 0; i < hr; i++ {
+			if rng.Float64() < pt {
+				ok++
+				break
+			}
+		}
+	}
+	return float64(ok) / float64(trials)
+}

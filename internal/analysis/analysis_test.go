@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPaperExamplePt035(t *testing.T) {
+	// §3.3: "if at least 35% of available replicas are current then the
+	// expected number of retrieved replicas is less than 3".
+	e := ExpectedRetrievals(0.35, 10)
+	if e >= 3 {
+		t.Fatalf("E(X) at pt=0.35 = %.3f, paper promises < 3", e)
+	}
+	if b := UpperBound(0.35, 10); e >= b {
+		t.Fatalf("E(X)=%.3f must be below bound %.3f", e, b)
+	}
+}
+
+func TestPaperExampleIndirect(t *testing.T) {
+	// §4.2.2: "if the probability of currency and availability is about
+	// 30%, then by using 13 replication hash functions, ps is more than
+	// 99%".
+	if ps := IndirectSuccessProb(0.3, 13); ps <= 0.99 {
+		t.Fatalf("ps(0.3, 13) = %.4f, paper promises > 0.99", ps)
+	}
+	if n := ReplicasForSuccess(0.3, 0.99); n != 13 {
+		t.Fatalf("ReplicasForSuccess(0.3, 0.99) = %d, want 13", n)
+	}
+}
+
+func TestExpectedRetrievalsEdges(t *testing.T) {
+	if e := ExpectedRetrievals(1, 10); e != 1 {
+		t.Fatalf("pt=1 ⇒ E=1, got %v", e)
+	}
+	if e := ExpectedRetrievals(0, 10); e != 10 {
+		t.Fatalf("pt=0 ⇒ E=|Hr|, got %v", e)
+	}
+	if e := ExpectedRetrievals(0.5, 0); e != 0 {
+		t.Fatalf("hr=0 ⇒ E=0, got %v", e)
+	}
+	// Monotone: higher pt, fewer probes.
+	prev := math.Inf(1)
+	for pt := 0.05; pt < 1; pt += 0.05 {
+		e := ExpectedRetrievals(pt, 10)
+		if e > prev {
+			t.Fatalf("E(X) not monotone at pt=%.2f", pt)
+		}
+		prev = e
+	}
+}
+
+func TestTheorem1BoundHolds(t *testing.T) {
+	for _, hr := range []int{1, 5, 10, 20, 40} {
+		for pt := 0.01; pt < 1; pt += 0.01 {
+			e := ExpectedRetrievals(pt, hr)
+			if e > UpperBound(pt, hr)+1e-9 {
+				t.Fatalf("E(X)=%.4f exceeds min(1/pt,|Hr|)=%.4f at pt=%.2f hr=%d",
+					e, UpperBound(pt, hr), pt, hr)
+			}
+		}
+	}
+}
+
+func TestIndirectSuccessEdges(t *testing.T) {
+	if ps := IndirectSuccessProb(0.5, 0); ps != 0 {
+		t.Fatalf("hr=0: %v", ps)
+	}
+	if ps := IndirectSuccessProb(0, 10); ps != 0 {
+		t.Fatalf("pt=0: %v", ps)
+	}
+	if ps := IndirectSuccessProb(1, 10); ps != 1 {
+		t.Fatalf("pt=1: %v", ps)
+	}
+	// More replicas help.
+	if IndirectSuccessProb(0.2, 5) >= IndirectSuccessProb(0.2, 20) {
+		t.Fatal("ps must grow with |Hr|")
+	}
+}
+
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		pt float64
+		hr int
+	}{{0.35, 10}, {0.1, 10}, {0.8, 5}, {0.05, 40}} {
+		analytic := ExpectedRetrievals(tc.pt, tc.hr)
+		mc := MonteCarloRetrievals(rng, tc.pt, tc.hr, 200000)
+		if math.Abs(analytic-mc) > 0.05*analytic+0.02 {
+			t.Fatalf("pt=%.2f hr=%d: analytic %.4f vs MC %.4f", tc.pt, tc.hr, analytic, mc)
+		}
+		ps := IndirectSuccessProb(tc.pt, tc.hr)
+		mcPS := MonteCarloIndirectSuccess(rng, tc.pt, tc.hr, 200000)
+		if math.Abs(ps-mcPS) > 0.01 {
+			t.Fatalf("pt=%.2f hr=%d: ps %.4f vs MC %.4f", tc.pt, tc.hr, ps, mcPS)
+		}
+	}
+}
+
+func TestMonteCarloEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if MonteCarloRetrievals(rng, 0.5, 10, 0) != 0 {
+		t.Fatal("zero trials must return 0")
+	}
+	if MonteCarloIndirectSuccess(rng, 0.5, 0, 100) != 0 {
+		t.Fatal("hr=0 must return 0")
+	}
+}
+
+func TestReplicasForSuccessEdges(t *testing.T) {
+	if ReplicasForSuccess(0, 0.99) != 0 || ReplicasForSuccess(1, 0.99) != 0 {
+		t.Fatal("degenerate pt")
+	}
+	if ReplicasForSuccess(0.3, 1) != math.MaxInt32 {
+		t.Fatal("certainty needs unbounded replicas")
+	}
+	// Verify the returned count actually reaches the target.
+	for _, pt := range []float64{0.1, 0.3, 0.5} {
+		n := ReplicasForSuccess(pt, 0.999)
+		if IndirectSuccessProb(pt, n) < 0.999 {
+			t.Fatalf("pt=%.1f: %d replicas do not reach target", pt, n)
+		}
+		if n > 1 && IndirectSuccessProb(pt, n-1) >= 0.999 {
+			t.Fatalf("pt=%.1f: %d not minimal", pt, n)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package can
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/hashing"
+	"repro/internal/network/simwire"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+func testCfg() Config {
+	return Config{PingEvery: 500 * time.Millisecond, RPCTimeout: 200 * time.Millisecond}
+}
+
+type testSpace struct {
+	t     *testing.T
+	k     *simnet.Kernel
+	net   *simwire.Network
+	nodes []*Node
+}
+
+func newTestSpace(t *testing.T, seed int64) *testSpace {
+	k := simnet.New(seed)
+	net := simwire.New(k, simwire.Config{
+		LatencyMS:      stats.Normal{Mean: 5, Variance: 0, Min: 5},
+		BandwidthKbps:  stats.Normal{Mean: 1e6, Variance: 0, Min: 1e6},
+		DefaultTimeout: 200 * time.Millisecond,
+	})
+	return &testSpace{t: t, k: k, net: net}
+}
+
+func (ts *testSpace) newNode(name string) *Node {
+	ep := ts.net.NewEndpoint(name)
+	return New(ts.net.Env(), ep, hashing.NodeID(name), testCfg())
+}
+
+func (ts *testSpace) do(fn func()) {
+	ts.t.Helper()
+	done := false
+	ts.k.Go(func() {
+		fn()
+		done = true
+	})
+	for i := 0; i < 600 && !done; i++ {
+		ts.k.Run(ts.k.Now() + 100*time.Millisecond)
+	}
+	if !done {
+		ts.t.Fatal("simulated operation did not complete")
+	}
+}
+
+func (ts *testSpace) settle(d time.Duration) { ts.k.Run(ts.k.Now() + d) }
+
+// build creates n nodes by sequential protocol joins.
+func (ts *testSpace) build(n int, start bool) {
+	first := ts.newNode("cn0")
+	first.CreateSpace()
+	ts.nodes = append(ts.nodes, first)
+	for i := 1; i < n; i++ {
+		nd := ts.newNode(fmt.Sprintf("cn%d", i))
+		ts.do(func() {
+			if err := nd.Join(first.Self().Addr); err != nil {
+				ts.t.Errorf("join cn%d: %v", i, err)
+			}
+		})
+		ts.nodes = append(ts.nodes, nd)
+	}
+	if start {
+		for _, nd := range ts.nodes {
+			nd.Start()
+		}
+	}
+}
+
+// checkPartition asserts zones of live nodes tile the space: volumes sum
+// to 1 and random points have exactly one owner.
+func (ts *testSpace) checkPartition() {
+	ts.t.Helper()
+	vol := 0.0
+	for _, nd := range ts.nodes {
+		if !nd.Alive() {
+			continue
+		}
+		for _, z := range nd.Zones() {
+			vol += z.Volume()
+		}
+	}
+	if math.Abs(vol-1) > 1e-9 {
+		ts.t.Errorf("zone volumes sum to %.12f, want 1", vol)
+	}
+	rng := ts.k.NewRand("partition")
+	for i := 0; i < 200; i++ {
+		id := core.ID(rng.Uint64())
+		owners := 0
+		for _, nd := range ts.nodes {
+			if nd.Alive() && nd.OwnsID(id) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			ts.t.Errorf("point %v has %d owners", PointOf(id), owners)
+		}
+	}
+}
+
+func TestZoneSplitGeometry(t *testing.T) {
+	z := FullZone()
+	lower, upper := z.Split()
+	if lower.Volume()+upper.Volume() != z.Volume() {
+		t.Fatal("split must preserve volume")
+	}
+	if !lower.Abuts(upper) {
+		t.Fatal("halves must abut")
+	}
+	if lower.Contains(upper.Center()) || upper.Contains(lower.Center()) {
+		t.Fatal("halves must be disjoint")
+	}
+}
+
+// Property: splitting any zone yields two disjoint abutting halves whose
+// volumes sum to the original, and every point stays covered by exactly
+// one half.
+func TestZoneSplitProperty(t *testing.T) {
+	f := func(a, b, c, d uint16, seed uint64) bool {
+		z := FullZone()
+		// Shrink to a random sub-zone through a few deterministic splits.
+		for i := 0; i < 4; i++ {
+			lo, hi := z.Split()
+			if (seed>>uint(i))&1 == 0 {
+				z = lo
+			} else {
+				z = hi
+			}
+		}
+		lo, hi := z.Split()
+		if math.Abs(lo.Volume()+hi.Volume()-z.Volume()) > 1e-12 {
+			return false
+		}
+		p := PointOf(core.ID(seed))
+		if !z.Contains(p) {
+			return true // point outside; nothing to check
+		}
+		inLo, inHi := lo.Contains(p), hi.Contains(p)
+		return inLo != inHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointOfInUnitSquare(t *testing.T) {
+	f := func(id core.ID) bool {
+		p := PointOf(id)
+		for i := 0; i < D; i++ {
+			if p[i] < 0 || p[i] >= 1 {
+				return false
+			}
+		}
+		return FullZone().Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinsPartitionSpace(t *testing.T) {
+	ts := newTestSpace(t, 1)
+	ts.build(16, false)
+	ts.checkPartition()
+}
+
+func TestAssembleSpacePartition(t *testing.T) {
+	ts := newTestSpace(t, 2)
+	for i := 0; i < 64; i++ {
+		ts.nodes = append(ts.nodes, ts.newNode(fmt.Sprintf("cn%d", i)))
+	}
+	AssembleSpace(ts.nodes)
+	ts.checkPartition()
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	ts := newTestSpace(t, 3)
+	ts.build(24, false)
+	rng := ts.k.NewRand("targets")
+	for i := 0; i < 40; i++ {
+		target := core.ID(rng.Uint64())
+		origin := ts.nodes[rng.Intn(len(ts.nodes))]
+		var want *Node
+		for _, nd := range ts.nodes {
+			if nd.OwnsID(target) {
+				want = nd
+				break
+			}
+		}
+		ts.do(func() {
+			ref, _, err := origin.Lookup(target, nil)
+			if err != nil {
+				t.Errorf("lookup: %v", err)
+				return
+			}
+			if ref.ID != want.Self().ID {
+				t.Errorf("lookup %v = %s, want %s", PointOf(target), ref.ID, want.Self().ID)
+			}
+		})
+	}
+}
+
+func TestPutGetOnCAN(t *testing.T) {
+	ts := newTestSpace(t, 4)
+	ts.build(12, false)
+	client := dht.NewClient(ts.nodes[3], "test")
+	h := hashing.Salted{Salt: "h0"}
+	ts.do(func() {
+		val := core.Value{Data: []byte("can-data"), TS: core.TS(1)}
+		if err := client.PutH("key", h, val, dht.PutOverwrite, nil); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		got, err := client.GetH("key", h, nil)
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		if string(got.Data) != "can-data" {
+			t.Errorf("got %q", got.Data)
+		}
+	})
+}
+
+func TestGracefulLeaveHandsOver(t *testing.T) {
+	ts := newTestSpace(t, 5)
+	ts.build(10, false)
+	client := dht.NewClient(ts.nodes[0], "test")
+	h := hashing.Salted{Salt: "h0"}
+	keys := make([]core.Key, 30)
+	ts.do(func() {
+		for i := range keys {
+			keys[i] = core.Key(fmt.Sprintf("ck-%d", i))
+			val := core.Value{Data: []byte(keys[i]), TS: core.TS(1)}
+			if err := client.PutH(keys[i], h, val, dht.PutOverwrite, nil); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}
+	})
+	leaver := ts.nodes[4]
+	ts.do(func() {
+		if err := leaver.Leave(); err != nil {
+			t.Errorf("leave: %v", err)
+		}
+	})
+	ts.net.Kill(leaver.Self().Addr)
+	ts.settle(2 * time.Second)
+	ts.checkPartition()
+	ts.do(func() {
+		for _, k := range keys {
+			got, err := client.GetH(k, h, nil)
+			if err != nil {
+				t.Errorf("get %s after leave: %v", k, err)
+				continue
+			}
+			if string(got.Data) != string(k) {
+				t.Errorf("get %s = %q", k, got.Data)
+			}
+		}
+	})
+}
+
+func TestFailureTakeover(t *testing.T) {
+	ts := newTestSpace(t, 6)
+	ts.build(10, true)
+	ts.settle(2 * time.Second)
+	victim := ts.nodes[5]
+	victim.Crash()
+	ts.net.Kill(victim.Self().Addr)
+	ts.settle(5 * time.Second) // several ping rounds
+	ts.checkPartition()
+	// Lookups over the healed space still work.
+	rng := ts.k.NewRand("post-fail")
+	for i := 0; i < 15; i++ {
+		target := core.ID(rng.Uint64())
+		origin := ts.nodes[rng.Intn(len(ts.nodes))]
+		if !origin.Alive() {
+			continue
+		}
+		ts.do(func() {
+			if _, _, err := origin.Lookup(target, nil); err != nil {
+				t.Errorf("post-failure lookup: %v", err)
+			}
+		})
+	}
+}
+
+func TestCrashedNodeRefusesOps(t *testing.T) {
+	ts := newTestSpace(t, 7)
+	ts.build(3, false)
+	nd := ts.nodes[1]
+	nd.Crash()
+	ts.do(func() {
+		if _, _, err := nd.Lookup(1, nil); !errors.Is(err, core.ErrStopped) {
+			t.Errorf("lookup from crashed: %v", err)
+		}
+		if err := nd.Leave(); !errors.Is(err, core.ErrStopped) {
+			t.Errorf("leave of crashed: %v", err)
+		}
+	})
+	if nd.OwnsID(1) {
+		t.Fatal("crashed node owns nothing")
+	}
+}
+
+func TestNeighborsAreSymmetricAfterAssemble(t *testing.T) {
+	ts := newTestSpace(t, 8)
+	for i := 0; i < 20; i++ {
+		ts.nodes = append(ts.nodes, ts.newNode(fmt.Sprintf("cn%d", i)))
+	}
+	AssembleSpace(ts.nodes)
+	byID := map[core.ID]*Node{}
+	for _, nd := range ts.nodes {
+		byID[nd.Self().ID] = nd
+	}
+	for _, nd := range ts.nodes {
+		for _, ref := range nd.Neighbors() {
+			other := byID[ref.ID]
+			found := false
+			for _, back := range other.Neighbors() {
+				if back.ID == nd.Self().ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation not symmetric: %s -> %s", nd.Self().ID, ref.ID)
+			}
+		}
+	}
+}

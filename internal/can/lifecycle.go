@@ -1,0 +1,261 @@
+package can
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/network"
+)
+
+// Join attaches this node: route to the owner of our point, ask it to
+// split, adopt the ceded zone and state (replicas and KTS counters — the
+// direct algorithm on CAN), then introduce ourselves to the
+// neighborhood.
+func (n *Node) Join(bootstrap network.Addr) error {
+	target := PointOf(n.self.ID)
+	// Route from the bootstrap to the owner of our point.
+	cur := dht.NodeRef{Addr: bootstrap}
+	for step := 0; step < n.cfg.MaxRouteSteps; step++ {
+		raw, err := n.call(cur.Addr, methodRouteStep, RouteStepReq{Target: target}, nil)
+		if err != nil {
+			return fmt.Errorf("can: join routing via %s: %w", cur.Addr, err)
+		}
+		resp := raw.(RouteStepResp)
+		if resp.Done {
+			cur = resp.Next
+			break
+		}
+		if resp.Next.IsZero() || resp.Next.Addr == cur.Addr {
+			return fmt.Errorf("can: join routing stuck at %s: %w", cur.Addr, core.ErrUnreachable)
+		}
+		cur = resp.Next
+	}
+
+	raw, err := n.call(cur.Addr, methodSplit, SplitReq{NewNode: n.self}, nil)
+	if err != nil {
+		return fmt.Errorf("can: join split at %s: %w", cur.Addr, err)
+	}
+	resp := raw.(SplitResp)
+	n.mu.Lock()
+	n.zones = []Zone{resp.Zone}
+	n.mu.Unlock()
+	n.store.Absorb(resp.Items)
+	n.acceptServices(resp.Services)
+	for _, info := range resp.Neighbors {
+		n.applyNeighborInfo(info)
+	}
+	n.broadcastUpdate()
+	return nil
+}
+
+// Leave departs gracefully: the neighbor with the smallest total volume
+// takes over our zones, replicas and counters (O(1) bulk messages —
+// §4.2.1.1's point that the next responsible is a neighbor); everyone
+// else learns who covers us now.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return core.ErrStopped
+	}
+	n.alive = false
+	zones := append([]Zone(nil), n.zones...)
+	type cand struct {
+		ref dht.NodeRef
+		vol float64
+	}
+	var cands []cand
+	var infos []NeighborInfo
+	zonesByID := map[core.ID][]Zone{}
+	for _, nb := range n.neighbors {
+		v := 0.0
+		for _, z := range nb.zones {
+			v += z.Volume()
+		}
+		cands = append(cands, cand{ref: nb.ref, vol: v})
+		infos = append(infos, NeighborInfo{Ref: nb.ref, Zones: append([]Zone(nil), nb.zones...)})
+		zonesByID[nb.ref.ID] = append([]Zone(nil), nb.zones...)
+	}
+	n.mu.Unlock()
+	if len(cands) == 0 {
+		return nil // last node standing; the space dies with it
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].vol != cands[j].vol {
+			return cands[i].vol < cands[j].vol
+		}
+		return cands[i].ref.ID < cands[j].ref.ID
+	})
+	takeover := cands[0].ref
+
+	everything := func(core.ID) bool { return true }
+	var items []dht.Item
+	if !n.cfg.NoDataHandoff {
+		items = n.store.CollectIf(everything, true)
+	}
+	req := TakeoverReq{
+		From:      n.self,
+		Zones:     zones,
+		Items:     items,
+		Services:  n.collectServices(everything),
+		Neighbors: infos,
+	}
+	var firstErr error
+	if _, err := n.call(takeover.Addr, methodTakeover, req, nil); err != nil {
+		firstErr = fmt.Errorf("can: leave takeover by %s: %w", takeover.Addr, err)
+	}
+	// Advertise the successor with its post-takeover zones (its own plus
+	// ours), so the remaining neighbors adopt it instead of dropping it.
+	succ := NeighborInfo{Ref: takeover, Zones: append(zonesByID[takeover.ID], zones...)}
+	for _, c := range cands[1:] {
+		if _, err := n.call(c.ref.Addr, methodGone, GoneReq{Departed: n.self, Successor: succ}, nil); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("can: leave notice to %s: %w", c.ref.Addr, err)
+		}
+	}
+	return firstErr
+}
+
+// Start launches neighbor liveness probing. When a neighbor dies, the
+// probing node adopts its zones if it is the designated takeover peer
+// (smallest volume, then smallest ID, among the dead peer's abutting
+// neighbors as locally known) — CAN's TAKEOVER protocol simplified to a
+// deterministic rule.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started || !n.alive {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+
+	rng := n.env.Rand("can:" + string(n.self.Addr))
+	n.env.Go(func() {
+		for n.Alive() {
+			d := n.cfg.PingEvery + time.Duration(rng.Int63n(int64(n.cfg.PingEvery)/4+1))
+			if err := n.env.Sleep(d); err != nil {
+				return
+			}
+			if !n.Alive() {
+				return
+			}
+			n.probeNeighbors()
+		}
+	})
+}
+
+// probeNeighbors pings one round of neighbors and handles deaths.
+func (n *Node) probeNeighbors() {
+	n.mu.Lock()
+	refs := make([]*neighbor, 0, len(n.neighbors))
+	for _, nb := range n.neighbors {
+		refs = append(refs, nb)
+	}
+	n.mu.Unlock()
+	for _, nb := range refs {
+		if _, err := n.call(nb.ref.Addr, methodPing, PingReq{}, nil); err == nil {
+			continue
+		}
+		n.handleDeadNeighbor(nb)
+	}
+}
+
+// handleDeadNeighbor removes the dead peer and, if this node is the
+// designated takeover peer, adopts the orphaned zones. The dead peer's
+// store and counters are gone — the indirect algorithm will rebuild
+// counters from replicas, exactly the failure path of §4.2.2.
+func (n *Node) handleDeadNeighbor(dead *neighbor) {
+	n.mu.Lock()
+	delete(n.neighbors, dead.ref.ID)
+	// Designated takeover: smallest (volume, ID) among the dead zone's
+	// abutting peers in our local view, including ourselves.
+	myVol := 0.0
+	for _, z := range n.zones {
+		myVol += z.Volume()
+	}
+	bestVol, bestID := myVol, n.self.ID
+	for _, nb := range n.neighbors {
+		abuts := false
+		for _, dz := range dead.zones {
+			for _, z := range nb.zones {
+				if z.Abuts(dz) {
+					abuts = true
+				}
+			}
+		}
+		if !abuts {
+			continue
+		}
+		v := 0.0
+		for _, z := range nb.zones {
+			v += z.Volume()
+		}
+		if v < bestVol || (v == bestVol && nb.ref.ID < bestID) {
+			bestVol, bestID = v, nb.ref.ID
+		}
+	}
+	mine := bestID == n.self.ID
+	if mine {
+		n.zones = append(n.zones, dead.zones...)
+	}
+	n.mu.Unlock()
+	if mine {
+		n.broadcastUpdate()
+	}
+}
+
+// AssembleSpace wires fresh nodes into a valid partition
+// administratively (tests and large simulations): nodes are inserted in
+// ID order, each splitting the current owner of its point, then all
+// neighbor tables are computed pairwise.
+func AssembleSpace(nodes []*Node) {
+	if len(nodes) == 0 {
+		return
+	}
+	sorted := make([]*Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].self.ID < sorted[j].self.ID })
+
+	sorted[0].zones = []Zone{FullZone()}
+	for _, nd := range sorted[1:] {
+		p := PointOf(nd.self.ID)
+		// Find the owner and the zone containing p.
+		var owner *Node
+		zi := -1
+	search:
+		for _, cand := range sorted {
+			for i, z := range cand.zones {
+				if len(cand.zones) > 0 && z.Contains(p) {
+					owner, zi = cand, i
+					break search
+				}
+			}
+		}
+		if owner == nil {
+			panic("can: assemble found no owner — zones do not tile the space")
+		}
+		lower, upper := owner.zones[zi].Split()
+		joinerZone, keptZone := lower, upper
+		if upper.Contains(p) {
+			joinerZone, keptZone = upper, lower
+		}
+		owner.zones[zi] = keptZone
+		nd.zones = []Zone{joinerZone}
+	}
+
+	// Pairwise neighbor computation.
+	for _, a := range sorted {
+		a.neighbors = make(map[core.ID]*neighbor)
+	}
+	for i, a := range sorted {
+		for _, b := range sorted[i+1:] {
+			if a.abutsLocked(b.zones) {
+				a.neighbors[b.self.ID] = &neighbor{ref: b.self, zones: append([]Zone(nil), b.zones...)}
+				b.neighbors[a.self.ID] = &neighbor{ref: a.self, zones: append([]Zone(nil), a.zones...)}
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/network"
+)
+
+// Lookup implements dht.Ring: it finds the peer responsible for target by
+// iterative routing from this node, restarting with an exclusion set when
+// it runs into dead peers. hops counts remote routing steps, so the
+// communication cost of a lookup is 2*hops messages (request + reply per
+// step), the paper's cret = O(log n).
+func (n *Node) Lookup(target core.ID, meter *network.Meter) (dht.NodeRef, int, error) {
+	if !n.Alive() {
+		return dht.NodeRef{}, 0, fmt.Errorf("chord: lookup from dead node: %w", core.ErrStopped)
+	}
+	exclude := map[core.ID]bool{}
+	hops := 0
+	var lastErr error
+	for attempt := 0; attempt <= n.cfg.LookupRetries; attempt++ {
+		ref, h, err := n.lookupOnce(target, exclude, meter)
+		hops += h
+		if err == nil {
+			return ref, hops, nil
+		}
+		lastErr = err
+		if !errors.Is(err, core.ErrTimeout) && !errors.Is(err, core.ErrUnreachable) {
+			break
+		}
+		// A peer died mid-lookup; it is now excluded — try again.
+	}
+	return dht.NodeRef{}, hops, fmt.Errorf("chord: lookup %s: %w", target, lastErr)
+}
+
+// lookupOnce performs one routing walk. Peers that time out are added to
+// exclude so the retry routes around them.
+func (n *Node) lookupOnce(target core.ID, exclude map[core.ID]bool, meter *network.Meter) (dht.NodeRef, int, error) {
+	cur := n.self
+	hops := 0
+	visited := map[core.ID]bool{}
+	for step := 0; step < n.cfg.MaxLookupSteps; step++ {
+		var resp FindStepResp
+		if cur.ID == n.self.ID {
+			resp = n.findStep(target, exclude)
+		} else {
+			if visited[cur.ID] {
+				return dht.NodeRef{}, hops, fmt.Errorf("chord: routing loop at %s for %s: %w",
+					cur.ID, target, core.ErrUnreachable)
+			}
+			visited[cur.ID] = true
+			raw, err := n.call(cur.Addr, methodFindStep,
+				FindStepReq{Target: target, Exclude: setToList(exclude)}, meter)
+			hops++
+			if err != nil {
+				// Dead peers are silence on the simulated transport
+				// (timeout) and connection refusals on TCP (unreachable);
+				// either way, route around them.
+				if errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrStopped) ||
+					errors.Is(err, core.ErrUnreachable) {
+					exclude[cur.ID] = true
+					return dht.NodeRef{}, hops, fmt.Errorf("chord: peer %s dead during lookup: %w",
+						cur.ID, core.ErrTimeout)
+				}
+				return dht.NodeRef{}, hops, err
+			}
+			resp = raw.(FindStepResp)
+		}
+		if resp.Done {
+			return resp.Next, hops, nil
+		}
+		if resp.Next.IsZero() || resp.Next.ID == cur.ID {
+			return cur, hops, nil
+		}
+		cur = resp.Next
+	}
+	return dht.NodeRef{}, hops, fmt.Errorf("chord: lookup for %s exceeded %d steps: %w",
+		target, n.cfg.MaxLookupSteps, core.ErrUnreachable)
+}
+
+func setToList(m map[core.ID]bool) []core.ID {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]core.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}

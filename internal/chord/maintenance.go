@@ -1,0 +1,257 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/network"
+)
+
+// Join attaches this node to the ring reachable through bootstrap: it
+// resolves its successor, pulls its arc (replicas and service counters —
+// the direct algorithm's handoff), seeds its tables, and nudges its
+// predecessor so the ring converges without waiting for stabilization.
+func (n *Node) Join(bootstrap network.Addr) error {
+	// Resolve our successor through the bootstrap peer.
+	raw, err := n.call(bootstrap, methodFindStep, FindStepReq{Target: n.self.ID}, nil)
+	if err != nil {
+		return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
+	}
+	step := raw.(FindStepResp)
+	cur := step.Next
+	for !step.Done {
+		raw, err = n.call(cur.Addr, methodFindStep, FindStepReq{Target: n.self.ID}, nil)
+		if err != nil {
+			return fmt.Errorf("chord: join routing via %s: %w", cur.Addr, err)
+		}
+		step = raw.(FindStepResp)
+		if step.Next.IsZero() || (!step.Done && step.Next.ID == cur.ID) {
+			break
+		}
+		cur = step.Next
+	}
+	succ := step.Next
+	if succ.IsZero() {
+		return fmt.Errorf("chord: join found no successor: %w", core.ErrUnreachable)
+	}
+	if succ.ID == n.self.ID {
+		// ID collision: with 64-bit hashed IDs this is effectively
+		// impossible; treat as a failed join.
+		return fmt.Errorf("chord: id collision on join: %w", core.ErrUnreachable)
+	}
+
+	// Pull our arc from the successor (replicas + service state).
+	raw, err = n.call(succ.Addr, methodTransfer, TransferReq{NewNode: n.self}, nil)
+	if err != nil {
+		return fmt.Errorf("chord: join transfer from %s: %w", succ.Addr, err)
+	}
+	tr := raw.(TransferResp)
+
+	n.mu.Lock()
+	n.pred = tr.Pred
+	n.setSuccessorsLocked(tr.Succs)
+	for i, f := range tr.Fingers {
+		if i < M {
+			n.fingers[i] = f
+		}
+	}
+	n.mu.Unlock()
+	n.store.Absorb(tr.Items)
+	n.acceptServices(tr.Services)
+
+	// Tell our predecessor we are its successor candidate so inserts
+	// routed through it reach us immediately.
+	if !tr.Pred.IsZero() {
+		n.env.Go(func() {
+			n.call(tr.Pred.Addr, methodSuccCand, SuccCandidateReq{Candidate: n.self}, nil)
+		})
+	}
+	return nil
+}
+
+// Leave departs gracefully (§4.2.1's "normal" departure): the node hands
+// its entire arc — replicas and KTS counters — to its successor in O(1)
+// messages and tells its predecessor to splice it out. Afterwards the
+// node is dead.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return core.ErrStopped
+	}
+	n.alive = false // stop accepting protocol traffic
+	pred := n.pred
+	succs := make([]dht.NodeRef, len(n.succs))
+	copy(succs, n.succs)
+	n.mu.Unlock()
+
+	var firstErr error
+	if len(succs) > 0 && succs[0].ID != n.self.ID {
+		everything := func(core.ID) bool { return true }
+		var items []dht.Item
+		if !n.cfg.NoDataHandoff {
+			items = n.store.CollectIf(everything, true)
+		}
+		services := n.collectServices(everything)
+		req := AbsorbReq{From: n.self, Items: items, Services: services, Departing: true, NewPred: pred}
+		if _, err := n.call(succs[0].Addr, methodAbsorb, req, nil); err != nil {
+			firstErr = fmt.Errorf("chord: leave handoff to %s: %w", succs[0].Addr, err)
+		}
+	}
+	if !pred.IsZero() && pred.ID != n.self.ID {
+		req := PredLeavingReq{Departing: n.self, Replacements: succs}
+		if _, err := n.call(pred.Addr, methodPredGone, req, nil); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("chord: leave notice to %s: %w", pred.Addr, err)
+		}
+	}
+	return firstErr
+}
+
+// Start launches the periodic maintenance tasks: stabilize (successor
+// repair + notify), finger repair, and predecessor liveness checks. Each
+// node jitters its period so rounds do not synchronize.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started || !n.alive {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+
+	rng := n.env.Rand("chord:" + string(n.self.Addr))
+	jitter := func(d time.Duration) time.Duration {
+		return d + time.Duration(rng.Int63n(int64(d)/4+1))
+	}
+	n.env.Go(func() {
+		for n.Alive() {
+			if err := n.env.Sleep(jitter(n.cfg.StabilizeEvery)); err != nil {
+				return
+			}
+			if !n.Alive() {
+				return
+			}
+			n.stabilize()
+		}
+	})
+	n.env.Go(func() {
+		for n.Alive() {
+			if err := n.env.Sleep(jitter(n.cfg.FixFingersEvery)); err != nil {
+				return
+			}
+			if !n.Alive() {
+				return
+			}
+			n.fixNextFinger()
+		}
+	})
+	n.env.Go(func() {
+		for n.Alive() {
+			if err := n.env.Sleep(jitter(n.cfg.CheckPredEvery)); err != nil {
+				return
+			}
+			if !n.Alive() {
+				return
+			}
+			n.checkPredecessor()
+		}
+	})
+}
+
+// stabilize is Chord's core repair: find the first live successor, adopt
+// its predecessor if closer, refresh the successor list and notify.
+func (n *Node) stabilize() {
+	_, succs := n.snapshot()
+	var succ dht.NodeRef
+	var state StateResp
+	found := false
+	sawOther := false
+	dead := map[core.ID]bool{}
+	for _, s := range succs {
+		if s.ID == n.self.ID {
+			continue
+		}
+		sawOther = true
+		raw, err := n.call(s.Addr, methodState, StateReq{}, nil)
+		if err != nil {
+			dead[s.ID] = true
+			continue
+		}
+		succ = s
+		state = raw.(StateResp)
+		found = true
+		break
+	}
+	if !found {
+		if !sawOther {
+			return // singleton ring, nothing to repair
+		}
+		// The whole successor list is unreachable; try to rejoin through
+		// the finger table, verifying the candidate is actually alive.
+		if ref, _, err := n.Lookup(n.self.ID+1, nil); err == nil && ref.ID != n.self.ID {
+			if _, err := n.call(ref.Addr, methodState, StateReq{}, nil); err == nil {
+				n.setSuccessors([]dht.NodeRef{ref})
+				return
+			}
+		}
+		// Nobody reachable: degrade to a singleton; future Notify and
+		// SuccCandidate messages re-link us.
+		n.setSuccessors([]dht.NodeRef{n.self})
+		return
+	}
+
+	// Adopt succ's predecessor when it sits between us and succ.
+	if !state.Pred.IsZero() && state.Pred.ID.InOpenInterval(n.self.ID, succ.ID) && !dead[state.Pred.ID] {
+		if raw, err := n.call(state.Pred.Addr, methodState, StateReq{}, nil); err == nil {
+			succ = state.Pred
+			state = raw.(StateResp)
+		}
+	}
+
+	// Refresh the successor list: succ followed by its list.
+	n.setSuccessors(append([]dht.NodeRef{succ}, state.Succs...))
+
+	// Tell succ about us.
+	n.env.Go(func() {
+		n.call(succ.Addr, methodNotify, NotifyReq{Candidate: n.self}, nil)
+	})
+}
+
+// fixNextFinger repairs one finger (round robin), the classic
+// fix_fingers task.
+func (n *Node) fixNextFinger() {
+	n.mu.Lock()
+	i := n.nextFix
+	n.nextFix = (n.nextFix + 1) % M
+	n.mu.Unlock()
+	target := n.self.ID + core.ID(uint64(1)<<uint(i))
+	ref, _, err := n.Lookup(target, nil)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.fingers[i] = ref
+	n.mu.Unlock()
+}
+
+// checkPredecessor clears a dead predecessor so Notify can install a new
+// one (and so OwnsID degrades to "assume responsible" instead of pointing
+// at a ghost).
+func (n *Node) checkPredecessor() {
+	pred, _ := n.snapshot()
+	if pred.IsZero() || pred.ID == n.self.ID {
+		return
+	}
+	if _, err := n.call(pred.Addr, methodPing, PingReq{}, nil); err != nil {
+		if errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrStopped) || errors.Is(err, core.ErrUnreachable) {
+			n.mu.Lock()
+			if n.pred.ID == pred.ID {
+				n.pred = dht.NodeRef{}
+			}
+			n.mu.Unlock()
+		}
+	}
+}

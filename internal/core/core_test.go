@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDBetweenSimple(t *testing.T) {
+	cases := []struct {
+		id, a, b ID
+		want     bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, false},  // open at a
+		{10, 1, 10, true},  // closed at b
+		{11, 1, 10, false}, // outside
+		{0, 10, 2, true},   // wraps past zero
+		{11, 10, 2, true},  // wraps, just after a
+		{2, 10, 2, true},   // wraps, at b
+		{5, 10, 2, false},  // wraps, outside
+		{7, 7, 7, true},    // degenerate: whole ring
+		{math.MaxUint64, 10, 2, true},
+	}
+	for _, c := range cases {
+		if got := c.id.Between(c.a, c.b); got != c.want {
+			t.Errorf("Between(%d in (%d,%d]) = %v, want %v", c.id, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIDInOpenInterval(t *testing.T) {
+	cases := []struct {
+		id, a, b ID
+		want     bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, false},
+		{10, 1, 10, false},
+		{0, 10, 2, true},
+		{2, 10, 2, false},
+		{10, 10, 2, false},
+		{7, 7, 7, false}, // whole ring minus the endpoint
+		{8, 7, 7, true},
+	}
+	for _, c := range cases {
+		if got := c.id.InOpenInterval(c.a, c.b); got != c.want {
+			t.Errorf("InOpenInterval(%d in (%d,%d)) = %v, want %v", c.id, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: for distinct endpoints, every id is in exactly one of (a,b]
+// and (b,a]. The two arcs partition the ring.
+func TestIDBetweenPartitionsRing(t *testing.T) {
+	f := func(id, a, b ID) bool {
+		if a == b {
+			return true // degenerate interval covers everything by definition
+		}
+		in1 := id.Between(a, b)
+		in2 := id.Between(b, a)
+		return in1 != in2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting all three points by the same offset never changes
+// interval membership (ring intervals are rotation invariant).
+func TestIDBetweenRotationInvariant(t *testing.T) {
+	f := func(id, a, b, shift ID) bool {
+		return id.Between(a, b) == (id+shift).Between(a+shift, b+shift)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampOrder(t *testing.T) {
+	if !TSZero.Less(TS(1)) {
+		t.Fatal("zero must precede ts(1)")
+	}
+	if TS(1).Less(TS(1)) {
+		t.Fatal("irreflexive")
+	}
+	hi := Timestamp{Hi: 1, Lo: 0}
+	if !TS(math.MaxUint64).Less(hi) {
+		t.Fatal("hi word dominates")
+	}
+	if got := TS(3).Compare(TS(3)); got != 0 {
+		t.Fatalf("Compare equal = %d", got)
+	}
+	if got := TS(2).Compare(TS(3)); got != -1 {
+		t.Fatalf("Compare less = %d", got)
+	}
+	if got := TS(4).Compare(TS(3)); got != 1 {
+		t.Fatalf("Compare greater = %d", got)
+	}
+}
+
+func TestTimestampNextCarries(t *testing.T) {
+	v := Timestamp{Hi: 0, Lo: math.MaxUint64}
+	n := v.Next()
+	if n.Hi != 1 || n.Lo != 0 {
+		t.Fatalf("carry failed: %+v", n)
+	}
+	if !v.Less(n) {
+		t.Fatal("Next must increase")
+	}
+}
+
+func TestTimestampAdd(t *testing.T) {
+	v := Timestamp{Hi: 0, Lo: math.MaxUint64 - 1}
+	if got := v.Add(3); got.Hi != 1 || got.Lo != 1 {
+		t.Fatalf("Add carry: %+v", got)
+	}
+	if got := TS(5).Add(7); got != TS(12) {
+		t.Fatalf("Add small: %v", got)
+	}
+}
+
+// Property: Next is strictly monotonic and equals Add(1).
+func TestTimestampNextMonotonic(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		v := Timestamp{Hi: hi, Lo: lo}
+		n := v.Next()
+		return v.Less(n) && n == v.Add(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Max is commutative and picks an upper bound.
+func TestTimestampMax(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		x := Timestamp{Hi: a, Lo: b}
+		y := Timestamp{Hi: c, Lo: d}
+		m := x.Max(y)
+		return m == y.Max(x) && !m.Less(x) && !m.Less(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	if got := TS(7).String(); got != "ts(7)" {
+		t.Fatalf("String small = %q", got)
+	}
+	if got := (Timestamp{Hi: 2, Lo: 9}).String(); got != "ts(2:9)" {
+		t.Fatalf("String large = %q", got)
+	}
+}
+
+func TestValueClone(t *testing.T) {
+	orig := Value{Data: []byte("abc"), TS: TS(4)}
+	cl := orig.Clone()
+	cl.Data[0] = 'z'
+	if string(orig.Data) != "abc" {
+		t.Fatal("Clone must not alias the original buffer")
+	}
+	if cl.TS != orig.TS {
+		t.Fatal("Clone must keep the timestamp")
+	}
+	empty := Value{TS: TS(1)}.Clone()
+	if empty.Data != nil || empty.TS != TS(1) {
+		t.Fatalf("Clone of nil data: %+v", empty)
+	}
+}

@@ -1,0 +1,88 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/network"
+)
+
+// Client performs puth/geth operations (§2.2) from one peer: it resolves
+// rsp(k, h) through the ring's lookup service and invokes the store
+// protocol on the responsible peer. One retry is allowed when the
+// responsible moved between lookup and operation.
+type Client struct {
+	ring Ring
+	ns   string
+	// RPCTimeout bounds each put/get RPC; zero uses the transport
+	// default.
+	RPCTimeout time.Duration
+}
+
+// NewClient builds a client for the given namespace ("ums", "brk").
+func NewClient(ring Ring, namespace string) *Client {
+	return &Client{ring: ring, ns: namespace}
+}
+
+// Ring exposes the underlying ring (used by services for lookups).
+func (c *Client) Ring() Ring { return c.ring }
+
+// Namespace returns the client's storage namespace.
+func (c *Client) Namespace() string { return c.ns }
+
+// PutH stores val at rsp(k, h) — the paper's puth(k, data). Messages are
+// charged to meter.
+func (c *Client) PutH(k core.Key, h hashing.Func, val core.Value, mode PutMode, meter *network.Meter) error {
+	rid := h.ID(k)
+	req := PutReq{RingID: rid, Qual: Qualifier(c.ns, k, h.Name()), Val: val, Mode: mode}
+	_, err := c.invokeResponsible(rid, MethodPut, req, meter)
+	if err != nil {
+		return fmt.Errorf("dht: puth %q via %s: %w", k, h.Name(), err)
+	}
+	return nil
+}
+
+// GetH retrieves the replica of k stored at rsp(k, h) — the paper's
+// geth(k).
+func (c *Client) GetH(k core.Key, h hashing.Func, meter *network.Meter) (core.Value, error) {
+	rid := h.ID(k)
+	req := GetReq{RingID: rid, Qual: Qualifier(c.ns, k, h.Name())}
+	resp, err := c.invokeResponsible(rid, MethodGet, req, meter)
+	if err != nil {
+		return core.Value{}, fmt.Errorf("dht: geth %q via %s: %w", k, h.Name(), err)
+	}
+	return resp.(GetResp).Val, nil
+}
+
+// invokeResponsible looks up the peer responsible for rid and invokes
+// method on it, retrying the lookup once if responsibility moved.
+func (c *Client) invokeResponsible(rid core.ID, method string, req network.Message, meter *network.Meter) (network.Message, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		ref, _, err := c.ring.Lookup(rid, meter)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.ring.Endpoint().Invoke(ref.Addr, method, req, network.Call{
+			Timeout: c.RPCTimeout,
+			Meter:   meter,
+		})
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// Responsibility moved or the peer died mid-operation: resolve
+		// again once, then give up (the replica is simply unavailable).
+		if !errors.Is(err, core.ErrNotResponsible) && !errors.Is(err, core.ErrTimeout) &&
+			!errors.Is(err, core.ErrUnreachable) {
+			return nil, err
+		}
+		if serr := c.ring.Env().Sleep(100 * time.Millisecond); serr != nil {
+			return nil, serr
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,203 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/network/simwire"
+	"repro/internal/simnet"
+)
+
+func TestLocalStorePutModes(t *testing.T) {
+	s := NewLocalStore()
+	v1 := core.Value{Data: []byte("a"), TS: core.TS(1)}
+	v2 := core.Value{Data: []byte("b"), TS: core.TS(2)}
+
+	if !s.Put(1, "q", v2, PutIfNewer) {
+		t.Fatal("first put must store")
+	}
+	if s.Put(1, "q", v1, PutIfNewer) {
+		t.Fatal("stale put must be rejected")
+	}
+	if got, _ := s.Get(1, "q"); string(got.Data) != "b" {
+		t.Fatalf("got %q", got.Data)
+	}
+	// Equal timestamps: IfNewer rejects, IfNewerOrEqual overwrites.
+	same := core.Value{Data: []byte("c"), TS: core.TS(2)}
+	if s.Put(1, "q", same, PutIfNewer) {
+		t.Fatal("equal-ts put must be rejected by IfNewer")
+	}
+	if !s.Put(1, "q", same, PutIfNewerOrEqual) {
+		t.Fatal("equal-ts put must pass IfNewerOrEqual")
+	}
+	if got, _ := s.Get(1, "q"); string(got.Data) != "c" {
+		t.Fatalf("got %q", got.Data)
+	}
+	// Overwrite ignores timestamps entirely.
+	if !s.Put(1, "q", v1, PutOverwrite) {
+		t.Fatal("overwrite must always store")
+	}
+	if got, _ := s.Get(1, "q"); got.TS != core.TS(1) {
+		t.Fatalf("overwrite lost: %v", got.TS)
+	}
+}
+
+func TestLocalStoreIsolation(t *testing.T) {
+	s := NewLocalStore()
+	buf := []byte("mutable")
+	s.Put(7, "q", core.Value{Data: buf, TS: core.TS(1)}, PutOverwrite)
+	buf[0] = 'X'
+	got, ok := s.Get(7, "q")
+	if !ok || string(got.Data) != "mutable" {
+		t.Fatalf("store aliased caller buffer: %q", got.Data)
+	}
+	got.Data[0] = 'Y'
+	again, _ := s.Get(7, "q")
+	if string(again.Data) != "mutable" {
+		t.Fatal("get returned aliased buffer")
+	}
+}
+
+func TestLocalStoreCollectAbsorb(t *testing.T) {
+	s := NewLocalStore()
+	for i := 0; i < 10; i++ {
+		s.Put(core.ID(i), fmt.Sprintf("q%d", i), core.Value{Data: []byte{byte(i)}, TS: core.TS(1)}, PutOverwrite)
+	}
+	even := func(id core.ID) bool { return id%2 == 0 }
+	items := s.CollectIf(even, true)
+	if len(items) != 5 {
+		t.Fatalf("collected %d items", len(items))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("store kept %d items", s.Len())
+	}
+	dst := NewLocalStore()
+	dst.Absorb(items)
+	if dst.Len() != 5 {
+		t.Fatalf("absorbed %d items", dst.Len())
+	}
+	// Absorb must not go back in time: a newer local value survives.
+	dst.Put(0, "q0", core.Value{Data: []byte("new"), TS: core.TS(9)}, PutOverwrite)
+	dst.Absorb(items)
+	if got, _ := dst.Get(0, "q0"); string(got.Data) != "new" {
+		t.Fatalf("absorb regressed value to %q", got.Data)
+	}
+	// Collect without removal keeps originals.
+	kept := s.CollectIf(func(core.ID) bool { return true }, false)
+	if len(kept) != 5 || s.Len() != 5 {
+		t.Fatal("non-removing collect must not mutate")
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+// Property: a store behaves like a map keyed by (rid, qual) under
+// overwrite puts.
+func TestLocalStoreMapModel(t *testing.T) {
+	f := func(ops []struct {
+		Rid  uint8
+		Qual uint8
+		TS   uint8
+	}) bool {
+		s := NewLocalStore()
+		model := map[string]core.Timestamp{}
+		for _, op := range ops {
+			rid := core.ID(op.Rid % 8)
+			qual := fmt.Sprintf("q%d", op.Qual%4)
+			ts := core.TS(uint64(op.TS))
+			s.Put(rid, qual, core.Value{TS: ts}, PutOverwrite)
+			model[fmt.Sprintf("%d|%s", rid, qual)] = ts
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for k, ts := range model {
+			var rid core.ID
+			var q string
+			fmt.Sscanf(k, "%d|%s", &rid, &q)
+			got, ok := s.Get(rid, q)
+			if !ok || got.TS != ts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQualifierDistinct(t *testing.T) {
+	a := Qualifier("ums", "k", "h0")
+	b := Qualifier("brk", "k", "h0")
+	c := Qualifier("ums", "k", "h1")
+	d := Qualifier("ums", "k2", "h0")
+	seen := map[string]bool{a: true}
+	for _, q := range []string{b, c, d} {
+		if seen[q] {
+			t.Fatalf("qualifier collision: %q", q)
+		}
+		seen[q] = true
+	}
+}
+
+func TestRegisterStoreOwnershipGuard(t *testing.T) {
+	k := simnet.New(1)
+	net := simwire.New(k, simwire.Config{})
+	ep := net.NewEndpoint("a")
+	caller := net.NewEndpoint("b")
+	store := NewLocalStore()
+	owns := func(id core.ID) bool { return id < 100 }
+	RegisterStore(ep, store, owns)
+
+	var putErr, getErr, okErr error
+	k.Go(func() {
+		_, putErr = caller.Invoke("a", MethodPut,
+			PutReq{RingID: 500, Qual: "q", Val: core.Value{TS: core.TS(1)}}, network.Call{})
+		_, getErr = caller.Invoke("a", MethodGet, GetReq{RingID: 500, Qual: "q"}, network.Call{})
+		_, okErr = caller.Invoke("a", MethodPut,
+			PutReq{RingID: 50, Qual: "q", Val: core.Value{TS: core.TS(1)}}, network.Call{})
+	})
+	k.RunUntilIdle()
+	if !errors.Is(putErr, core.ErrNotResponsible) {
+		t.Fatalf("put to non-owner: %v", putErr)
+	}
+	if !errors.Is(getErr, core.ErrNotResponsible) {
+		t.Fatalf("get to non-owner: %v", getErr)
+	}
+	if okErr != nil {
+		t.Fatalf("owned put failed: %v", okErr)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d items", store.Len())
+	}
+	// Missing key at an owned position is NotFound, not NotResponsible.
+	var missErr error
+	k.Go(func() {
+		_, missErr = caller.Invoke("a", MethodGet, GetReq{RingID: 60, Qual: "nope"}, network.Call{})
+	})
+	k.RunUntilIdle()
+	if !errors.Is(missErr, core.ErrNotFound) || errors.Is(missErr, core.ErrNotResponsible) {
+		t.Fatalf("missing key: %v", missErr)
+	}
+}
+
+func TestNodeRefBasics(t *testing.T) {
+	var zero NodeRef
+	if !zero.IsZero() {
+		t.Fatal("zero ref must report IsZero")
+	}
+	r := NodeRef{ID: 0xabc, Addr: "host:1"}
+	if r.IsZero() {
+		t.Fatal("non-zero ref misreported")
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}

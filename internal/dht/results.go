@@ -1,0 +1,37 @@
+package dht
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// OpResult reports one insert or retrieve operation with the metrics the
+// evaluation tracks: response time, communication cost (messages/bytes)
+// and, for retrieves, how many replicas were probed before a current one
+// was found — the paper's nums (§3.3).
+type OpResult struct {
+	// Data is the returned replica (retrieves only).
+	Data []byte
+	// TS is the timestamp/version attached to the operation's replica.
+	TS core.Timestamp
+	// Current reports whether the returned replica was provably current
+	// (carried the last generated timestamp). BRK can never prove
+	// currency; it reports Current when all replicas agreed on a single
+	// maximum version.
+	Current bool
+	// Probed counts geth calls issued (the paper's nums for UMS; always
+	// |Hr| for BRK).
+	Probed int
+	// Retrieved counts replicas actually obtained (available peers).
+	Retrieved int
+	// Stored counts replicas written (inserts only).
+	Stored int
+	// Msgs and Bytes are the operation's total communication cost,
+	// including work the responsible of timestamping performed on the
+	// caller's behalf.
+	Msgs  int
+	Bytes int
+	// Elapsed is the operation's response time.
+	Elapsed time.Duration
+}

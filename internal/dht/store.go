@@ -1,0 +1,138 @@
+package dht
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// LocalStore is the replica store a peer hosts: (ring position,
+// qualifier) → stamped value. Both DHT substrates embed one and move its
+// contents during responsibility handovers. A peer that crashes simply
+// discards its store, which is what makes replicas unavailable and
+// drives the paper's probability of currency and availability below 1.
+type LocalStore struct {
+	mu    sync.Mutex
+	items map[core.ID]map[string]core.Value
+}
+
+// NewLocalStore returns an empty store.
+func NewLocalStore() *LocalStore {
+	return &LocalStore{items: make(map[core.ID]map[string]core.Value)}
+}
+
+// Put stores val under (rid, qual) subject to mode. It reports whether
+// the value was stored.
+func (s *LocalStore) Put(rid core.ID, qual string, val core.Value, mode PutMode) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.items[rid]
+	if m == nil {
+		m = make(map[string]core.Value)
+		s.items[rid] = m
+	}
+	old, exists := m[qual]
+	switch mode {
+	case PutIfNewer:
+		if exists && !old.TS.Less(val.TS) {
+			return false
+		}
+	case PutIfNewerOrEqual:
+		if exists && val.TS.Less(old.TS) {
+			return false
+		}
+	}
+	m[qual] = val.Clone()
+	return true
+}
+
+// Get returns the value stored under (rid, qual).
+func (s *LocalStore) Get(rid core.ID, qual string) (core.Value, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.items[rid]
+	if !ok {
+		return core.Value{}, false
+	}
+	v, ok := m[qual]
+	if !ok {
+		return core.Value{}, false
+	}
+	return v.Clone(), true
+}
+
+// CollectIf returns every item whose ring position satisfies pred,
+// removing them when remove is set. Handover paths use it: a Chord node
+// collects the arc it is ceding; a CAN node collects a zone.
+func (s *LocalStore) CollectIf(pred func(core.ID) bool, remove bool) []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Item
+	for rid, m := range s.items {
+		if !pred(rid) {
+			continue
+		}
+		for qual, val := range m {
+			out = append(out, Item{RingID: rid, Qual: qual, Val: val.Clone()})
+		}
+		if remove {
+			delete(s.items, rid)
+		}
+	}
+	return out
+}
+
+// Absorb installs items collected elsewhere, keeping the newer value on
+// qualifier collisions (a replica must never travel backwards in time).
+func (s *LocalStore) Absorb(items []Item) {
+	for _, it := range items {
+		s.Put(it.RingID, it.Qual, it.Val, PutIfNewer)
+	}
+}
+
+// Len returns the number of stored replicas.
+func (s *LocalStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.items {
+		n += len(m)
+	}
+	return n
+}
+
+// Clear discards everything (crash semantics).
+func (s *LocalStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[core.ID]map[string]core.Value)
+}
+
+// RegisterStore wires the put/get protocol for store onto ep. owns guards
+// against stale lookups: a peer only accepts operations for positions it
+// is currently responsible for, returning ErrNotResponsible otherwise so
+// callers re-resolve (the DHT's mapping function m(k, h, t) changes over
+// time, §2.1).
+func RegisterStore(ep network.Endpoint, store *LocalStore, owns func(core.ID) bool) {
+	ep.Handle(MethodPut, func(_ network.Addr, req network.Message) (network.Message, error) {
+		r := req.(PutReq)
+		if owns != nil && !owns(r.RingID) {
+			return nil, fmt.Errorf("dht: put %s: %w", r.RingID, core.ErrNotResponsible)
+		}
+		stored := store.Put(r.RingID, r.Qual, r.Val, r.Mode)
+		return PutResp{Stored: stored}, nil
+	})
+	ep.Handle(MethodGet, func(_ network.Addr, req network.Message) (network.Message, error) {
+		r := req.(GetReq)
+		if owns != nil && !owns(r.RingID) {
+			return nil, fmt.Errorf("dht: get %s: %w", r.RingID, core.ErrNotResponsible)
+		}
+		v, ok := store.Get(r.RingID, r.Qual)
+		if !ok {
+			return nil, fmt.Errorf("dht: get %s %q: %w", r.RingID, r.Qual, core.ErrNotFound)
+		}
+		return GetResp{Val: v}, nil
+	})
+}

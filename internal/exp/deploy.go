@@ -1,0 +1,219 @@
+// Package exp is the evaluation harness: it builds simulated deployments
+// (Chord + KTS + UMS + BRK per peer), drives the paper's Table 1
+// workload — Poisson churn with join-per-departure, Poisson per-key
+// updates, queries at uniformly random times — and regenerates every
+// figure of §5 as a table of series.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/brk"
+	"repro/internal/chord"
+	"repro/internal/hashing"
+	"repro/internal/kts"
+	"repro/internal/network/simwire"
+	"repro/internal/simnet"
+	"repro/internal/ums"
+)
+
+// Algorithm names one of the three compared protocols.
+type Algorithm string
+
+// The paper's three contenders (§5.1).
+const (
+	AlgBRK         Algorithm = "BRK"
+	AlgUMSIndirect Algorithm = "UMS-Indirect"
+	AlgUMSDirect   Algorithm = "UMS-Direct"
+)
+
+// Algorithms lists the contenders in the paper's plotting order.
+var Algorithms = []Algorithm{AlgBRK, AlgUMSIndirect, AlgUMSDirect}
+
+// Peer bundles one simulated peer's substrate and services.
+type Peer struct {
+	Name string
+	EP   *simwire.Endpoint
+	Node *chord.Node
+	KTS  *kts.Service
+	UMS  *ums.Service
+	BRK  *brk.Service
+}
+
+// Alive reports whether the peer is still part of the overlay.
+func (p *Peer) Alive() bool { return p.Node.Alive() }
+
+// DeployConfig parameterises a simulated deployment.
+type DeployConfig struct {
+	Peers    int
+	Replicas int // |Hr|
+	Seed     int64
+	Net      simwire.Config
+	Chord    chord.Config
+	KTSMode  kts.InitMode
+	// GraceDelay for the indirect algorithm; zero uses the KTS default.
+	GraceDelay time.Duration
+	// InspectEvery enables KTS periodic inspection.
+	InspectEvery time.Duration
+	// KTSTimeout bounds gen_ts/last_ts round trips. A timestamp request
+	// can legitimately take many ring RPCs of server-side work (indirect
+	// initialization), so it needs far more patience than one protocol
+	// probe; zero derives 15x the Chord RPC timeout.
+	KTSTimeout time.Duration
+	// RLU enables the Responsibility-Loss-Unaware KTS fallback of §4.3
+	// (drop the counter after every generated timestamp) — an ablation.
+	RLU bool
+	// PaperDataModel disables replica handoff on responsibility changes,
+	// matching the paper's DHT model (§2): a replica whose responsible
+	// departs is unavailable until the next update re-inserts it. This
+	// is what makes the probability of currency and availability decay
+	// between updates — the dynamic behind Figures 7–12. KTS counters
+	// still move (the direct algorithm is about counters, §4.2.1).
+	PaperDataModel bool
+}
+
+func (c DeployConfig) ktsTimeout() time.Duration {
+	if c.KTSTimeout != 0 {
+		return c.KTSTimeout
+	}
+	if c.Chord.RPCTimeout != 0 {
+		return 15 * c.Chord.RPCTimeout
+	}
+	return 30 * time.Second
+}
+
+// Deployment is a running simulated network of peers.
+type Deployment struct {
+	Cfg   DeployConfig
+	K     *simnet.Kernel
+	Net   *simwire.Network
+	Set   hashing.Set
+	Peers []*Peer // all peers ever created; filter with Alive
+
+	nextName int
+}
+
+// NewDeployment builds cfg.Peers peers, assembles the ring
+// administratively and starts maintenance. The churn process later
+// exercises the protocol join/leave/fail paths.
+func NewDeployment(cfg DeployConfig) *Deployment {
+	k := simnet.New(cfg.Seed)
+	cfg.Chord.NoDataHandoff = cfg.PaperDataModel
+	d := &Deployment{
+		Cfg: cfg,
+		K:   k,
+		Net: simwire.New(k, cfg.Net),
+		Set: hashing.NewSet(cfg.Replicas),
+	}
+	nodes := make([]*chord.Node, 0, cfg.Peers)
+	for i := 0; i < cfg.Peers; i++ {
+		p := d.newPeer()
+		d.Peers = append(d.Peers, p)
+		nodes = append(nodes, p.Node)
+	}
+	chord.AssembleRing(nodes)
+	for _, p := range d.Peers {
+		p.Node.Start()
+	}
+	return d
+}
+
+// newPeer creates a peer with all services attached (not joined).
+func (d *Deployment) newPeer() *Peer {
+	name := fmt.Sprintf("peer%d", d.nextName)
+	d.nextName++
+	ep := d.Net.NewEndpoint(name)
+	node := chord.New(d.Net.Env(), ep, hashing.NodeID(name), d.Cfg.Chord)
+	ktsSvc := kts.New(node, d.Set, ums.Namespace, kts.Config{
+		Mode:         d.Cfg.KTSMode,
+		GraceDelay:   d.Cfg.GraceDelay,
+		InspectEvery: d.Cfg.InspectEvery,
+		RPCTimeout:   d.Cfg.ktsTimeout(),
+		RLU:          d.Cfg.RLU,
+	})
+	return &Peer{
+		Name: name,
+		EP:   ep,
+		Node: node,
+		KTS:  ktsSvc,
+		UMS:  ums.New(node, d.Set, ktsSvc),
+		BRK:  brk.New(node, d.Set),
+	}
+}
+
+// RandomLivePeer picks a live peer uniformly using the given stream.
+func (d *Deployment) RandomLivePeer(rng interface{ Intn(int) int }) *Peer {
+	live := d.LivePeers()
+	if len(live) == 0 {
+		return nil
+	}
+	return live[rng.Intn(len(live))]
+}
+
+// LivePeers returns the currently live peers.
+func (d *Deployment) LivePeers() []*Peer {
+	out := make([]*Peer, 0, len(d.Peers))
+	for _, p := range d.Peers {
+		if p.Alive() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Depart removes a peer: gracefully (Leave, with key and counter
+// handoff) or by failure (Crash, state lost). Must run inside a kernel
+// process.
+func (d *Deployment) Depart(p *Peer, fail bool) {
+	if fail {
+		p.Node.Crash()
+		d.Net.Kill(p.EP.Addr())
+		return
+	}
+	p.Node.Leave()
+	d.Net.Kill(p.EP.Addr())
+}
+
+// SpawnJoin creates a fresh peer and joins it through a live bootstrap,
+// keeping the population constant after departures (as in the paper's
+// churn model). Under heavy churn a join can catch a dying bootstrap, so
+// a couple of fresh bootstraps are tried before giving up. Must run
+// inside a kernel process. Returns nil if every attempt fails.
+func (d *Deployment) SpawnJoin(rng interface{ Intn(int) int }) *Peer {
+	for attempt := 0; attempt < 3; attempt++ {
+		boot := d.RandomLivePeer(rng)
+		if boot == nil {
+			return nil
+		}
+		p := d.newPeer()
+		if err := p.Node.Join(boot.Node.Self().Addr); err != nil {
+			p.Node.Crash()
+			d.Net.Kill(p.EP.Addr())
+			continue
+		}
+		p.Node.Start()
+		d.Peers = append(d.Peers, p)
+		return p
+	}
+	return nil
+}
+
+// Do runs fn as a simulation process and drives the kernel until it
+// completes. Intended for setup and synchronous test operations.
+func (d *Deployment) Do(fn func()) bool {
+	done := false
+	d.K.Go(func() {
+		fn()
+		done = true
+	})
+	for i := 0; i < 100000 && !done; i++ {
+		d.K.Run(d.K.Now() + time.Second)
+	}
+	return done
+}
+
+// RunFor advances simulated time by dt.
+func (d *Deployment) RunFor(dt time.Duration) {
+	d.K.Run(d.K.Now() + dt)
+}

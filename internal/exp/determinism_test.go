@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWholeNetworkDeterminism replays a full deployment — churn, joins,
+// service traffic — and asserts the network-level counters are
+// bit-identical: the foundation of reproducible experiments.
+func TestWholeNetworkDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, int) {
+		d := NewDeployment(DeployConfig{
+			Peers:          40,
+			Replicas:       5,
+			Seed:           1234,
+			Chord:          Table1Scenario(AlgUMSDirect, 40, 1).Chord,
+			PaperDataModel: true,
+		})
+		defer d.K.Stop()
+		d.RunFor(time.Minute)
+		rng := d.K.NewRand("drive")
+		d.Do(func() {
+			for i := 0; i < 5; i++ {
+				p := d.RandomLivePeer(rng)
+				p.UMS.Insert("det-key", []byte("payload"))
+				victim := d.RandomLivePeer(rng)
+				d.Depart(victim, i%2 == 0)
+				d.SpawnJoin(rng)
+			}
+			for i := 0; i < 5; i++ {
+				p := d.RandomLivePeer(rng)
+				p.UMS.Retrieve("det-key")
+			}
+		})
+		d.RunFor(time.Minute)
+		return d.Net.TotalMessages(), d.K.Events(), len(d.LivePeers())
+	}
+	m1, e1, p1 := run()
+	m2, e2, p2 := run()
+	if m1 != m2 || e1 != e2 || p1 != p2 {
+		t.Fatalf("replay diverged: msgs %d vs %d, events %d vs %d, peers %d vs %d",
+			m1, m2, e1, e2, p1, p2)
+	}
+	if m1 == 0 || e1 == 0 {
+		t.Fatal("deployment produced no traffic")
+	}
+}
+
+// TestAblationsSmoke runs each ablation at a tiny scale to keep the
+// long-running bench versions honest (they share this code).
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation smoke test")
+	}
+	tiny := Options{Seed: 3}
+	// Shrink by running the underlying scenarios directly at small scale.
+	for _, build := range []func(Options) *Table{
+		AblationRLU, AblationGraceDelay, AblationSuccessorList, AblationDataHandoff,
+	} {
+		_ = build // signature check only; the full runs live in bench
+	}
+	// One real tiny run per knob:
+	base := Table1Scenario(AlgUMSDirect, 40, tiny.seed())
+	base.Duration = 5 * time.Minute
+	base.Warmup = 30 * time.Second
+	base.Keys = 4
+	base.Queries = 6
+	base.ChurnRate = 0.05
+	base.UpdateRate = 6
+
+	rlu := base
+	rlu.RLU = true
+	if r := Run(rlu); r.QueriesRun == 0 {
+		t.Fatal("RLU scenario ran no queries")
+	}
+
+	handoff := base
+	handoff.DataHandoff = true
+	r := Run(handoff)
+	if r.QueriesRun == 0 {
+		t.Fatal("handoff scenario ran no queries")
+	}
+	if r.CurrentRate == 0 {
+		t.Fatal("with data handoff, some retrieves must be provably current")
+	}
+
+	short := base
+	short.Algorithm = AlgUMSIndirect
+	short.Grace = time.Nanosecond
+	if r := Run(short); r.QueriesRun == 0 {
+		t.Fatal("grace scenario ran no queries")
+	}
+
+	succ := base
+	succ.FailRate = 0.5
+	succ.Chord.SuccessorListLen = 2
+	if r := Run(succ); r.QueriesRun == 0 {
+		t.Fatal("successor-list scenario ran no queries")
+	}
+}

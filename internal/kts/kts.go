@@ -1,0 +1,634 @@
+// Package kts implements the paper's Key-based Timestamping Service
+// (§4): distributed generation of monotonically increasing per-key
+// timestamps using local counters at the peer responsible for
+// rsp(k, hts).
+//
+// Monotonicity rests on counter initialization across responsibility
+// changes:
+//
+//   - direct algorithm (§4.2.1): on graceful handoffs the substrate moves
+//     the counters to the next responsible in O(1) messages (the service
+//     registers a dht.Handover);
+//   - indirect algorithm (§4.2.2): after failures — or always, in
+//     ModeIndirect — the new responsible reconstructs the counter by
+//     reading the replicas stored in the DHT and taking max(ts)+1, after
+//     a grace delay that lets in-flight timestamps commit;
+//   - recovery (§4.2.2): a restarted responsible ships its counters to
+//     the current responsible, which corrects upward;
+//   - periodic inspection (§4.2.2): the responsible re-reads replicas and
+//     raises counters that initialization under-estimated.
+package kts
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/hashing"
+	"repro/internal/network"
+)
+
+// InitMode selects the counter initialization strategy — the UMS-Direct /
+// UMS-Indirect axis of §5.
+type InitMode int
+
+const (
+	// ModeDirect transfers counters on graceful handoffs and falls back
+	// to the indirect algorithm when a counter never arrived (fail case,
+	// or a brand-new key).
+	ModeDirect InitMode = iota
+	// ModeIndirect never transfers counters: every responsibility change
+	// re-initializes from the replicas in the DHT.
+	ModeIndirect
+)
+
+func (m InitMode) String() string {
+	if m == ModeIndirect {
+		return "indirect"
+	}
+	return "direct"
+}
+
+// Config tunes the service.
+type Config struct {
+	// Mode is the initialization strategy.
+	Mode InitMode
+	// GraceDelay is how long the indirect algorithm waits before reading
+	// replicas, so timestamps granted by the previous responsible can be
+	// committed (§4.2.2 "it waits a while"). Default 500ms.
+	GraceDelay time.Duration
+	// InspectEvery enables periodic inspection with the given period;
+	// zero disables it.
+	InspectEvery time.Duration
+	// InspectPerRound caps how many counters one inspection round
+	// re-reads. Default 4.
+	InspectPerRound int
+	// RLU enables the Responsibility-Loss-Unaware fallback of §4.3: the
+	// counter is discarded after every generated timestamp, so every
+	// gen_ts pays an initialization. Only for DHTs that cannot detect
+	// responsibility loss; Chord and CAN are RLA, so this exists as an
+	// ablation.
+	RLU bool
+	// RPCTimeout bounds service RPCs; zero uses the transport default.
+	RPCTimeout time.Duration
+	// LookupRetries is how often gen_ts/last_ts re-resolve the
+	// responsible when it moved or died mid-call. Default 3.
+	LookupRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.GraceDelay == 0 {
+		c.GraceDelay = 500 * time.Millisecond
+	}
+	if c.InspectPerRound == 0 {
+		c.InspectPerRound = 4
+	}
+	if c.LookupRetries == 0 {
+		c.LookupRetries = 3
+	}
+	return c
+}
+
+// Service methods registered on the endpoint.
+const (
+	MethodGenTS   = "kts.GenTS"
+	MethodLastTS  = "kts.LastTS"
+	MethodRecover = "kts.Recover"
+)
+
+// GenTSReq asks the responsible of timestamping for a new timestamp —
+// the TSR message of §4.1.1.
+type GenTSReq struct{ Key core.Key }
+
+// GenTSResp carries the generated timestamp plus the communication cost
+// the responsible spent on the caller's behalf (indirect initialization).
+type GenTSResp struct {
+	TS   core.Timestamp
+	Cost network.Meter
+}
+
+// LastTSReq asks for the last timestamp generated for a key.
+type LastTSReq struct{ Key core.Key }
+
+// LastTSResp carries the last timestamp (zero when the key has never
+// been stamped) and the server-side cost.
+type LastTSResp struct {
+	TS   core.Timestamp
+	Cost network.Meter
+}
+
+// CounterEntry is one (key, counter) pair moved by handover or recovery.
+type CounterEntry struct {
+	Key core.Key
+	TS  core.Timestamp
+}
+
+// CounterBatch is the handover payload of the direct algorithm.
+type CounterBatch struct{ Entries []CounterEntry }
+
+// WireSize charges the batch against the bandwidth model.
+func (b CounterBatch) WireSize() int {
+	n := network.DefaultWireSize
+	for _, e := range b.Entries {
+		n += 24 + len(e.Key)
+	}
+	return n
+}
+
+// RecoverReq is the recovery strategy's message: a restarted former
+// responsible ships the counters it held before failing.
+type RecoverReq struct{ Entries []CounterEntry }
+
+// RecoverResp reports how many counters the receiver corrected.
+type RecoverResp struct{ Corrected int }
+
+func init() {
+	network.RegisterMessage(
+		GenTSReq{}, GenTSResp{}, LastTSReq{}, LastTSResp{},
+		CounterBatch{}, RecoverReq{}, RecoverResp{},
+	)
+}
+
+// RepairFunc is invoked when recovery or inspection raises a counter:
+// UMS registers one to re-stamp the data stored under the stale
+// timestamp (§4.2.2's "reinserts the data ... with the correct value").
+type RepairFunc func(k core.Key, oldTS, newTS core.Timestamp)
+
+// Service is the per-peer KTS instance.
+type Service struct {
+	ring   dht.Ring
+	set    hashing.Set
+	client *dht.Client // reads the replica namespace for indirect init
+	cfg    Config
+
+	// mu guards vcs and the statistics (required on the TCP transport;
+	// under simulation execution is already serialized).
+	mu  sync.Mutex
+	vcs *VCS
+
+	onRepair RepairFunc
+
+	// statistics
+	generated      uint64
+	indirectInits  uint64
+	directArrivals uint64
+}
+
+// New attaches a KTS service to a peer. replicaNS names the namespace in
+// which UMS stores stamped replicas (indirect initialization reads it).
+// If the ring supports handovers the service registers itself so
+// counters travel with responsibility (the direct algorithm).
+func New(ring dht.Ring, set hashing.Set, replicaNS string, cfg Config) *Service {
+	s := &Service{
+		ring:   ring,
+		set:    set,
+		client: dht.NewClient(ring, replicaNS),
+		cfg:    cfg.withDefaults(),
+		vcs:    NewVCS(),
+	}
+	s.registerHandlers()
+	if r, ok := ring.(dht.HandoverRegistrar); ok {
+		r.RegisterHandover(s)
+	}
+	if s.cfg.InspectEvery > 0 {
+		s.startInspection()
+	}
+	return s
+}
+
+// SetRepair installs the repair callback (UMS wires itself in).
+func (s *Service) SetRepair(fn RepairFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onRepair = fn
+}
+
+// VCSLen reports the number of valid counters held (tests, stats).
+func (s *Service) VCSLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vcs.Len()
+}
+
+// Stats reports service counters.
+func (s *Service) Stats() (generated, indirectInits, directArrivals uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generated, s.indirectInits, s.directArrivals
+}
+
+// ---- client-side operations -------------------------------------------
+
+// GenTS generates the next timestamp for k: it locates rsp(k, hts) and
+// sends it a timestamp request. This is the paper's KTS.gen_ts(k).
+func (s *Service) GenTS(k core.Key, meter *network.Meter) (core.Timestamp, error) {
+	resp, err := s.callResponsible(MethodGenTS, GenTSReq{Key: k}, k, meter)
+	if err != nil {
+		return core.TSZero, fmt.Errorf("kts: gen_ts(%q): %w", k, err)
+	}
+	r := resp.(GenTSResp)
+	meter.Merge(r.Cost)
+	return r.TS, nil
+}
+
+// LastTS returns the last timestamp generated for k (zero when none) —
+// the paper's KTS.last_ts(k).
+func (s *Service) LastTS(k core.Key, meter *network.Meter) (core.Timestamp, error) {
+	resp, err := s.callResponsible(MethodLastTS, LastTSReq{Key: k}, k, meter)
+	if err != nil {
+		return core.TSZero, fmt.Errorf("kts: last_ts(%q): %w", k, err)
+	}
+	r := resp.(LastTSResp)
+	meter.Merge(r.Cost)
+	return r.TS, nil
+}
+
+// callResponsible resolves rsp(k, hts) and invokes a method on it,
+// re-resolving when responsibility moved or the peer died mid-call.
+func (s *Service) callResponsible(method string, req network.Message, k core.Key, meter *network.Meter) (network.Message, error) {
+	id := s.set.HTS.ID(k)
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.LookupRetries; attempt++ {
+		ref, _, err := s.ring.Lookup(id, meter)
+		if err != nil {
+			return nil, err
+		}
+		var resp network.Message
+		if ref.Addr == s.ring.Self().Addr {
+			// We are the responsible: serve locally, free of charge.
+			resp, err = s.serveLocal(method, req)
+		} else {
+			resp, err = s.ring.Endpoint().Invoke(ref.Addr, method, req, network.Call{
+				Timeout: s.cfg.RPCTimeout,
+				Meter:   meter,
+			})
+		}
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, core.ErrNotResponsible) && !errors.Is(err, core.ErrTimeout) &&
+			!errors.Is(err, core.ErrUnreachable) {
+			return nil, err
+		}
+		// The responsible moved or died: give the ring a beat to
+		// converge before re-resolving.
+		if serr := s.ring.Env().Sleep(200 * time.Millisecond); serr != nil {
+			return nil, serr
+		}
+	}
+	return nil, lastErr
+}
+
+func (s *Service) serveLocal(method string, req network.Message) (network.Message, error) {
+	switch method {
+	case MethodGenTS:
+		return s.handleGenTS(req.(GenTSReq))
+	case MethodLastTS:
+		return s.handleLastTS(req.(LastTSReq))
+	default:
+		return nil, fmt.Errorf("kts: unknown local method %q", method)
+	}
+}
+
+// ---- server-side handlers ----------------------------------------------
+
+func (s *Service) registerHandlers() {
+	ep := s.ring.Endpoint()
+	ep.Handle(MethodGenTS, func(_ network.Addr, req network.Message) (network.Message, error) {
+		return s.handleGenTS(req.(GenTSReq))
+	})
+	ep.Handle(MethodLastTS, func(_ network.Addr, req network.Message) (network.Message, error) {
+		return s.handleLastTS(req.(LastTSReq))
+	})
+	ep.Handle(MethodRecover, func(_ network.Addr, req network.Message) (network.Message, error) {
+		return s.handleRecover(req.(RecoverReq)), nil
+	})
+}
+
+// handleGenTS implements Figure 4: ensure the counter exists (initialize
+// if not), increment, return.
+func (s *Service) handleGenTS(req GenTSReq) (network.Message, error) {
+	k := req.Key
+	if err := s.checkResponsible(k); err != nil {
+		return nil, err
+	}
+	var cost network.Meter
+	c, err := s.ensureCounter(k, &cost)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	// Re-read under the lock: a concurrent gen_ts or an arriving direct
+	// handover may have advanced the counter while we initialized.
+	if cur, ok := s.vcs.Get(k); ok && c.Less(cur) {
+		c = cur
+	}
+	next := c.Next()
+	s.vcs.Put(k, next)
+	s.generated++
+	if s.cfg.RLU {
+		// RLU strategy (§4.3): assume responsibility is lost after every
+		// generation, so remove the counter (the next gen_ts must
+		// re-initialize).
+		s.vcs.Delete(k)
+	}
+	s.mu.Unlock()
+	return GenTSResp{TS: next, Cost: cost}, nil
+}
+
+// handleLastTS implements last_ts: like gen_ts but without incrementing.
+func (s *Service) handleLastTS(req LastTSReq) (network.Message, error) {
+	k := req.Key
+	if err := s.checkResponsible(k); err != nil {
+		return nil, err
+	}
+	var cost network.Meter
+	c, err := s.ensureCounter(k, &cost)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if cur, ok := s.vcs.Get(k); ok && c.Less(cur) {
+		c = cur
+	}
+	s.mu.Unlock()
+	return LastTSResp{TS: c, Cost: cost}, nil
+}
+
+// handleRecover implements the recovery strategy: correct counters upward
+// from a restarted responsible's snapshot and trigger repairs for data
+// stamped with under-estimated counters.
+func (s *Service) handleRecover(req RecoverReq) RecoverResp {
+	corrected := 0
+	type repairJob struct {
+		key          core.Key
+		oldTS, newTS core.Timestamp
+	}
+	var repairs []repairJob
+	s.mu.Lock()
+	repair := s.onRepair
+	for _, e := range req.Entries {
+		cur, ok := s.vcs.Get(e.Key)
+		if !ok {
+			// We have not touched this key yet; adopt the snapshot.
+			s.vcs.Put(e.Key, e.TS)
+			corrected++
+			continue
+		}
+		if cur.Less(e.TS) {
+			// We initialized too low and may have issued duplicate-range
+			// timestamps; jump past the snapshot and repair stored data.
+			fixed := e.TS.Max(cur.Add(1))
+			s.vcs.Put(e.Key, fixed)
+			repairs = append(repairs, repairJob{key: e.Key, oldTS: cur, newTS: fixed})
+			corrected++
+		}
+	}
+	s.mu.Unlock()
+	if repair != nil {
+		for _, r := range repairs {
+			repair(r.key, r.oldTS, r.newTS)
+		}
+	}
+	return RecoverResp{Corrected: corrected}
+}
+
+// checkResponsible rejects requests for keys whose hts position this
+// peer does not own (a stale lookup routed here).
+func (s *Service) checkResponsible(k core.Key) error {
+	if !s.ring.Alive() {
+		return core.ErrStopped
+	}
+	if !s.ring.OwnsID(s.set.HTS.ID(k)) {
+		return fmt.Errorf("kts: %s does not own hts(%q): %w", s.ring.Self().ID, k, core.ErrNotResponsible)
+	}
+	return nil
+}
+
+// ensureCounter returns the counter for k, initializing it if absent.
+// Initialization is the indirect algorithm (Figure 5); in ModeDirect it
+// only runs when no transferred counter arrived (failure of the previous
+// responsible, or a brand-new key — indistinguishable cases).
+func (s *Service) ensureCounter(k core.Key, cost *network.Meter) (core.Timestamp, error) {
+	s.mu.Lock()
+	if ts, ok := s.vcs.Get(k); ok {
+		s.mu.Unlock()
+		return ts, nil
+	}
+	s.mu.Unlock()
+
+	init, err := s.indirectInit(k, cost)
+	if err != nil {
+		return core.TSZero, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.vcs.Get(k); ok {
+		// Lost a race with a concurrent initialization or an arriving
+		// handover; keep the larger value.
+		init = init.Max(cur)
+	}
+	s.vcs.Put(k, init)
+	s.indirectInits++
+	return init, nil
+}
+
+// indirectInit is Figure 5: wait the grace delay, read the replica
+// stored at rsp(k, h) for every h ∈ Hr, and return max(ts)+1 — or zero
+// when no replica exists anywhere (a never-stamped key).
+//
+// The |Hr| reads are issued concurrently: the paper prices the algorithm
+// in messages (O(|Hr|·cret), unchanged here) and reports only a slight
+// response-time impact of the replication factor on UMS-Indirect
+// (Figure 9), which matches concurrent reads, not a sequential walk.
+func (s *Service) indirectInit(k core.Key, cost *network.Meter) (core.Timestamp, error) {
+	env := s.ring.Env()
+	if s.cfg.GraceDelay > 0 {
+		if err := env.Sleep(s.cfg.GraceDelay); err != nil {
+			return core.TSZero, err
+		}
+	}
+	type probe struct {
+		val   core.Value
+		err   error
+		meter network.Meter
+	}
+	results := make([]probe, len(s.set.Hr))
+	var mu sync.Mutex
+	done := 0
+	for i, h := range s.set.Hr {
+		i, h := i, h
+		env.Go(func() {
+			var p probe
+			p.val, p.err = s.client.GetH(k, h, &p.meter)
+			mu.Lock()
+			results[i] = p
+			done++
+			mu.Unlock()
+		})
+	}
+	// Join by polling in environment time (the only blocking primitives
+	// portable across the simulated and real environments).
+	for {
+		mu.Lock()
+		d := done
+		mu.Unlock()
+		if d == len(s.set.Hr) {
+			break
+		}
+		if err := env.Sleep(50 * time.Millisecond); err != nil {
+			return core.TSZero, err
+		}
+	}
+	tsm := core.TSZero
+	found := false
+	for _, p := range results {
+		cost.Merge(p.meter)
+		if p.err != nil {
+			continue // unavailable or missing replica: skip (Figure 5 keeps going)
+		}
+		found = true
+		tsm = tsm.Max(p.val.TS)
+	}
+	if !found {
+		return core.TSZero, nil
+	}
+	return tsm.Next(), nil
+}
+
+// ---- handover (direct algorithm) ---------------------------------------
+
+// Name implements dht.Handover.
+func (s *Service) Name() string { return "kts" }
+
+// Collect implements dht.Handover: remove counters for ceded hts
+// positions (VCS rule 3). In ModeDirect the removed counters are shipped
+// to the next responsible; in ModeIndirect they are simply dropped, so
+// the next responsible re-initializes from replicas.
+func (s *Service) Collect(ceded func(core.ID) bool) network.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var batch CounterBatch
+	var doomed []core.Key
+	s.vcs.Each(func(k core.Key, ts core.Timestamp) bool {
+		if ceded(s.set.HTS.ID(k)) {
+			doomed = append(doomed, k)
+			batch.Entries = append(batch.Entries, CounterEntry{Key: k, TS: ts})
+		}
+		return true
+	})
+	for _, k := range doomed {
+		s.vcs.Delete(k)
+	}
+	if s.cfg.Mode == ModeIndirect || len(batch.Entries) == 0 {
+		return nil
+	}
+	return batch
+}
+
+// Accept implements dht.Handover: install transferred counters,
+// max-merged with anything already present.
+func (s *Service) Accept(msg network.Message) {
+	batch, ok := msg.(CounterBatch)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Mode == ModeIndirect {
+		return
+	}
+	for _, e := range batch.Entries {
+		if cur, ok := s.vcs.Get(e.Key); !ok || cur.Less(e.TS) {
+			s.vcs.Put(e.Key, e.TS)
+		}
+	}
+	s.directArrivals += uint64(len(batch.Entries))
+}
+
+// RecoverTo sends this peer's counters to the current responsible(s) —
+// the recovery strategy run by a restarted peer. Each counter is routed
+// to rsp(k, hts) at call time.
+func (s *Service) RecoverTo() (corrected int, err error) {
+	s.mu.Lock()
+	entries := make([]CounterEntry, 0, s.vcs.Len())
+	s.vcs.Each(func(k core.Key, ts core.Timestamp) bool {
+		entries = append(entries, CounterEntry{Key: k, TS: ts})
+		return true
+	})
+	s.mu.Unlock()
+	for _, e := range entries {
+		resp, cerr := s.callResponsible(MethodRecover, RecoverReq{Entries: []CounterEntry{e}}, e.Key, nil)
+		if cerr != nil {
+			err = cerr
+			continue
+		}
+		corrected += resp.(RecoverResp).Corrected
+	}
+	return corrected, err
+}
+
+// ---- periodic inspection ------------------------------------------------
+
+// startInspection launches the periodic inspection task: each round it
+// re-reads the replicas for a few held counters and corrects counters
+// that are lower than the highest stored timestamp.
+func (s *Service) startInspection() {
+	env := s.ring.Env()
+	rng := env.Rand("kts-inspect:" + string(s.ring.Self().Addr))
+	env.Go(func() {
+		for s.ring.Alive() {
+			if err := env.Sleep(s.cfg.InspectEvery + time.Duration(rng.Int63n(int64(s.cfg.InspectEvery)/4+1))); err != nil {
+				return
+			}
+			if !s.ring.Alive() {
+				return
+			}
+			s.inspectOnce()
+		}
+	})
+}
+
+// inspectOnce checks up to InspectPerRound counters against the DHT.
+func (s *Service) inspectOnce() {
+	s.mu.Lock()
+	keys := s.vcs.Keys()
+	repair := s.onRepair
+	s.mu.Unlock()
+	if len(keys) == 0 {
+		return
+	}
+	limit := s.cfg.InspectPerRound
+	if limit > len(keys) {
+		limit = len(keys)
+	}
+	rng := s.ring.Env().Rand("kts-inspect-pick:" + string(s.ring.Self().Addr))
+	start := rng.Intn(len(keys))
+	for i := 0; i < limit; i++ {
+		k := keys[(start+i)%len(keys)]
+		if !s.ring.OwnsID(s.set.HTS.ID(k)) {
+			continue
+		}
+		highest := core.TSZero
+		for _, h := range s.set.Hr {
+			if val, err := s.client.GetH(k, h, nil); err == nil {
+				highest = highest.Max(val.TS)
+			}
+		}
+		s.mu.Lock()
+		cur, ok := s.vcs.Get(k)
+		corrected := false
+		if ok && cur.Less(highest) {
+			s.vcs.Put(k, highest)
+			corrected = true
+		}
+		s.mu.Unlock()
+		if corrected && repair != nil {
+			repair(k, cur, highest)
+		}
+	}
+}

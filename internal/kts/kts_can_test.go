@@ -1,0 +1,186 @@
+package kts
+
+// The paper argues (§4.2.1.1) that the direct counter-initialization
+// algorithm applies to CAN as well as Chord, because in both DHTs the
+// next responsible for a key is a neighbor of the current responsible.
+// These tests run the same KTS service on the CAN substrate and verify
+// the claim end to end.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/hashing"
+	"repro/internal/network/simwire"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+type canCluster struct {
+	t        *testing.T
+	k        *simnet.Kernel
+	net      *simwire.Network
+	set      hashing.Set
+	nodes    []*can.Node
+	services []*Service
+}
+
+func newCANCluster(t *testing.T, seed int64, n int, cfg Config) *canCluster {
+	k := simnet.New(seed)
+	net := simwire.New(k, simwire.Config{
+		LatencyMS:      stats.Normal{Mean: 5, Variance: 0, Min: 5},
+		BandwidthKbps:  stats.Normal{Mean: 1e6, Variance: 0, Min: 1e6},
+		DefaultTimeout: 250 * time.Millisecond,
+	})
+	c := &canCluster{t: t, k: k, net: net, set: hashing.NewSet(5)}
+	canCfg := can.Config{PingEvery: 500 * time.Millisecond, RPCTimeout: 250 * time.Millisecond}
+	if cfg.GraceDelay == 0 {
+		cfg.GraceDelay = 10 * time.Millisecond
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("canpeer%d", i)
+		ep := net.NewEndpoint(name)
+		nd := can.New(net.Env(), ep, hashing.NodeID(name), canCfg)
+		c.nodes = append(c.nodes, nd)
+		c.services = append(c.services, New(nd, c.set, "ums", cfg))
+	}
+	can.AssembleSpace(c.nodes)
+	for _, nd := range c.nodes {
+		nd.Start()
+	}
+	return c
+}
+
+func (c *canCluster) do(fn func()) {
+	c.t.Helper()
+	done := false
+	c.k.Go(func() {
+		fn()
+		done = true
+	})
+	for i := 0; i < 600 && !done; i++ {
+		c.k.Run(c.k.Now() + 100*time.Millisecond)
+	}
+	if !done {
+		c.t.Fatal("simulated operation did not complete")
+	}
+}
+
+func (c *canCluster) settle(d time.Duration) { c.k.Run(c.k.Now() + d) }
+
+func (c *canCluster) responsibleFor(k core.Key) int {
+	id := c.set.HTS.ID(k)
+	for i, nd := range c.nodes {
+		if nd.Alive() && nd.OwnsID(id) {
+			return i
+		}
+	}
+	c.t.Fatalf("no responsible for %q", k)
+	return -1
+}
+
+func TestGenTSOnCAN(t *testing.T) {
+	c := newCANCluster(t, 1, 12, Config{Mode: ModeDirect})
+	c.settle(time.Second)
+	c.do(func() {
+		for want := uint64(1); want <= 4; want++ {
+			ts, err := c.services[3].GenTS("can-key", nil)
+			if err != nil {
+				t.Errorf("gen_ts: %v", err)
+				return
+			}
+			if ts != core.TS(want) {
+				t.Errorf("gen_ts #%d = %v", want, ts)
+			}
+		}
+		last, err := c.services[7].LastTS("can-key", nil)
+		if err != nil || last != core.TS(4) {
+			t.Errorf("last_ts = %v, %v", last, err)
+		}
+	})
+}
+
+// Direct transfer on CAN: a graceful leave must move the counter to the
+// takeover neighbor, continuing the sequence exactly.
+func TestDirectTransferOnCANLeave(t *testing.T) {
+	c := newCANCluster(t, 2, 12, Config{Mode: ModeDirect})
+	c.settle(time.Second)
+	key := core.Key("can-stable")
+	var before core.Timestamp
+	c.do(func() {
+		for i := 0; i < 3; i++ {
+			ts, err := c.services[0].GenTS(key, nil)
+			if err != nil {
+				t.Errorf("gen: %v", err)
+				return
+			}
+			before = ts
+		}
+	})
+	idx := c.responsibleFor(key)
+	c.do(func() {
+		if err := c.nodes[idx].Leave(); err != nil {
+			t.Errorf("leave: %v", err)
+		}
+	})
+	c.net.Kill(c.nodes[idx].Self().Addr)
+	c.settle(2 * time.Second)
+
+	c.do(func() {
+		ts, err := c.services[c.responsibleFor(key)].GenTS(key, nil)
+		if err != nil {
+			t.Errorf("gen after leave: %v", err)
+			return
+		}
+		if ts != before.Next() {
+			t.Errorf("direct transfer on CAN should continue exactly: got %v after %v", ts, before)
+		}
+	})
+	newIdx := c.responsibleFor(key)
+	_, _, arrivals := c.services[newIdx].Stats()
+	if arrivals == 0 {
+		t.Error("takeover neighbor reports no direct counter arrivals")
+	}
+}
+
+// Indirect recovery on CAN after a crash, using replicas stored in the
+// CAN like UMS would.
+func TestIndirectInitOnCANCrash(t *testing.T) {
+	c := newCANCluster(t, 3, 12, Config{Mode: ModeDirect})
+	c.settle(time.Second)
+	key := core.Key("can-crash")
+	client := dht.NewClient(c.nodes[0], "ums")
+	var last core.Timestamp
+	c.do(func() {
+		for i := 0; i < 3; i++ {
+			ts, err := c.services[0].GenTS(key, nil)
+			if err != nil {
+				t.Errorf("gen: %v", err)
+				return
+			}
+			last = ts
+			for _, h := range c.set.Hr {
+				client.PutH(key, h, core.Value{Data: []byte("v"), TS: ts}, dht.PutIfNewer, nil)
+			}
+		}
+	})
+	idx := c.responsibleFor(key)
+	c.nodes[idx].Crash()
+	c.net.Kill(c.nodes[idx].Self().Addr)
+	c.settle(5 * time.Second) // ping rounds + takeover
+
+	c.do(func() {
+		ts, err := c.services[c.responsibleFor(key)].GenTS(key, nil)
+		if err != nil {
+			t.Errorf("gen after crash: %v", err)
+			return
+		}
+		if !last.Less(ts) {
+			t.Errorf("monotonicity violated on CAN: %v then %v", last, ts)
+		}
+	})
+}

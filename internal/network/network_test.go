@@ -1,0 +1,99 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestErrorCodecRoundTrip(t *testing.T) {
+	cases := []error{
+		fmt.Errorf("wrapped: %w", core.ErrNotFound),
+		fmt.Errorf("wrapped: %w", core.ErrUnreachable),
+		fmt.Errorf("wrapped: %w", core.ErrTimeout),
+		fmt.Errorf("wrapped: %w", core.ErrStopped),
+		fmt.Errorf("wrapped: %w", core.ErrNoCurrentReplica),
+		fmt.Errorf("wrapped: %w", core.ErrNotResponsible),
+	}
+	bases := []error{
+		core.ErrNotFound, core.ErrUnreachable, core.ErrTimeout,
+		core.ErrStopped, core.ErrNoCurrentReplica, core.ErrNotResponsible,
+	}
+	for i, err := range cases {
+		code, msg := EncodeError(err)
+		if code == "" {
+			t.Fatalf("no code for %v", err)
+		}
+		back := DecodeError(code, msg)
+		for j, base := range bases {
+			if errors.Is(back, base) != (i == j) {
+				t.Fatalf("decoded %v matches base %v incorrectly", back, base)
+			}
+		}
+	}
+}
+
+func TestErrorCodecNil(t *testing.T) {
+	if code, msg := EncodeError(nil); code != "" || msg != "" {
+		t.Fatalf("nil error encoded as %q/%q", code, msg)
+	}
+	if err := DecodeError("", ""); err != nil {
+		t.Fatalf("empty code decoded to %v", err)
+	}
+}
+
+func TestErrorCodecOpaque(t *testing.T) {
+	orig := errors.New("something domain-specific")
+	code, msg := EncodeError(orig)
+	back := DecodeError(code, msg)
+	if back == nil || back.Error() != orig.Error() {
+		t.Fatalf("opaque error lost: %v", back)
+	}
+	for _, base := range []error{core.ErrNotFound, core.ErrTimeout} {
+		if errors.Is(back, base) {
+			t.Fatalf("opaque error matches %v", base)
+		}
+	}
+}
+
+func TestMeterCounting(t *testing.T) {
+	var m Meter
+	m.Count(100)
+	m.Count(50)
+	if m.Msgs != 2 || m.Bytes != 150 {
+		t.Fatalf("meter = %+v", m)
+	}
+	m.Merge(Meter{Msgs: 3, Bytes: 10})
+	if m.Msgs != 5 || m.Bytes != 160 {
+		t.Fatalf("after merge = %+v", m)
+	}
+}
+
+func TestNilMeterSafe(t *testing.T) {
+	var m *Meter
+	m.Count(10) // must not panic
+	m.Merge(Meter{Msgs: 1, Bytes: 1})
+}
+
+type sized struct{ n int }
+
+func (s sized) WireSize() int { return s.n }
+
+func TestSizeOf(t *testing.T) {
+	if got := SizeOf(sized{n: 4096}); got != 4096 {
+		t.Fatalf("sized = %d", got)
+	}
+	if got := SizeOf(struct{ X int }{}); got != DefaultWireSize {
+		t.Fatalf("default = %d", got)
+	}
+}
+
+func TestRegisterMessageIdempotent(t *testing.T) {
+	type onceMsg struct{ A int }
+	// Registering the same concrete type twice must not panic (gob
+	// panics on duplicate registration; the wrapper deduplicates).
+	RegisterMessage(onceMsg{})
+	RegisterMessage(onceMsg{})
+}

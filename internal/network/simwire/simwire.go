@@ -1,0 +1,313 @@
+// Package simwire is the simulated transport: it delivers RPCs between
+// endpoints in virtual time on a simnet.Kernel, charging each message the
+// latency and transmission delay of the paper's Table 1 network model
+// (latency ~ N(200 ms, var 100), bandwidth ~ N(56 kbps, var 32)).
+//
+// Peers can be killed, which models the "fail" departure type: a killed
+// endpoint silently drops traffic, so callers observe timeouts exactly as
+// they would with a crashed peer.
+package simwire
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Config parameterises the network model. Zero fields are completed from
+// Table 1 of the paper.
+type Config struct {
+	// LatencyMS is the one-way message latency in milliseconds.
+	LatencyMS stats.Normal
+	// BandwidthKbps is the per-message link bandwidth in kilobits/s.
+	BandwidthKbps stats.Normal
+	// DefaultTimeout bounds Invoke round trips when the call does not
+	// specify one. It is the failure detector's patience.
+	DefaultTimeout time.Duration
+}
+
+// Table1 returns the paper's simulation parameters (Table 1).
+func Table1() Config {
+	return Config{
+		LatencyMS:      stats.Normal{Mean: 200, Variance: 100, Min: 1},
+		BandwidthKbps:  stats.Normal{Mean: 56, Variance: 32, Min: 8},
+		DefaultTimeout: 2 * time.Second,
+	}
+}
+
+// Cluster returns a profile for the 64-node 1 Gbps cluster of §5.1:
+// sub-millisecond latency, effectively unconstrained bandwidth.
+func Cluster() Config {
+	return Config{
+		LatencyMS:      stats.Normal{Mean: 0.3, Variance: 0.01, Min: 0.05},
+		BandwidthKbps:  stats.Normal{Mean: 1e6, Variance: 0, Min: 1e6},
+		DefaultTimeout: 250 * time.Millisecond,
+	}
+}
+
+func (c Config) applyDefaults() Config {
+	t1 := Table1()
+	if c.LatencyMS.Mean == 0 {
+		c.LatencyMS = t1.LatencyMS
+	}
+	if c.BandwidthKbps.Mean == 0 {
+		c.BandwidthKbps = t1.BandwidthKbps
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = t1.DefaultTimeout
+	}
+	return c
+}
+
+// Network owns the set of simulated endpoints and the shared link model.
+type Network struct {
+	k   *simnet.Kernel
+	cfg Config
+
+	mu        sync.Mutex
+	endpoints map[network.Addr]*Endpoint
+	nextAddr  int
+	totalMsgs uint64
+	totalDrop uint64
+}
+
+// New builds a simulated network on kernel k.
+func New(k *simnet.Kernel, cfg Config) *Network {
+	return &Network{
+		k:         k,
+		cfg:       cfg.applyDefaults(),
+		endpoints: make(map[network.Addr]*Endpoint),
+	}
+}
+
+// Kernel returns the kernel driving this network.
+func (n *Network) Kernel() *simnet.Kernel { return n.k }
+
+// Env returns the simulation-backed execution environment.
+func (n *Network) Env() network.Env { return Env(n.k) }
+
+// Config returns the active network model.
+func (n *Network) Config() Config { return n.cfg }
+
+// TotalMessages returns the number of messages the network has carried.
+func (n *Network) TotalMessages() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalMsgs
+}
+
+// TotalDropped returns the number of messages dropped at dead endpoints.
+func (n *Network) TotalDropped() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalDrop
+}
+
+// NewEndpoint attaches a fresh endpoint. The empty name auto-assigns
+// "simN".
+func (n *Network) NewEndpoint(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if name == "" {
+		name = fmt.Sprintf("sim%d", n.nextAddr)
+	}
+	n.nextAddr++
+	addr := network.Addr(name)
+	if _, exists := n.endpoints[addr]; exists {
+		panic(fmt.Sprintf("simwire: duplicate endpoint %q", name))
+	}
+	ep := &Endpoint{
+		net:      n,
+		addr:     addr,
+		handlers: make(map[string]network.HandlerFunc),
+		alive:    true,
+		rng:      n.k.NewRand("wire:" + name),
+	}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// Kill crashes the endpoint with the given address: it stops receiving
+// and its in-flight replies are dropped. Unknown addresses are ignored.
+func (n *Network) Kill(addr network.Addr) {
+	n.mu.Lock()
+	ep := n.endpoints[addr]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.setAlive(false)
+	}
+}
+
+// Alive reports whether the endpoint exists and has not been killed or
+// closed.
+func (n *Network) Alive(addr network.Addr) bool {
+	n.mu.Lock()
+	ep := n.endpoints[addr]
+	n.mu.Unlock()
+	return ep != nil && ep.isAlive()
+}
+
+// delay samples the one-way delay for a message of the given size using
+// the sender's RNG stream (deterministic per sender).
+func (n *Network) delay(rng *rand.Rand, bytes int) time.Duration {
+	lat := n.cfg.LatencyMS.Sample(rng)
+	bw := n.cfg.BandwidthKbps.Sample(rng)
+	if bw <= 0 {
+		bw = 1
+	}
+	// bytes*8 is bits; bandwidth in kbit/s equals bits/ms, so the
+	// division yields transmission time in milliseconds directly.
+	transMS := float64(bytes*8) / bw
+	return time.Duration((lat + transMS) * float64(time.Millisecond))
+}
+
+// Endpoint is one simulated peer's network attachment.
+type Endpoint struct {
+	net  *Network
+	addr network.Addr
+	rng  *rand.Rand
+
+	mu       sync.Mutex
+	handlers map[string]network.HandlerFunc
+	alive    bool
+}
+
+var _ network.Endpoint = (*Endpoint)(nil)
+
+// Addr implements network.Endpoint.
+func (ep *Endpoint) Addr() network.Addr { return ep.addr }
+
+// Handle implements network.Endpoint.
+func (ep *Endpoint) Handle(method string, h network.HandlerFunc) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.handlers[method] = h
+}
+
+// Close implements network.Endpoint; a closed endpoint behaves like a
+// killed one.
+func (ep *Endpoint) Close() error {
+	ep.setAlive(false)
+	return nil
+}
+
+func (ep *Endpoint) setAlive(v bool) {
+	ep.mu.Lock()
+	ep.alive = v
+	ep.mu.Unlock()
+}
+
+func (ep *Endpoint) isAlive() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.alive
+}
+
+func (ep *Endpoint) handler(method string) network.HandlerFunc {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if !ep.alive {
+		return nil
+	}
+	return ep.handlers[method]
+}
+
+// Invoke implements network.Endpoint. It must run inside a kernel
+// process. A dead or missing destination produces core.ErrTimeout after
+// the call's timeout (crash failures are indistinguishable from silence,
+// as in a real network).
+func (ep *Endpoint) Invoke(to network.Addr, method string, req network.Message, opt network.Call) (network.Message, error) {
+	if !ep.isAlive() {
+		return nil, fmt.Errorf("simwire: %s: %w", ep.addr, core.ErrStopped)
+	}
+	n := ep.net
+	timeout := opt.Timeout
+	if timeout == 0 {
+		timeout = n.cfg.DefaultTimeout
+	}
+	reqSize := network.SizeOf(req)
+	opt.Meter.Count(reqSize)
+	n.countMsg()
+
+	reply := n.k.NewFuture()
+	n.k.After(n.delay(ep.rng, reqSize), func() {
+		n.mu.Lock()
+		dst := n.endpoints[to]
+		n.mu.Unlock()
+		if dst == nil || !dst.isAlive() {
+			n.countDrop()
+			return // silence; the caller times out
+		}
+		h := dst.handler(method)
+		if h == nil {
+			n.countDrop()
+			return
+		}
+		res, err := h(ep.addr, req)
+		// The reply travels back only if the destination survived
+		// serving the request.
+		if !dst.isAlive() {
+			n.countDrop()
+			return
+		}
+		code, msg := network.EncodeError(err)
+		respSize := network.DefaultWireSize
+		if err == nil {
+			respSize = network.SizeOf(res)
+		}
+		n.countMsg()
+		n.k.After(n.delay(dst.rng, respSize), func() {
+			reply.Resolve(simReply{body: res, code: code, msg: msg, size: respSize})
+		})
+	})
+
+	v, err := reply.Await(timeout)
+	if err != nil {
+		return nil, fmt.Errorf("simwire: %s->%s %s: %w", ep.addr, to, method, err)
+	}
+	r := v.(simReply)
+	opt.Meter.Count(r.size)
+	if r.code != "" {
+		return nil, network.DecodeError(r.code, r.msg)
+	}
+	return r.body, nil
+}
+
+type simReply struct {
+	body network.Message
+	code string
+	msg  string
+	size int
+}
+
+func (n *Network) countMsg() {
+	n.mu.Lock()
+	n.totalMsgs++
+	n.mu.Unlock()
+}
+
+func (n *Network) countDrop() {
+	n.mu.Lock()
+	n.totalDrop++
+	n.mu.Unlock()
+}
+
+// Env adapts a kernel to network.Env so protocol code can run under
+// simulation.
+func Env(k *simnet.Kernel) network.Env { return simEnv{k} }
+
+type simEnv struct{ k *simnet.Kernel }
+
+func (e simEnv) Now() time.Duration          { return e.k.Now() }
+func (e simEnv) Sleep(d time.Duration) error { return e.k.Sleep(d) }
+func (e simEnv) Go(fn func())                { e.k.Go(fn) }
+func (e simEnv) After(d time.Duration, fn func()) network.Canceler {
+	return e.k.After(d, fn)
+}
+func (e simEnv) Rand(label string) *rand.Rand { return e.k.NewRand(label) }

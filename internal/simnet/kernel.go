@@ -1,0 +1,321 @@
+// Package simnet is a deterministic discrete-event simulation kernel in
+// the style of SimJava, which the paper used for its scale-up study
+// (§5.1). Simulated activities ("processes") are ordinary goroutines that
+// block on virtual time — Sleep, Future.Await, RPC round trips — while
+// the kernel advances a virtual clock through a totally ordered event
+// queue.
+//
+// Determinism. The kernel runs at most one process at any real-time
+// instant: an event is dispatched only when every process is blocked, and
+// each event wakes at most one process. Together with seeded RNG streams
+// this makes whole simulations bit-reproducible, which the tests assert.
+// It also means protocol code needs no locking when run under simnet,
+// although it keeps its locks so the same code runs on real transports.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// event is one entry in the kernel's queue. Events are ordered by
+// (at, seq) so simultaneous events run in schedule order.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// index is maintained by container/heap.
+	index int
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is the simulation engine. Create one with New, spawn processes
+// with Go, then drive it with Run / RunUntilIdle.
+type Kernel struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	now      time.Duration
+	seq      uint64
+	queue    eventHeap
+	runnable int // processes currently executing user code
+	procs    int // live processes (running or blocked)
+	stopped  bool
+	stopCh   chan struct{}
+	seed     int64
+	events   uint64 // dispatched events, for diagnostics
+}
+
+// New creates a kernel whose RNG streams derive from seed.
+func New(seed int64) *Kernel {
+	k := &Kernel{stopCh: make(chan struct{}), seed: seed}
+	k.cond = sync.NewCond(&k.mu)
+	return k
+}
+
+// Now returns the current virtual time. Safe from any goroutine.
+func (k *Kernel) Now() time.Duration {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}
+
+// Events returns the number of events dispatched so far.
+func (k *Kernel) Events() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.events
+}
+
+// LiveProcs returns the number of processes that exist (running or
+// blocked). Useful for detecting leaks in tests.
+func (k *Kernel) LiveProcs() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.procs
+}
+
+// NewRand derives an independent, deterministic RNG stream for a named
+// component (e.g. "churn", "latency", "node:17").
+func (k *Kernel) NewRand(label string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", k.seed, label)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// push enqueues an event; caller must hold k.mu.
+func (k *Kernel) push(at time.Duration, fn func()) *event {
+	if at < k.now {
+		at = k.now
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// remove deletes a queued event; caller must hold k.mu. Removing an
+// already-popped event is a no-op.
+func (k *Kernel) remove(ev *event) {
+	if ev.index >= 0 && ev.index < len(k.queue) && k.queue[ev.index] == ev {
+		heap.Remove(&k.queue, ev.index)
+	}
+}
+
+// Go spawns a process at the current virtual time. fn runs on its own
+// goroutine but is serialized with every other process by the kernel. May
+// be called from inside or outside the simulation.
+func (k *Kernel) Go(fn func()) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.stopped {
+		return
+	}
+	k.procs++
+	k.push(k.now, func() {
+		k.mu.Lock()
+		k.runnable++
+		k.mu.Unlock()
+		go func() {
+			defer k.exitProc()
+			fn()
+		}()
+	})
+}
+
+// exitProc retires a finished process.
+func (k *Kernel) exitProc() {
+	k.mu.Lock()
+	k.runnable--
+	k.procs--
+	k.cond.Signal()
+	k.mu.Unlock()
+}
+
+// Sleep blocks the calling process for d of virtual time. Must be called
+// from a process goroutine. Returns core.ErrStopped if the kernel is shut
+// down while sleeping.
+func (k *Kernel) Sleep(d time.Duration) error {
+	ch := make(chan struct{}, 1)
+	k.mu.Lock()
+	if k.stopped {
+		k.mu.Unlock()
+		return core.ErrStopped
+	}
+	k.push(k.now+d, func() {
+		k.mu.Lock()
+		k.runnable++
+		k.mu.Unlock()
+		ch <- struct{}{}
+	})
+	k.block()
+	k.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-k.stopCh:
+		return core.ErrStopped
+	}
+}
+
+// block marks the calling process as no longer runnable; caller must hold
+// k.mu.
+func (k *Kernel) block() {
+	k.runnable--
+	k.cond.Signal()
+}
+
+// After schedules fn to run as a new process after delay d. The returned
+// Timer can cancel it before it fires.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	t := &Timer{k: k}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.stopped {
+		t.fired = true
+		return t
+	}
+	t.ev = k.push(k.now+d, func() {
+		k.mu.Lock()
+		if t.canceled {
+			k.mu.Unlock()
+			return
+		}
+		t.fired = true
+		k.procs++
+		k.runnable++
+		k.mu.Unlock()
+		go func() {
+			defer k.exitProc()
+			fn()
+		}()
+	})
+	return t
+}
+
+// Timer is a cancellable delayed process handle.
+type Timer struct {
+	k        *Kernel
+	ev       *event
+	canceled bool
+	fired    bool
+}
+
+// Cancel prevents the timer from firing. Returns true if it was stopped
+// before firing.
+func (t *Timer) Cancel() bool {
+	t.k.mu.Lock()
+	defer t.k.mu.Unlock()
+	if t.fired || t.canceled {
+		return false
+	}
+	t.canceled = true
+	t.k.remove(t.ev)
+	return true
+}
+
+// Run advances virtual time, dispatching events until the queue is empty
+// or the next event lies beyond `until`. On return every process is
+// blocked (or exited) and now == until exactly, so repeated Run calls
+// step the clock through fixed horizons. It reports the number of events
+// dispatched by this call.
+func (k *Kernel) Run(until time.Duration) int {
+	return k.run(until, true)
+}
+
+// RunUntilIdle dispatches events until none remain, leaving the clock at
+// the time of the last event. It reports the number of events dispatched.
+func (k *Kernel) RunUntilIdle() int {
+	return k.run(time.Duration(1<<62-1), false)
+}
+
+func (k *Kernel) run(until time.Duration, clamp bool) int {
+	dispatched := 0
+	k.mu.Lock()
+	for !k.stopped {
+		for k.runnable > 0 && !k.stopped {
+			k.cond.Wait()
+		}
+		if k.stopped {
+			break
+		}
+		if len(k.queue) == 0 {
+			if clamp && k.now < until {
+				k.now = until
+			}
+			break
+		}
+		next := k.queue[0]
+		if next.at > until {
+			if clamp {
+				k.now = until
+			}
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.at > k.now {
+			k.now = next.at
+		}
+		k.events++
+		dispatched++
+		k.mu.Unlock()
+		next.fn()
+		k.mu.Lock()
+	}
+	k.mu.Unlock()
+	return dispatched
+}
+
+// Stop shuts the kernel down: queued events are discarded and blocked
+// processes are released with core.ErrStopped.
+func (k *Kernel) Stop() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.stopped {
+		return
+	}
+	k.stopped = true
+	k.queue = nil
+	close(k.stopCh)
+	k.cond.Broadcast()
+}
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.stopped
+}

@@ -1,0 +1,381 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := New(1)
+	var woke time.Duration
+	k.Go(func() {
+		if err := k.Sleep(3 * time.Second); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		woke = k.Now()
+	})
+	start := time.Now()
+	k.RunUntilIdle()
+	if woke != 3*time.Second {
+		t.Fatalf("woke at %v, want 3s", woke)
+	}
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("3s of virtual time took %v of real time", real)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("leaked %d procs", k.LiveProcs())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := New(1)
+	var order []string
+	for _, spec := range []struct {
+		name  string
+		delay time.Duration
+	}{
+		{"c", 30 * time.Millisecond},
+		{"a", 10 * time.Millisecond},
+		{"b", 20 * time.Millisecond},
+		{"a2", 10 * time.Millisecond}, // same time as a: schedule order breaks the tie
+	} {
+		spec := spec
+		k.Go(func() {
+			k.Sleep(spec.delay)
+			order = append(order, spec.name)
+		})
+	}
+	k.RunUntilIdle()
+	want := "a,a2,b,c"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += ","
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+}
+
+func TestRunUntilStopsAtHorizon(t *testing.T) {
+	k := New(1)
+	var fired []time.Duration
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		k.Go(func() {
+			k.Sleep(d)
+			fired = append(fired, k.Now())
+		})
+	}
+	k.Run(2500 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", len(fired))
+	}
+	if k.Now() != 2500*time.Millisecond {
+		t.Fatalf("now = %v, want horizon", k.Now())
+	}
+	k.RunUntilIdle()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestSerializedExecution(t *testing.T) {
+	// At most one process may execute user code at any instant.
+	k := New(1)
+	var inside int32
+	for i := 0; i < 50; i++ {
+		k.Go(func() {
+			for j := 0; j < 20; j++ {
+				if n := atomic.AddInt32(&inside, 1); n != 1 {
+					t.Errorf("%d processes running concurrently", n)
+				}
+				// Busy section with a reschedule in the middle.
+				atomic.AddInt32(&inside, -1)
+				k.Sleep(time.Millisecond)
+			}
+		})
+	}
+	k.RunUntilIdle()
+}
+
+func TestFutureResolveBeforeAwait(t *testing.T) {
+	k := New(1)
+	f := k.NewFuture()
+	var got any
+	k.Go(func() {
+		f.Resolve("early")
+		k.Sleep(time.Second)
+	})
+	k.Go(func() {
+		k.Sleep(2 * time.Second) // resolve happens long before
+		v, err := f.Await(0)
+		if err != nil {
+			t.Errorf("await: %v", err)
+		}
+		got = v
+	})
+	k.RunUntilIdle()
+	if got != "early" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFutureAwaitBeforeResolve(t *testing.T) {
+	k := New(1)
+	f := k.NewFuture()
+	var got any
+	var when time.Duration
+	k.Go(func() {
+		v, err := f.Await(0)
+		if err != nil {
+			t.Errorf("await: %v", err)
+		}
+		got, when = v, k.Now()
+	})
+	k.Go(func() {
+		k.Sleep(5 * time.Second)
+		f.Resolve(42)
+	})
+	k.RunUntilIdle()
+	if got != 42 || when != 5*time.Second {
+		t.Fatalf("got %v at %v", got, when)
+	}
+}
+
+func TestFutureTimeout(t *testing.T) {
+	k := New(1)
+	f := k.NewFuture()
+	var err error
+	var when time.Duration
+	k.Go(func() {
+		_, err = f.Await(time.Second)
+		when = k.Now()
+	})
+	k.RunUntilIdle()
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if when != time.Second {
+		t.Fatalf("timed out at %v", when)
+	}
+}
+
+func TestFutureResolveWinsOverLaterTimeout(t *testing.T) {
+	k := New(1)
+	f := k.NewFuture()
+	var got any
+	var err error
+	k.Go(func() {
+		got, err = f.Await(10 * time.Second)
+	})
+	k.Go(func() {
+		k.Sleep(time.Second)
+		f.Resolve("fast")
+	})
+	k.RunUntilIdle()
+	if err != nil || got != "fast" {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestFutureDoubleResolveIgnored(t *testing.T) {
+	k := New(1)
+	f := k.NewFuture()
+	var got any
+	k.Go(func() {
+		f.Resolve("first")
+		f.Resolve("second")
+	})
+	k.Go(func() {
+		k.Sleep(time.Second)
+		got, _ = f.Await(0)
+	})
+	k.RunUntilIdle()
+	if got != "first" {
+		t.Fatalf("got %v, want first", got)
+	}
+}
+
+func TestFutureResolveAfterTimeoutIsNoop(t *testing.T) {
+	k := New(1)
+	f := k.NewFuture()
+	var err error
+	k.Go(func() {
+		_, err = f.Await(time.Second)
+	})
+	k.Go(func() {
+		k.Sleep(5 * time.Second)
+		f.Resolve("too late")
+	})
+	k.RunUntilIdle()
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTimerFiresAndCancels(t *testing.T) {
+	k := New(1)
+	var fired, canceledFired bool
+	k.After(time.Second, func() { fired = true })
+	tm := k.After(2*time.Second, func() { canceledFired = true })
+	k.Go(func() {
+		k.Sleep(1500 * time.Millisecond)
+		if !tm.Cancel() {
+			t.Error("cancel should succeed before firing")
+		}
+	})
+	k.RunUntilIdle()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if canceledFired {
+		t.Fatal("canceled timer fired")
+	}
+	// Cancel after fire reports false.
+	tm2 := k.After(time.Millisecond, func() {})
+	k.RunUntilIdle()
+	if tm2.Cancel() {
+		t.Fatal("cancel after firing must report false")
+	}
+}
+
+// An RPC-shaped ping-pong: the client sends a request by scheduling a
+// delivery event; the server process resolves the reply future.
+func TestRPCPingPong(t *testing.T) {
+	k := New(1)
+	const latency = 100 * time.Millisecond
+	var rtt time.Duration
+	k.Go(func() {
+		start := k.Now()
+		reply := k.NewFuture()
+		k.After(latency, func() { // request arrives at server
+			k.Sleep(10 * time.Millisecond) // server work
+			k.After(latency, func() {      // reply travels back
+				reply.Resolve("pong")
+			})
+		})
+		v, err := reply.Await(0)
+		if err != nil || v != "pong" {
+			t.Errorf("reply = %v, %v", v, err)
+		}
+		rtt = k.Now() - start
+	})
+	k.RunUntilIdle()
+	if rtt != 210*time.Millisecond {
+		t.Fatalf("rtt = %v, want 210ms", rtt)
+	}
+}
+
+func TestStopReleasesBlockedProcs(t *testing.T) {
+	k := New(1)
+	sleepErrCh := make(chan error, 1)
+	awaitErrCh := make(chan error, 1)
+	k.Go(func() {
+		sleepErrCh <- k.Sleep(time.Hour)
+	})
+	k.Go(func() {
+		_, err := k.NewFuture().Await(0)
+		awaitErrCh <- err
+	})
+	k.Go(func() {
+		k.Sleep(time.Second)
+		k.Stop()
+	})
+	k.Run(2 * time.Hour)
+	if err := <-sleepErrCh; !errors.Is(err, core.ErrStopped) {
+		t.Fatalf("sleep err = %v", err)
+	}
+	if err := <-awaitErrCh; !errors.Is(err, core.ErrStopped) {
+		t.Fatalf("await err = %v", err)
+	}
+	if !k.Stopped() {
+		t.Fatal("kernel should report stopped")
+	}
+}
+
+func TestNewRandStreamsIndependentAndSeeded(t *testing.T) {
+	a1 := New(7).NewRand("x")
+	a2 := New(7).NewRand("x")
+	b := New(7).NewRand("y")
+	c := New(8).NewRand("x")
+	sameAsA1 := 0
+	diffLabel, diffSeed := 0, 0
+	for i := 0; i < 100; i++ {
+		v1 := a1.Uint64()
+		if v1 == a2.Uint64() {
+			sameAsA1++
+		}
+		if v1 == b.Uint64() {
+			diffLabel++
+		}
+		if v1 == c.Uint64() {
+			diffSeed++
+		}
+	}
+	if sameAsA1 != 100 {
+		t.Fatal("same seed+label must give identical streams")
+	}
+	if diffLabel > 2 || diffSeed > 2 {
+		t.Fatal("different label/seed must give different streams")
+	}
+}
+
+// Determinism: an entire simulation with many interleaved processes must
+// produce an identical trace when repeated with the same seed.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() string {
+		k := New(99)
+		rng := k.NewRand("trace")
+		trace := ""
+		for p := 0; p < 10; p++ {
+			p := p
+			k.Go(func() {
+				for i := 0; i < 20; i++ {
+					k.Sleep(time.Duration(rng.Intn(1000)) * time.Millisecond)
+					trace += fmt.Sprintf("%d@%v;", p, k.Now())
+				}
+			})
+		}
+		k.RunUntilIdle()
+		return trace
+	}
+	t1 := run()
+	t2 := run()
+	if t1 != t2 {
+		t.Fatalf("replay diverged:\n%s\nvs\n%s", t1, t2)
+	}
+	if t1 == "" {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestGoAfterStopIsNoop(t *testing.T) {
+	k := New(1)
+	k.Stop()
+	k.Go(func() { t.Error("process ran after stop") })
+	k.RunUntilIdle()
+	tm := k.After(time.Second, func() { t.Error("timer ran after stop") })
+	if tm.Cancel() {
+		t.Fatal("timer created after stop should already be inert")
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 5; i++ {
+		k.Go(func() { k.Sleep(time.Millisecond) })
+	}
+	k.RunUntilIdle()
+	// 5 spawn events + 5 wake events.
+	if got := k.Events(); got != 10 {
+		t.Fatalf("events = %d, want 10", got)
+	}
+}

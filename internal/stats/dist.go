@@ -1,0 +1,105 @@
+// Package stats provides the random distributions and summary statistics
+// the evaluation needs: the normal latency/bandwidth model of Table 1,
+// the Poisson processes that time churn and updates, and mean/stddev/
+// percentile summaries for reporting results.
+//
+// All sampling is driven by explicit *rand.Rand sources so simulations
+// are reproducible from a seed.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Normal is a normal distribution parameterised like Table 1 of the
+// paper: by mean and *variance* (not standard deviation).
+type Normal struct {
+	Mean     float64
+	Variance float64
+	// Min clamps samples from below; physical quantities such as latency
+	// and bandwidth cannot be negative. Zero means "clamp at zero".
+	Min float64
+}
+
+// Sample draws one value, clamped at d.Min.
+func (d Normal) Sample(rng *rand.Rand) float64 {
+	v := d.Mean + rng.NormFloat64()*math.Sqrt(d.Variance)
+	if v < d.Min {
+		return d.Min
+	}
+	return v
+}
+
+// Exponential is an exponential distribution with the given rate (events
+// per unit time). Inter-arrival times of a Poisson process with rate
+// lambda are Exponential{Rate: lambda}.
+type Exponential struct {
+	Rate float64
+}
+
+// Sample draws one inter-arrival time (same unit as 1/Rate).
+func (d Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / d.Rate
+}
+
+// PoissonProcess generates the event times of a homogeneous Poisson
+// process, as the paper uses for peer departures (λ = 1/s) and updates
+// (λ = 1/h). Next returns the delay until the following event.
+type PoissonProcess struct {
+	// Rate is in events per second.
+	Rate float64
+	Rng  *rand.Rand
+}
+
+// Next returns the time until the next event as a duration.
+func (p *PoissonProcess) Next() time.Duration {
+	if p.Rate <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	secs := p.Rng.ExpFloat64() / p.Rate
+	return time.Duration(secs * float64(time.Second))
+}
+
+// PoissonCount draws the number of events of a Poisson process with the
+// given expectation (Knuth's algorithm for small lambda, normal
+// approximation for large). Used by tests to cross-check processes.
+func PoissonCount(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 500 {
+		// Normal approximation; good to well under a percent out here.
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Uniform draws an integer uniformly from [0, n). It exists so workload
+// code reads declaratively.
+func Uniform(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// UniformDuration draws a duration uniformly from [0, d).
+func UniformDuration(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(d)))
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool { return rng.Float64() < p }

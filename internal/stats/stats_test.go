@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Normal{Mean: 200, Variance: 100}
+	n := 200000
+	sum, ss := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / float64(n)
+	variance := ss/float64(n) - mean*mean
+	if math.Abs(mean-200) > 0.5 {
+		t.Fatalf("mean = %.3f, want ~200", mean)
+	}
+	if math.Abs(variance-100) > 3 {
+		t.Fatalf("variance = %.3f, want ~100", variance)
+	}
+}
+
+func TestNormalClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// A distribution whose mass is mostly negative must clamp at Min.
+	d := Normal{Mean: -100, Variance: 1, Min: 0}
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(rng); v < 0 {
+			t.Fatalf("sample %v below Min", v)
+		}
+	}
+	d2 := Normal{Mean: 10, Variance: 0.01, Min: 9.5}
+	for i := 0; i < 1000; i++ {
+		if v := d2.Sample(rng); v < 9.5 {
+			t.Fatalf("sample %v below explicit Min", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := Exponential{Rate: 4}
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.25) > 0.005 {
+		t.Fatalf("mean = %.4f, want ~0.25", mean)
+	}
+}
+
+func TestPoissonProcessRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// λ = 1/s: expect ~3600 events per simulated hour.
+	p := &PoissonProcess{Rate: 1, Rng: rng}
+	var elapsed time.Duration
+	events := 0
+	horizon := time.Hour
+	for {
+		elapsed += p.Next()
+		if elapsed > horizon {
+			break
+		}
+		events++
+	}
+	if events < 3300 || events > 3900 {
+		t.Fatalf("events in 1h = %d, want ~3600", events)
+	}
+}
+
+func TestPoissonProcessZeroRate(t *testing.T) {
+	p := &PoissonProcess{Rate: 0, Rng: rand.New(rand.NewSource(5))}
+	if d := p.Next(); d < time.Duration(math.MaxInt64) {
+		t.Fatalf("zero-rate process must never fire, got %v", d)
+	}
+}
+
+func TestPoissonCountMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, lambda := range []float64{0.5, 3, 40, 800} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += PoissonCount(rng, lambda)
+		}
+		mean := float64(sum) / float64(n)
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("lambda=%v: mean = %.3f", lambda, mean)
+		}
+	}
+	if PoissonCount(rng, 0) != 0 {
+		t.Fatal("lambda=0 must yield 0")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if Bernoulli(rng, 0.05) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.05) > 0.005 {
+		t.Fatalf("bernoulli(0.05) hit rate %.4f", frac)
+	}
+}
+
+func TestUniformDuration(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 1000; i++ {
+		d := UniformDuration(rng, time.Minute)
+		if d < 0 || d >= time.Minute {
+			t.Fatalf("out of range: %v", d)
+		}
+	}
+	if UniformDuration(rng, 0) != 0 {
+		t.Fatal("zero range must return 0")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary must report zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 4 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 9 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Percentile(0); got != 2 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); got != 1.5 {
+		t.Fatalf("AddDuration mean = %v, want 1.5s", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); got != "2.000 ± 1.414 (n=2)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates scalar observations and reports the usual moments.
+// The experiment harness records one observation per query (the paper
+// averages 30 queries per configuration).
+type Summary struct {
+	values []float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) { s.values = append(s.values, v) }
+
+// AddDuration records a duration in seconds, the unit the paper's figures
+// use on their y axes.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Summary) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on a sorted copy. Empty summaries return 0.
+func (s *Summary) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// String renders "mean ± stddev (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", s.Mean(), s.StdDev(), s.N())
+}

@@ -1,0 +1,156 @@
+// Package ums implements the paper's Update Management Service (§3):
+// insert stamps data with a KTS timestamp and replicates it at the peers
+// responsible for the key under every replication hash function;
+// retrieve asks KTS for the last generated timestamp and probes replica
+// positions one at a time, returning the first replica that carries it —
+// so, unlike the BRICKS baseline, it almost never needs to fetch all
+// replicas (Theorem 1: E[probes] < 1/pt).
+package ums
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/hashing"
+	"repro/internal/kts"
+	"repro/internal/network"
+)
+
+// Namespace is the storage namespace UMS replicas live in.
+const Namespace = "ums"
+
+// Service is the per-peer UMS instance. Any peer can run inserts and
+// retrieves; the heavy lifting happens at the peers responsible for the
+// key's replica positions and timestamping.
+type Service struct {
+	ring   dht.Ring
+	set    hashing.Set
+	ts     *kts.Service
+	client *dht.Client
+}
+
+// New attaches a UMS instance to a peer, wiring it to the peer's KTS
+// service. It also registers the KTS repair hook: when recovery or
+// inspection raises a counter, the data stamped with the stale timestamp
+// is reinserted under the corrected one (§4.2.2).
+func New(ring dht.Ring, set hashing.Set, ts *kts.Service) *Service {
+	s := &Service{
+		ring:   ring,
+		set:    set,
+		ts:     ts,
+		client: dht.NewClient(ring, Namespace),
+	}
+	ts.SetRepair(s.repair)
+	return s
+}
+
+// KTS returns the timestamping service this UMS uses.
+func (s *Service) KTS() *kts.Service { return s.ts }
+
+// Insert implements Figure 2's insert(k, data): generate a timestamp,
+// then send (k, {data, ts}) to rsp(k, h) for every h ∈ Hr. Peers keep
+// the pair only if the timestamp is newer than what they hold, so of
+// concurrent inserts exactly the one with the latest timestamp survives.
+func (s *Service) Insert(k core.Key, data []byte) (res dht.OpResult, err error) {
+	meter := &network.Meter{}
+	start := s.ring.Env().Now()
+	defer func() {
+		res.Elapsed = s.ring.Env().Now() - start
+		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
+	}()
+
+	ts, err := s.ts.GenTS(k, meter)
+	if err != nil {
+		return res, fmt.Errorf("ums: insert(%q): %w", k, err)
+	}
+	res.TS = ts
+	val := core.Value{Data: data, TS: ts}
+	for _, h := range s.set.Hr {
+		if err := s.client.PutH(k, h, val, dht.PutIfNewer, meter); err == nil {
+			res.Stored++
+		}
+		// A failed put means that replica position is currently
+		// unreachable; the insert proceeds — availability of that replica
+		// simply suffers, which is the behaviour the analysis models.
+	}
+	if res.Stored == 0 {
+		return res, fmt.Errorf("ums: insert(%q): no replica stored: %w", k, core.ErrUnreachable)
+	}
+	return res, nil
+}
+
+// Retrieve implements Figure 2's retrieve(k): fetch the last timestamp
+// ts1 from KTS, then probe rsp(k, h) for each h ∈ Hr until a replica
+// stamped ts1 appears. If none is reachable, the most recent available
+// replica is returned together with core.ErrNoCurrentReplica.
+func (s *Service) Retrieve(k core.Key) (res dht.OpResult, err error) {
+	meter := &network.Meter{}
+	start := s.ring.Env().Now()
+	defer func() {
+		res.Elapsed = s.ring.Env().Now() - start
+		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
+	}()
+
+	ts1, err := s.ts.LastTS(k, meter)
+	if err != nil {
+		return res, fmt.Errorf("ums: retrieve(%q): %w", k, err)
+	}
+	if ts1.IsZero() {
+		return res, fmt.Errorf("ums: retrieve(%q): never inserted: %w", k, core.ErrNotFound)
+	}
+
+	var dataMR []byte // most recent replica seen so far (Figure 2's data_mr)
+	tsMR := core.TSZero
+	for _, h := range s.set.Hr {
+		res.Probed++
+		val, err := s.client.GetH(k, h, meter)
+		if err != nil {
+			continue // replica unavailable (peer down, data lost, stale lookup)
+		}
+		res.Retrieved++
+		if val.TS == ts1 {
+			// One current replica found: return it immediately.
+			res.Data, res.TS, res.Current = val.Data, val.TS, true
+			return res, nil
+		}
+		if tsMR.Less(val.TS) {
+			dataMR, tsMR = val.Data, val.TS
+		}
+	}
+	if dataMR == nil {
+		return res, fmt.Errorf("ums: retrieve(%q): no replica available: %w", k, core.ErrNotFound)
+	}
+	res.Data, res.TS = dataMR, tsMR
+	return res, fmt.Errorf("ums: retrieve(%q): returning most recent available: %w", k, core.ErrNoCurrentReplica)
+}
+
+// repair is the KTS repair hook (§4.2.2): after a counter correction,
+// re-stamp the newest stored replica with the corrected timestamp so a
+// subsequent retrieve can match last_ts again.
+func (s *Service) repair(k core.Key, oldTS, newTS core.Timestamp) {
+	env := s.ring.Env()
+	env.Go(func() {
+		var best core.Value
+		found := false
+		for _, h := range s.set.Hr {
+			if val, err := s.client.GetH(k, h, nil); err == nil {
+				if !found || best.TS.Less(val.TS) {
+					best = val
+					found = true
+				}
+			}
+		}
+		if !found || newTS.Less(best.TS) {
+			return
+		}
+		reinsert := core.Value{Data: best.Data, TS: newTS}
+		for _, h := range s.set.Hr {
+			s.client.PutH(k, h, reinsert, dht.PutIfNewer, nil)
+		}
+	})
+}
+
+// IsNoCurrent reports whether err is the "stale but available" outcome.
+func IsNoCurrent(err error) bool { return errors.Is(err, core.ErrNoCurrentReplica) }

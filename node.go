@@ -1,0 +1,140 @@
+package dcdht
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/brk"
+	"repro/internal/chord"
+	"repro/internal/hashing"
+	"repro/internal/kts"
+	"repro/internal/network"
+	"repro/internal/network/tcpwire"
+	"repro/internal/ums"
+)
+
+// NodeConfig tunes a real (TCP) peer. All peers of one ring must agree
+// on Replicas.
+type NodeConfig struct {
+	// Replicas is |Hr|. Default 10.
+	Replicas int
+	// Mode selects the counter initialization strategy. Default direct.
+	Mode Mode
+	// Seed drives the node's jitter streams; 0 derives one from the
+	// clock.
+	Seed int64
+	// StabilizeEvery overrides the maintenance period (default 1s on
+	// real deployments, where RPCs are cheap).
+	StabilizeEvery time.Duration
+	// GraceDelay overrides the indirect algorithm's wait.
+	GraceDelay time.Duration
+}
+
+// Node is one real peer: a TCP endpoint running Chord, KTS, UMS and BRK
+// — the deployment unit of the paper's cluster experiment.
+type Node struct {
+	env   *network.RealEnv
+	ep    *tcpwire.Endpoint
+	chord *chord.Node
+	kts   *kts.Service
+	ums   *ums.Service
+	brk   *brk.Service
+}
+
+// StartNode opens a TCP endpoint on listen ("127.0.0.1:0" picks a free
+// port) and prepares all services. Call CreateRing or Join next.
+func StartNode(listen string, cfg NodeConfig) (*Node, error) {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 10
+	}
+	if cfg.StabilizeEvery == 0 {
+		cfg.StabilizeEvery = time.Second
+	}
+	ep, err := tcpwire.Listen(listen)
+	if err != nil {
+		return nil, fmt.Errorf("dcdht: start node: %w", err)
+	}
+	env := network.NewRealEnv(cfg.Seed)
+	chordCfg := chord.Config{
+		StabilizeEvery:  cfg.StabilizeEvery,
+		FixFingersEvery: cfg.StabilizeEvery,
+		CheckPredEvery:  cfg.StabilizeEvery,
+		RPCTimeout:      2 * time.Second,
+	}
+	node := chord.New(env, ep, hashing.NodeID(string(ep.Addr())), chordCfg)
+	set := hashing.NewSet(cfg.Replicas)
+	ktsSvc := kts.New(node, set, ums.Namespace, kts.Config{
+		Mode:       cfg.Mode,
+		GraceDelay: cfg.GraceDelay,
+		RPCTimeout: 30 * time.Second,
+	})
+	return &Node{
+		env:   env,
+		ep:    ep,
+		chord: node,
+		kts:   ktsSvc,
+		ums:   ums.New(node, set, ktsSvc),
+		brk:   brk.New(node, set),
+	}, nil
+}
+
+// Addr returns the node's listen address (give it to joiners).
+func (n *Node) Addr() string { return string(n.ep.Addr()) }
+
+// CreateRing makes this node the first of a new ring and starts
+// maintenance.
+func (n *Node) CreateRing() {
+	n.chord.CreateRing()
+	n.chord.Start()
+}
+
+// Join attaches this node to the ring reachable at bootstrap and starts
+// maintenance.
+func (n *Node) Join(bootstrap string) error {
+	if err := n.chord.Join(network.Addr(bootstrap)); err != nil {
+		return err
+	}
+	n.chord.Start()
+	return nil
+}
+
+// Insert stores data under key with a fresh timestamp (UMS).
+func (n *Node) Insert(key Key, data []byte) (Result, error) {
+	return n.ums.Insert(key, data)
+}
+
+// Retrieve returns the current replica of key (UMS).
+func (n *Node) Retrieve(key Key) (Result, error) {
+	return n.ums.Retrieve(key)
+}
+
+// InsertBRK runs the baseline's update.
+func (n *Node) InsertBRK(key Key, data []byte) (Result, error) {
+	return n.brk.Insert(key, data)
+}
+
+// RetrieveBRK runs the baseline's retrieval.
+func (n *Node) RetrieveBRK(key Key) (Result, error) {
+	return n.brk.Retrieve(key)
+}
+
+// LastTS asks KTS for the last timestamp generated for key.
+func (n *Node) LastTS(key Key) (Timestamp, error) {
+	return n.kts.LastTS(key, nil)
+}
+
+// Leave departs gracefully, handing replicas and counters to the
+// successor, then closes the endpoint.
+func (n *Node) Leave() error {
+	err := n.chord.Leave()
+	n.env.Close()
+	n.ep.Close()
+	return err
+}
+
+// Close shuts the node down abruptly (crash semantics: no handoff).
+func (n *Node) Close() {
+	n.chord.Crash()
+	n.env.Close()
+	n.ep.Close()
+}
