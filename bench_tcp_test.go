@@ -1,6 +1,7 @@
 package dcdht
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -47,7 +48,7 @@ func BenchmarkClusterTCPRetrieve(b *testing.B) {
 	keys := make([]Key, 8)
 	for i := range keys {
 		keys[i] = Key(fmt.Sprintf("tcp-bench-%d", i))
-		if _, err := nodes[i%peers].Insert(keys[i], []byte("cluster payload")); err != nil {
+		if _, err := nodes[i%peers].Put(context.Background(), keys[i], []byte("cluster payload")); err != nil {
 			b.Fatalf("insert: %v", err)
 		}
 	}
@@ -55,7 +56,7 @@ func BenchmarkClusterTCPRetrieve(b *testing.B) {
 	var msgs, probes int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := nodes[i%peers].Retrieve(keys[i%len(keys)])
+		r, err := nodes[i%peers].Get(context.Background(), keys[i%len(keys)])
 		if err != nil {
 			b.Fatalf("retrieve: %v", err)
 		}

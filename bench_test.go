@@ -11,6 +11,7 @@ package dcdht
 // (7/8 and 9/10) compute once and are cached across benchmarks.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -207,13 +208,13 @@ func BenchmarkAblationDataHandoff(b *testing.B) {
 func BenchmarkRetrieveOpSimulated(b *testing.B) {
 	n := NewSimNetwork(256, SimConfig{Seed: 9})
 	defer n.Close()
-	if _, err := n.Insert("bench", []byte("payload")); err != nil {
+	if _, err := n.Put(context.Background(), "bench", []byte("payload")); err != nil {
 		b.Fatal(err)
 	}
 	var simElapsed time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := n.Retrieve("bench")
+		r, err := n.Get(context.Background(), "bench")
 		if err != nil {
 			b.Fatal(err)
 		}

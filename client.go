@@ -1,0 +1,124 @@
+package dcdht
+
+import (
+	"context"
+)
+
+// Client is the deployment-agnostic interface to a replicated DHT with
+// data currency: one method set, implemented both by SimNetwork (the
+// paper's simulation study) and by Node (the real TCP deployment), so
+// applications, experiments and CLIs drive either world through the
+// same code path.
+//
+// Every operation takes a context.Context that propagates end to end:
+// its deadline bounds the whole operation across every ring lookup and
+// RPC beneath it (mapped onto virtual time under simulation, onto
+// socket deadlines over TCP), and its cancellation stops retries and
+// probes at the next message boundary. An operation issued with an
+// already-expired deadline fails promptly with an error wrapping both
+// ErrTimeout and context.DeadlineExceeded.
+//
+// The replication protocol is selected per operation with OpOptions:
+// the default is the paper's UMS (KTS timestamps, provable currency,
+// early-stop probing); WithAlgorithm(AlgBRK) runs the BRICKS baseline
+// (version numbers, read-all) for side-by-side comparisons. The
+// UMS-Direct / UMS-Indirect axis is a deployment property (counter
+// initialization strategy) and is chosen with SimConfig.Mode or
+// NodeConfig.Mode.
+type Client interface {
+	// Put stores data under key with a fresh timestamp and replicates
+	// it at the peers responsible under every replication hash function.
+	Put(ctx context.Context, key Key, data []byte, opts ...OpOption) (Result, error)
+	// Get returns the current replica of key. When no provably current
+	// replica is reachable, the most recent available one is returned
+	// together with an error wrapping ErrNoCurrentReplica (classify
+	// with IsNoCurrent).
+	Get(ctx context.Context, key Key, opts ...OpOption) (Result, error)
+	// LastTS asks KTS for the last timestamp generated for key (zero
+	// when the key was never stamped).
+	LastTS(ctx context.Context, key Key) (Timestamp, error)
+	// PutMulti stores a batch, fanning the writes out concurrently.
+	// Per-key outcomes are isolated in the returned slice (index i
+	// matches items[i]); the batch-level error is non-nil only when the
+	// batch as a whole could not be issued.
+	PutMulti(ctx context.Context, items []KV, opts ...OpOption) ([]MultiResult, error)
+	// GetMulti retrieves a batch of keys concurrently, with the same
+	// per-key error isolation as PutMulti.
+	GetMulti(ctx context.Context, keys []Key, opts ...OpOption) ([]MultiResult, error)
+}
+
+// Compile-time interface conformance for both deployment styles.
+var (
+	_ Client = (*SimNetwork)(nil)
+	_ Client = (*Node)(nil)
+)
+
+// Algorithm selects the replication protocol an operation runs.
+type Algorithm int
+
+const (
+	// AlgUMS is the paper's Update Management Service: KTS timestamps,
+	// provable currency, early-stop probing. The default.
+	AlgUMS Algorithm = iota
+	// AlgBRK is the BRICKS baseline: per-replica version numbers and
+	// read-all retrieves, kept for side-by-side comparisons.
+	AlgBRK
+)
+
+func (a Algorithm) String() string {
+	if a == AlgBRK {
+		return "BRK"
+	}
+	return "UMS"
+}
+
+// opConfig is the resolved per-operation configuration.
+type opConfig struct {
+	alg  Algorithm
+	peer int // issuing peer index for SimNetwork; -1 picks a random live peer
+}
+
+// OpOption customises one operation.
+type OpOption func(*opConfig)
+
+// WithAlgorithm selects the replication protocol for this operation.
+func WithAlgorithm(a Algorithm) OpOption {
+	return func(c *opConfig) { c.alg = a }
+}
+
+// WithIssuer pins the operation to the i-th live peer (modulo the live
+// population) instead of a random one. Only meaningful on SimNetwork,
+// where the facade chooses the issuing peer; a Node always issues from
+// itself and ignores it.
+func WithIssuer(i int) OpOption {
+	return func(c *opConfig) {
+		if i >= 0 {
+			c.peer = i
+		}
+	}
+}
+
+func resolveOpts(opts []OpOption) opConfig {
+	c := opConfig{peer: -1}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// KV is one key/data pair of a PutMulti batch.
+type KV struct {
+	Key  Key
+	Data []byte
+}
+
+// MultiResult is one key's outcome within a batched operation: the
+// operation metrics plus the key's own error, isolated from its
+// siblings (one missing key does not fail the batch).
+type MultiResult struct {
+	Key Key
+	Result
+	// Err is this key's outcome; classify with errors.Is (ErrNotFound,
+	// ErrNoCurrentReplica, ErrTimeout, ...).
+	Err error
+}

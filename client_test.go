@@ -1,0 +1,275 @@
+package dcdht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// newTestRing starts a small TCP ring for client API tests and returns
+// the nodes plus a cleanup function.
+func newTestRing(t *testing.T, peers int) []*Node {
+	t.Helper()
+	cfg := NodeConfig{
+		Replicas:       5,
+		Seed:           11,
+		StabilizeEvery: 100 * time.Millisecond,
+		GraceDelay:     50 * time.Millisecond,
+	}
+	first, err := StartNode("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.CreateRing()
+	nodes := []*Node{first}
+	for i := 1; i < peers; i++ {
+		nd, err := StartNode("127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Join(first.Addr()); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	time.Sleep(500 * time.Millisecond) // a few stabilization rounds
+	return nodes
+}
+
+// expiredCtx returns a context whose deadline has already passed.
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSimExpiredDeadlineFailsPromptly(t *testing.T) {
+	n := NewSimNetwork(24, SimConfig{Replicas: 5, Seed: 21})
+	defer n.Close()
+	if _, err := n.Put(context.Background(), "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, op := range map[string]func(context.Context) error{
+		"get":    func(ctx context.Context) error { _, err := n.Get(ctx, "k"); return err },
+		"put":    func(ctx context.Context) error { _, err := n.Put(ctx, "k", []byte("v2")); return err },
+		"lastts": func(ctx context.Context) error { _, err := n.LastTS(ctx, "k"); return err },
+	} {
+		start := time.Now()
+		err := op(expiredCtx(t))
+		if err == nil {
+			t.Fatalf("%s: expected error from expired deadline", name)
+		}
+		if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: err = %v, want both ErrTimeout and context.DeadlineExceeded", name, err)
+		}
+		if wall := time.Since(start); wall > time.Second {
+			t.Fatalf("%s: expired deadline took %v, want prompt failure", name, wall)
+		}
+	}
+}
+
+func TestSimCanceledContext(t *testing.T) {
+	n := NewSimNetwork(24, SimConfig{Replicas: 5, Seed: 22})
+	defer n.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Get(ctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("get with canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := n.PutMulti(ctx, []KV{{Key: "a", Data: []byte("1")}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("putmulti with canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSimGetMultiFanOut(t *testing.T) {
+	n := NewSimNetwork(32, SimConfig{Replicas: 5, Seed: 23})
+	defer n.Close()
+	ctx := context.Background()
+
+	items := []KV{
+		{Key: "multi-a", Data: []byte("va")},
+		{Key: "multi-b", Data: []byte("vb")},
+		{Key: "multi-c", Data: []byte("vc")},
+	}
+	puts, err := n.PutMulti(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range puts {
+		if r.Key != items[i].Key {
+			t.Fatalf("put result %d keyed %q, want %q", i, r.Key, items[i].Key)
+		}
+		if r.Err != nil {
+			t.Fatalf("put %q: %v", r.Key, r.Err)
+		}
+		if r.Stored == 0 {
+			t.Fatalf("put %q stored no replicas", r.Key)
+		}
+	}
+
+	// One key of the batch was never inserted: its error must be
+	// isolated and the sibling keys unaffected.
+	keys := []Key{"multi-a", "ghost", "multi-b", "multi-c"}
+	gets, err := n.GetMulti(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gets) != len(keys) {
+		t.Fatalf("got %d results for %d keys", len(gets), len(keys))
+	}
+	for i, r := range gets {
+		if r.Key != keys[i] {
+			t.Fatalf("result %d keyed %q, want %q", i, r.Key, keys[i])
+		}
+	}
+	if !errors.Is(gets[1].Err, ErrNotFound) {
+		t.Fatalf("ghost err = %v, want ErrNotFound", gets[1].Err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if gets[i].Err != nil {
+			t.Fatalf("%q: %v (ghost error leaked into sibling)", gets[i].Key, gets[i].Err)
+		}
+		want := "v" + string(gets[i].Key[len(gets[i].Key)-1])
+		if string(gets[i].Data) != want {
+			t.Fatalf("%q = %q, want %q", gets[i].Key, gets[i].Data, want)
+		}
+	}
+}
+
+func TestSimBaselineOption(t *testing.T) {
+	n := NewSimNetwork(24, SimConfig{Replicas: 5, Seed: 24})
+	defer n.Close()
+	ctx := context.Background()
+	if _, err := n.Put(ctx, "b", []byte("v1"), WithAlgorithm(AlgBRK)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := n.Get(ctx, "b", WithAlgorithm(AlgBRK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != "v1" {
+		t.Fatalf("got %q", r.Data)
+	}
+	if r.Probed != 5 {
+		t.Fatalf("BRK probed %d, want all 5 replicas", r.Probed)
+	}
+}
+
+func TestSimWithIssuerPinsPeer(t *testing.T) {
+	n := NewSimNetwork(24, SimConfig{Replicas: 5, Seed: 25})
+	defer n.Close()
+	ctx := context.Background()
+	if _, err := n.Put(ctx, "pinned", []byte("v"), WithIssuer(3)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := n.Get(ctx, "pinned", WithIssuer(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != "v" {
+		t.Fatalf("got %q", r.Data)
+	}
+}
+
+func TestTCPExpiredDeadlineFailsPromptly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration test")
+	}
+	nodes := newTestRing(t, 4)
+	ctx := context.Background()
+	if _, err := nodes[0].Put(ctx, "tcp-ctx", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, op := range map[string]func(context.Context) error{
+		"get":    func(ctx context.Context) error { _, err := nodes[1].Get(ctx, "tcp-ctx"); return err },
+		"put":    func(ctx context.Context) error { _, err := nodes[2].Put(ctx, "tcp-ctx", []byte("v2")); return err },
+		"lastts": func(ctx context.Context) error { _, err := nodes[3].LastTS(ctx, "tcp-ctx"); return err },
+	} {
+		start := time.Now()
+		err := op(expiredCtx(t))
+		if err == nil {
+			t.Fatalf("%s: expected error from expired deadline", name)
+		}
+		if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: err = %v, want both ErrTimeout and context.DeadlineExceeded", name, err)
+		}
+		if wall := time.Since(start); wall > time.Second {
+			t.Fatalf("%s: expired deadline took %v, want prompt failure", name, wall)
+		}
+	}
+}
+
+func TestTCPCanceledContextStopsOperation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration test")
+	}
+	nodes := newTestRing(t, 4)
+	if _, err := nodes[0].Put(context.Background(), "tcp-cancel", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel shortly after issuing: the operation must come back well
+	// before the default RPC patience would let it linger.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	for time.Since(start) < 2*time.Second {
+		if _, err := nodes[1].Get(ctx, "tcp-cancel"); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			return
+		}
+	}
+	t.Fatal("cancellation never surfaced")
+}
+
+func TestTCPGetMultiFanOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration test")
+	}
+	nodes := newTestRing(t, 4)
+	ctx := context.Background()
+
+	items := make([]KV, 4)
+	for i := range items {
+		items[i] = KV{Key: Key(fmt.Sprintf("fan-%d", i)), Data: []byte(fmt.Sprintf("v%d", i))}
+	}
+	puts, err := nodes[0].PutMulti(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range puts {
+		if r.Err != nil {
+			t.Fatalf("put %q: %v", r.Key, r.Err)
+		}
+	}
+	keys := []Key{"fan-0", "fan-1", "tcp-ghost", "fan-2", "fan-3"}
+	gets, err := nodes[2].GetMulti(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gets[2].Err, ErrNotFound) {
+		t.Fatalf("ghost err = %v, want ErrNotFound", gets[2].Err)
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if gets[i].Err != nil {
+			t.Fatalf("%q: %v", gets[i].Key, gets[i].Err)
+		}
+		if len(gets[i].Data) == 0 {
+			t.Fatalf("%q returned no data", gets[i].Key)
+		}
+	}
+}

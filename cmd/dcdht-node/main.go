@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -82,6 +83,8 @@ func client(op string, args []string) {
 	fs := flag.NewFlagSet(op, flag.ExitOnError)
 	via := fs.String("via", "", "address of any ring member (required)")
 	replicas := fs.Int("replicas", 10, "|Hr|: must match the ring")
+	timeout := fs.Duration("timeout", 30*time.Second, "deadline for the whole operation")
+	baseline := fs.Bool("brk", false, "run the BRICKS baseline protocol instead of UMS")
 	fs.Parse(args)
 	if *via == "" || fs.NArg() < 1 {
 		fmt.Fprintf(os.Stderr, "usage: dcdht-node %s -via addr key [value]\n", op)
@@ -108,13 +111,22 @@ func client(op string, args []string) {
 	// One stabilization round so the ephemeral peer is fully linked.
 	time.Sleep(500 * time.Millisecond)
 
+	// One Client code path for both protocols: the algorithm is an
+	// option, the deadline rides on the context.
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	var opts []dcdht.OpOption
+	if *baseline {
+		opts = append(opts, dcdht.WithAlgorithm(dcdht.AlgBRK))
+	}
+
 	switch op {
 	case "put":
 		if fs.NArg() < 2 {
 			fmt.Fprintln(os.Stderr, "put needs a value")
 			os.Exit(2)
 		}
-		r, err := node.Insert(key, []byte(fs.Arg(1)))
+		r, err := node.Put(ctx, key, []byte(fs.Arg(1)), opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "put: %v\n", err)
 			os.Exit(1)
@@ -122,7 +134,7 @@ func client(op string, args []string) {
 		fmt.Printf("stored %d/%d replicas with %v in %s (%d msgs)\n",
 			r.Stored, *replicas, r.TS, r.Elapsed.Round(time.Millisecond), r.Msgs)
 	case "get":
-		r, err := node.Retrieve(key)
+		r, err := node.Get(ctx, key, opts...)
 		if err != nil && !dcdht.IsNoCurrent(err) {
 			fmt.Fprintf(os.Stderr, "get: %v\n", err)
 			os.Exit(1)
@@ -134,7 +146,7 @@ func client(op string, args []string) {
 		fmt.Printf("%s\n  status: %s, %v, probed %d replicas, %d msgs, %s\n",
 			r.Data, status, r.TS, r.Probed, r.Msgs, r.Elapsed.Round(time.Millisecond))
 	case "last":
-		ts, err := node.LastTS(key)
+		ts, err := node.LastTS(ctx, key)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "last: %v\n", err)
 			os.Exit(1)

@@ -18,6 +18,7 @@
 package dcdht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/exp"
 	"repro/internal/kts"
+	"repro/internal/network"
 	"repro/internal/network/simwire"
 )
 
@@ -152,50 +154,72 @@ func (s *SimNetwork) Now() time.Duration { return s.d.K.Now() }
 // stabilization, background repair all progress).
 func (s *SimNetwork) Advance(d time.Duration) { s.d.RunFor(d) }
 
-// Insert stores data under key with a fresh KTS timestamp, issued from a
-// random live peer (UMS insert).
-func (s *SimNetwork) Insert(key Key, data []byte) (Result, error) {
-	return s.opFromRandomPeer(func(p *exp.Peer) (Result, error) {
-		return p.UMS.Insert(key, data)
+// Put implements Client: it stores data under key with a fresh
+// timestamp, issued from a random (or pinned, see WithIssuer) live
+// peer. The context's deadline is honored across every simulated RPC.
+func (s *SimNetwork) Put(ctx context.Context, key Key, data []byte, opts ...OpOption) (Result, error) {
+	oc := resolveOpts(opts)
+	return s.op(ctx, oc, func(ctx context.Context, p *exp.Peer) (Result, error) {
+		if oc.alg == AlgBRK {
+			return p.BRK.Insert(ctx, key, data)
+		}
+		return p.UMS.Insert(ctx, key, data)
 	})
 }
 
-// Retrieve returns the current replica of key (UMS retrieve), issued
-// from a random live peer.
-func (s *SimNetwork) Retrieve(key Key) (Result, error) {
-	return s.opFromRandomPeer(func(p *exp.Peer) (Result, error) {
-		return p.UMS.Retrieve(key)
+// Get implements Client: it returns the current replica of key, issued
+// from a random (or pinned) live peer.
+func (s *SimNetwork) Get(ctx context.Context, key Key, opts ...OpOption) (Result, error) {
+	oc := resolveOpts(opts)
+	return s.op(ctx, oc, func(ctx context.Context, p *exp.Peer) (Result, error) {
+		if oc.alg == AlgBRK {
+			return p.BRK.Retrieve(ctx, key)
+		}
+		return p.UMS.Retrieve(ctx, key)
 	})
 }
 
-// InsertBRK and RetrieveBRK run the BRICKS baseline side by side for
-// comparisons.
-func (s *SimNetwork) InsertBRK(key Key, data []byte) (Result, error) {
-	return s.opFromRandomPeer(func(p *exp.Peer) (Result, error) {
-		return p.BRK.Insert(key, data)
-	})
-}
-
-// RetrieveBRK performs a baseline retrieval (read all replicas, highest
-// version wins).
-func (s *SimNetwork) RetrieveBRK(key Key) (Result, error) {
-	return s.opFromRandomPeer(func(p *exp.Peer) (Result, error) {
-		return p.BRK.Retrieve(key)
-	})
-}
-
-// LastTS asks KTS for the last timestamp generated for key.
-func (s *SimNetwork) LastTS(key Key) (Timestamp, error) {
+// LastTS implements Client: it asks KTS for the last timestamp
+// generated for key.
+func (s *SimNetwork) LastTS(ctx context.Context, key Key) (Timestamp, error) {
 	var ts Timestamp
-	var err error
-	p := s.d.RandomLivePeer(s.rng)
-	if p == nil {
-		return ts, fmt.Errorf("dcdht: no live peer: %w", core.ErrUnreachable)
+	res, err := s.op(ctx, resolveOpts(nil), func(ctx context.Context, p *exp.Peer) (Result, error) {
+		t, lerr := p.KTS.LastTS(ctx, key)
+		return Result{TS: t}, lerr
+	})
+	if err != nil {
+		return ts, err
 	}
-	if !s.d.Do(func() { ts, err = p.KTS.LastTS(key, nil) }) {
-		return ts, fmt.Errorf("dcdht: simulation stalled: %w", core.ErrTimeout)
+	return res.TS, nil
+}
+
+// PutMulti implements Client: the writes fan out concurrently inside
+// the simulation, each issued from its own (random or pinned) live
+// peer, with per-key error isolation.
+func (s *SimNetwork) PutMulti(ctx context.Context, items []KV, opts ...OpOption) ([]MultiResult, error) {
+	oc := resolveOpts(opts)
+	keys := make([]Key, len(items))
+	for i, it := range items {
+		keys[i] = it.Key
 	}
-	return ts, err
+	return s.multi(ctx, keys, func(ctx context.Context, i int, p *exp.Peer) (Result, error) {
+		if oc.alg == AlgBRK {
+			return p.BRK.Insert(ctx, items[i].Key, items[i].Data)
+		}
+		return p.UMS.Insert(ctx, items[i].Key, items[i].Data)
+	}, oc)
+}
+
+// GetMulti implements Client: the reads fan out concurrently inside the
+// simulation, with per-key error isolation.
+func (s *SimNetwork) GetMulti(ctx context.Context, keys []Key, opts ...OpOption) ([]MultiResult, error) {
+	oc := resolveOpts(opts)
+	return s.multi(ctx, keys, func(ctx context.Context, i int, p *exp.Peer) (Result, error) {
+		if oc.alg == AlgBRK {
+			return p.BRK.Retrieve(ctx, keys[i])
+		}
+		return p.UMS.Retrieve(ctx, keys[i])
+	}, oc)
 }
 
 // ChurnOne makes one random peer depart (gracefully or by failure per
@@ -226,15 +250,66 @@ func (s *SimNetwork) FailOne() {
 // Close stops the simulation.
 func (s *SimNetwork) Close() { s.d.K.Stop() }
 
-func (s *SimNetwork) opFromRandomPeer(fn func(*exp.Peer) (Result, error)) (Result, error) {
-	p := s.d.RandomLivePeer(s.rng)
+// pickPeer selects the issuing peer for one operation: a random live
+// peer, or the pinned index (modulo the live population).
+func (s *SimNetwork) pickPeer(oc opConfig) *exp.Peer {
+	if oc.peer >= 0 {
+		live := s.d.LivePeers()
+		if len(live) == 0 {
+			return nil
+		}
+		return live[oc.peer%len(live)]
+	}
+	return s.d.RandomLivePeer(s.rng)
+}
+
+// op runs one operation as a simulation process, driving virtual time
+// until it completes. A context that is already done is rejected before
+// the simulation is touched, so expired deadlines fail promptly.
+func (s *SimNetwork) op(ctx context.Context, oc opConfig, fn func(context.Context, *exp.Peer) (Result, error)) (Result, error) {
+	if err := network.CtxError(ctx); err != nil {
+		return Result{}, fmt.Errorf("dcdht: %w", err)
+	}
+	p := s.pickPeer(oc)
 	if p == nil {
 		return Result{}, fmt.Errorf("dcdht: no live peer: %w", core.ErrUnreachable)
 	}
 	var res Result
 	var err error
-	if !s.d.Do(func() { res, err = fn(p) }) {
+	if !s.d.Do(func() { res, err = fn(ctx, p) }) {
 		return res, fmt.Errorf("dcdht: simulation stalled: %w", core.ErrTimeout)
 	}
 	return res, err
+}
+
+// multi fans n sub-operations out as concurrent simulation processes
+// and drives virtual time until all have completed. Issuing peers are
+// chosen up front so the deterministic RNG stream is consumed in a
+// reproducible order.
+func (s *SimNetwork) multi(ctx context.Context, keys []Key, issue func(context.Context, int, *exp.Peer) (Result, error), oc opConfig) ([]MultiResult, error) {
+	out := make([]MultiResult, len(keys))
+	if err := network.CtxError(ctx); err != nil {
+		return nil, fmt.Errorf("dcdht: %w", err)
+	}
+	if len(keys) == 0 {
+		return out, nil
+	}
+	peers := make([]*exp.Peer, len(keys))
+	for i := range keys {
+		peers[i] = s.pickPeer(oc)
+	}
+	ok := s.d.Do(func() {
+		network.GoJoin(s.d.Net.Env(), len(keys), 10*time.Millisecond, func(i int) {
+			out[i].Key = keys[i]
+			if peers[i] == nil {
+				out[i].Err = fmt.Errorf("dcdht: no live peer: %w", core.ErrUnreachable)
+				return
+			}
+			out[i].Result, out[i].Err = issue(ctx, i, peers[i])
+		})
+	})
+	if !ok {
+		return out, fmt.Errorf("dcdht: simulation stalled: %w", core.ErrTimeout)
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package dcdht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -8,15 +9,16 @@ import (
 )
 
 func TestSimNetworkInsertRetrieve(t *testing.T) {
+	ctx := context.Background()
 	n := NewSimNetwork(48, SimConfig{Replicas: 5, Seed: 1})
 	defer n.Close()
 	if got := n.Peers(); got != 48 {
 		t.Fatalf("peers = %d", got)
 	}
-	if _, err := n.Insert("greeting", []byte("hello world")); err != nil {
+	if _, err := n.Put(ctx, "greeting", []byte("hello world")); err != nil {
 		t.Fatal(err)
 	}
-	r, err := n.Retrieve("greeting")
+	r, err := n.Get(ctx, "greeting")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,29 +31,31 @@ func TestSimNetworkInsertRetrieve(t *testing.T) {
 }
 
 func TestSimNetworkUpdateSupersedes(t *testing.T) {
+	ctx := context.Background()
 	n := NewSimNetwork(32, SimConfig{Replicas: 5, Seed: 2})
 	defer n.Close()
-	n.Insert("doc", []byte("v1"))
-	n.Insert("doc", []byte("v2"))
-	n.Insert("doc", []byte("v3"))
-	r, err := n.Retrieve("doc")
+	n.Put(ctx, "doc", []byte("v1"))
+	n.Put(ctx, "doc", []byte("v2"))
+	n.Put(ctx, "doc", []byte("v3"))
+	r, err := n.Get(ctx, "doc")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(r.Data) != "v3" {
 		t.Fatalf("got %q", r.Data)
 	}
-	ts, err := n.LastTS("doc")
+	ts, err := n.LastTS(ctx, "doc")
 	if err != nil || ts != r.TS {
 		t.Fatalf("last_ts %v vs retrieved %v (err %v)", ts, r.TS, err)
 	}
 }
 
 func TestSimNetworkSurvivesChurn(t *testing.T) {
+	ctx := context.Background()
 	n := NewSimNetwork(40, SimConfig{Replicas: 8, Seed: 3})
 	defer n.Close()
 	for i := 0; i < 6; i++ {
-		n.Insert(Key(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+		n.Put(ctx, Key(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
 	}
 	for i := 0; i < 10; i++ {
 		n.ChurnOne()
@@ -59,7 +63,7 @@ func TestSimNetworkSurvivesChurn(t *testing.T) {
 	}
 	current := 0
 	for i := 0; i < 6; i++ {
-		r, err := n.Retrieve(Key(fmt.Sprintf("k%d", i)))
+		r, err := n.Get(ctx, Key(fmt.Sprintf("k%d", i)))
 		if err != nil && !errors.Is(err, ErrNoCurrentReplica) {
 			t.Errorf("retrieve k%d: %v", i, err)
 			continue
@@ -80,12 +84,13 @@ func TestSimNetworkSurvivesChurn(t *testing.T) {
 }
 
 func TestSimNetworkBRKBaseline(t *testing.T) {
+	ctx := context.Background()
 	n := NewSimNetwork(32, SimConfig{Replicas: 5, Seed: 4})
 	defer n.Close()
-	if _, err := n.InsertBRK("b", []byte("v1")); err != nil {
+	if _, err := n.Put(ctx, "b", []byte("v1"), WithAlgorithm(AlgBRK)); err != nil {
 		t.Fatal(err)
 	}
-	r, err := n.RetrieveBRK("b")
+	r, err := n.Get(ctx, "b", WithAlgorithm(AlgBRK))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,8 +101,8 @@ func TestSimNetworkBRKBaseline(t *testing.T) {
 		t.Fatalf("BRK probed %d, want all 5", r.Probed)
 	}
 	// UMS on the same network probes fewer.
-	n.Insert("u", []byte("v1"))
-	ru, err := n.Retrieve("u")
+	n.Put(ctx, "u", []byte("v1"))
+	ru, err := n.Get(ctx, "u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,9 +112,10 @@ func TestSimNetworkBRKBaseline(t *testing.T) {
 }
 
 func TestSimNetworkMissingKey(t *testing.T) {
+	ctx := context.Background()
 	n := NewSimNetwork(16, SimConfig{Replicas: 5, Seed: 5})
 	defer n.Close()
-	if _, err := n.Retrieve("ghost"); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -129,6 +135,7 @@ func TestAnalysisReexports(t *testing.T) {
 // TestTCPRingEndToEnd is the cluster deployment in miniature: real
 // sockets, real clocks, same protocol code.
 func TestTCPRingEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	if testing.Short() {
 		t.Skip("tcp integration test")
 	}
@@ -163,10 +170,10 @@ func TestTCPRingEndToEnd(t *testing.T) {
 	}()
 	time.Sleep(time.Second) // a few stabilization rounds
 
-	if _, err := nodes[2].Insert("tcp-key", []byte("over the wire")); err != nil {
+	if _, err := nodes[2].Put(ctx, "tcp-key", []byte("over the wire")); err != nil {
 		t.Fatalf("insert: %v", err)
 	}
-	r, err := nodes[6].Retrieve("tcp-key")
+	r, err := nodes[6].Get(ctx, "tcp-key")
 	if err != nil {
 		t.Fatalf("retrieve: %v", err)
 	}
@@ -175,11 +182,11 @@ func TestTCPRingEndToEnd(t *testing.T) {
 	}
 
 	// Update through another node; everyone must see the new value.
-	if _, err := nodes[5].Insert("tcp-key", []byte("updated")); err != nil {
+	if _, err := nodes[5].Put(ctx, "tcp-key", []byte("updated")); err != nil {
 		t.Fatalf("update: %v", err)
 	}
 	for _, nd := range []*Node{nodes[0], nodes[3], nodes[7]} {
-		r, err := nd.Retrieve("tcp-key")
+		r, err := nd.Get(ctx, "tcp-key")
 		if err != nil {
 			t.Fatalf("retrieve after update: %v", err)
 		}
@@ -193,17 +200,17 @@ func TestTCPRingEndToEnd(t *testing.T) {
 		t.Logf("leave reported: %v (tolerated)", err)
 	}
 	time.Sleep(500 * time.Millisecond)
-	r, err = nodes[1].Retrieve("tcp-key")
+	r, err = nodes[1].Get(ctx, "tcp-key")
 	if err != nil {
 		t.Fatalf("retrieve after leave: %v", err)
 	}
 	if string(r.Data) != "updated" {
 		t.Fatalf("after leave: %q", r.Data)
 	}
-	if _, err := nodes[1].Insert("tcp-key", []byte("v3")); err != nil {
+	if _, err := nodes[1].Put(ctx, "tcp-key", []byte("v3")); err != nil {
 		t.Fatalf("insert after leave: %v", err)
 	}
-	ts, err := nodes[2].LastTS("tcp-key")
+	ts, err := nodes[2].LastTS(ctx, "tcp-key")
 	if err != nil {
 		t.Fatalf("last_ts: %v", err)
 	}

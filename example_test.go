@@ -1,7 +1,10 @@
 package dcdht_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	dcdht "repro"
 )
@@ -12,16 +15,81 @@ func Example() {
 	net := dcdht.NewSimNetwork(32, dcdht.SimConfig{Replicas: 5, Seed: 7})
 	defer net.Close()
 
-	net.Insert("motd", []byte("v1"))
-	net.Insert("motd", []byte("v2"))
+	ctx := context.Background()
+	net.Put(ctx, "motd", []byte("v1"))
+	net.Put(ctx, "motd", []byte("v2"))
 
-	r, err := net.Retrieve("motd")
+	r, err := net.Get(ctx, "motd")
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	fmt.Printf("%s current=%v ts=%v probed=%d\n", r.Data, r.Current, r.TS, r.Probed)
 	// Output: v2 current=true ts=ts(2) probed=1
+}
+
+// ExampleClient is the canonical usage of the deployment-agnostic
+// Client interface: the same function serves a simulated network or a
+// real TCP node, takes a per-request deadline through the context, and
+// selects the protocol per operation.
+func ExampleClient() {
+	net := dcdht.NewSimNetwork(32, dcdht.SimConfig{Replicas: 5, Seed: 7})
+	defer net.Close()
+
+	// Everything below this line only sees the Client interface — pass
+	// a *dcdht.Node instead and it drives a real TCP ring.
+	var c dcdht.Client = net
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := c.Put(ctx, "greeting", []byte("hello")); err != nil {
+		fmt.Println("put:", err)
+		return
+	}
+	r, err := c.Get(ctx, "greeting")
+	if err != nil && !dcdht.IsNoCurrent(err) {
+		fmt.Println("get:", err)
+		return
+	}
+	ts, _ := c.LastTS(ctx, "greeting")
+	fmt.Printf("%s current=%v audit=%v\n", r.Data, r.Current, ts == r.TS)
+
+	// The BRICKS baseline runs through the same code path: the
+	// algorithm is an option, not another method set.
+	c.Put(ctx, "greeting-brk", []byte("hi"), dcdht.WithAlgorithm(dcdht.AlgBRK))
+	brk, _ := c.Get(ctx, "greeting-brk", dcdht.WithAlgorithm(dcdht.AlgBRK))
+	fmt.Printf("baseline probed %d replicas, provable currency: %v\n", brk.Probed, brk.Current)
+	// Output:
+	// hello current=true audit=true
+	// baseline probed 5 replicas, provable currency: false
+}
+
+// ExampleClient_getMulti shows the batched reads: keys fan out
+// concurrently and each key's outcome is isolated — a missing key
+// reports its own error without failing its siblings.
+func ExampleClient_getMulti() {
+	net := dcdht.NewSimNetwork(32, dcdht.SimConfig{Replicas: 5, Seed: 7})
+	defer net.Close()
+	ctx := context.Background()
+
+	net.PutMulti(ctx, []dcdht.KV{
+		{Key: "a", Data: []byte("alpha")},
+		{Key: "b", Data: []byte("beta")},
+	})
+	results, _ := net.GetMulti(ctx, []dcdht.Key{"a", "missing", "b"})
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+			fmt.Printf("%s = %s\n", r.Key, r.Data)
+		case errors.Is(r.Err, dcdht.ErrNotFound):
+			fmt.Printf("%s not found\n", r.Key)
+		}
+	}
+	// Output:
+	// a = alpha
+	// missing not found
+	// b = beta
 }
 
 // ExampleExpectedRetrievals reproduces the paper's §3.3 example: with
@@ -49,13 +117,14 @@ func ExampleSimNetwork_ChurnOne() {
 	net := dcdht.NewSimNetwork(40, dcdht.SimConfig{Replicas: 8, Seed: 11})
 	defer net.Close()
 
-	net.Insert("doc", []byte("original"))
+	ctx := context.Background()
+	net.Put(ctx, "doc", []byte("original"))
 	for i := 0; i < 5; i++ {
 		net.ChurnOne()
 	}
-	net.Insert("doc", []byte("revised"))
+	net.Put(ctx, "doc", []byte("revised"))
 
-	r, err := net.Retrieve("doc")
+	r, err := net.Get(ctx, "doc")
 	fmt.Printf("%s err=%v peers=%d\n", r.Data, err, net.Peers())
 	// Output: revised err=<nil> peers=40
 }

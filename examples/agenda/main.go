@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,7 @@ import (
 func main() {
 	net := dcdht.NewSimNetwork(100, dcdht.SimConfig{Seed: 7, Replicas: 10})
 	defer net.Close()
+	ctx := context.Background()
 	slot := dcdht.Key("agenda:room-42:monday-10h")
 
 	fmt.Println("A shared agenda slot, edited by three assistants while peers churn:")
@@ -26,7 +28,7 @@ func main() {
 		"CANCELLED — merged into thursday sync (carol)",
 	}
 	for i, text := range edits {
-		r, err := net.Insert(slot, []byte(text))
+		r, err := net.Put(ctx, slot, []byte(text))
 		if err != nil {
 			log.Fatalf("edit %d: %v", i+1, err)
 		}
@@ -42,7 +44,7 @@ func main() {
 
 	// Whoever checks the agenda — from any peer, after any churn — must
 	// see the cancellation, not a ghost meeting.
-	got, err := net.Retrieve(slot)
+	got, err := net.Get(ctx, slot)
 	switch {
 	case err == nil:
 		fmt.Printf("\nagenda check: %q\n", got.Data)

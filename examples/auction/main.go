@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,9 +19,10 @@ import (
 func main() {
 	net := dcdht.NewSimNetwork(80, dcdht.SimConfig{Seed: 99, Replicas: 10})
 	defer net.Close()
+	ctx := context.Background()
 	lot := dcdht.Key("auction:lot-17")
 
-	if _, err := net.Insert(lot, []byte("opening price: 100")); err != nil {
+	if _, err := net.Put(ctx, lot, []byte("opening price: 100")); err != nil {
 		log.Fatalf("open auction: %v", err)
 	}
 
@@ -28,7 +30,7 @@ func main() {
 	bids := []string{"110 (dora)", "120 (erik)", "125 (fang)", "140 (gita)", "150 (hugo)"}
 	var lastTS dcdht.Timestamp
 	for _, bid := range bids {
-		r, err := net.Insert(lot, []byte("bid: "+bid))
+		r, err := net.Put(ctx, lot, []byte("bid: "+bid))
 		if err != nil {
 			log.Fatalf("bid %s: %v", bid, err)
 		}
@@ -39,7 +41,7 @@ func main() {
 		fmt.Printf("  ts=%v %s\n", r.TS, bid)
 	}
 
-	got, err := net.Retrieve(lot)
+	got, err := net.Get(ctx, lot)
 	if err != nil {
 		log.Fatalf("read winning bid: %v", err)
 	}
@@ -51,22 +53,23 @@ func main() {
 	// KTS's last_ts lets an auditor verify currency without fetching
 	// anything else: the returned replica's timestamp IS the last one
 	// generated for the key.
-	ts, err := net.LastTS(lot)
+	ts, err := net.LastTS(ctx, lot)
 	if err != nil {
 		log.Fatalf("audit: %v", err)
 	}
 	fmt.Printf("audit: KTS last_ts=%v matches the retrieved replica: %v\n", ts, ts == got.TS)
 
 	fmt.Println("\nsame auction on the BRICKS baseline (version numbers, read-all):")
-	if _, err := net.InsertBRK(lot, []byte("opening price: 100")); err != nil {
+	brkOpt := dcdht.WithAlgorithm(dcdht.AlgBRK)
+	if _, err := net.Put(ctx, lot, []byte("opening price: 100"), brkOpt); err != nil {
 		log.Fatalf("brk open: %v", err)
 	}
 	for _, bid := range bids[:2] {
-		if _, err := net.InsertBRK(lot, []byte("bid: "+bid)); err != nil {
+		if _, err := net.Put(ctx, lot, []byte("bid: "+bid), brkOpt); err != nil {
 			log.Fatalf("brk bid: %v", err)
 		}
 	}
-	brk, err := net.RetrieveBRK(lot)
+	brk, err := net.Get(ctx, lot, brkOpt)
 	if err != nil {
 		log.Fatalf("brk read: %v", err)
 	}

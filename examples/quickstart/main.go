@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,9 +22,14 @@ func main() {
 	defer net.Close()
 	fmt.Printf("simulated network: %d peers up at virtual t=%s\n\n", net.Peers(), net.Now())
 
-	// Insert: UMS stamps the value with a KTS timestamp and replicates
-	// it at the peers responsible under each replication hash function.
-	ins, err := net.Insert("motd", []byte("hello, replicated world"))
+	// Every operation goes through the dcdht.Client interface and takes
+	// a context; swap the SimNetwork for a TCP Node and this code runs
+	// unchanged against a real cluster.
+	ctx := context.Background()
+
+	// Put: UMS stamps the value with a KTS timestamp and replicates it
+	// at the peers responsible under each replication hash function.
+	ins, err := net.Put(ctx, "motd", []byte("hello, replicated world"))
 	if err != nil {
 		log.Fatalf("insert: %v", err)
 	}
@@ -32,17 +38,17 @@ func main() {
 
 	// Update from some other peer: a fresh timestamp supersedes the old
 	// replicas everywhere it lands.
-	upd, err := net.Insert("motd", []byte("hello again — now with currency"))
+	upd, err := net.Put(ctx, "motd", []byte("hello again — now with currency"))
 	if err != nil {
 		log.Fatalf("update: %v", err)
 	}
 	fmt.Printf("update  : ts=%v stored=%d replicas in %s (%d msgs)\n",
 		upd.TS, upd.Stored, upd.Elapsed.Round(time.Millisecond), upd.Msgs)
 
-	// Retrieve: UMS asks KTS for the last timestamp, then probes replica
+	// Get: UMS asks KTS for the last timestamp, then probes replica
 	// positions until one carries it. With all replicas fresh it stops
 	// after ONE probe (Theorem 1: E[probes] < 1/pt).
-	got, err := net.Retrieve("motd")
+	got, err := net.Get(ctx, "motd")
 	if err != nil {
 		log.Fatalf("retrieve: %v", err)
 	}
@@ -51,11 +57,12 @@ func main() {
 		got.Current, got.TS, got.Probed, got.Msgs, got.Elapsed.Round(time.Millisecond))
 
 	// The BRICKS baseline must fetch every replica and pick the highest
-	// version — and still cannot PROVE the result is current.
-	if _, err := net.InsertBRK("motd-brk", []byte("same data, baseline protocol")); err != nil {
+	// version — and still cannot PROVE the result is current. Same code
+	// path; the algorithm is just an option.
+	if _, err := net.Put(ctx, "motd-brk", []byte("same data, baseline protocol"), dcdht.WithAlgorithm(dcdht.AlgBRK)); err != nil {
 		log.Fatalf("brk insert: %v", err)
 	}
-	brk, err := net.RetrieveBRK("motd-brk")
+	brk, err := net.Get(ctx, "motd-brk", dcdht.WithAlgorithm(dcdht.AlgBRK))
 	if err != nil {
 		log.Fatalf("brk retrieve: %v", err)
 	}

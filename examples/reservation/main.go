@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,6 +23,7 @@ func main() {
 		FailureRate: 1.0, // every departure in this demo is a crash
 	})
 	defer net.Close()
+	ctx := context.Background()
 	seat := dcdht.Key("reservation:flight-AF123:seat-12A")
 
 	states := []string{
@@ -32,7 +34,7 @@ func main() {
 	}
 	fmt.Println("reservation state machine under crash failures:")
 	for i, state := range states {
-		r, err := net.Insert(seat, []byte(state))
+		r, err := net.Put(ctx, seat, []byte(state))
 		if err != nil {
 			log.Fatalf("transition %d: %v", i+1, err)
 		}
@@ -45,7 +47,7 @@ func main() {
 		net.Advance(5 * time.Minute)
 	}
 
-	got, err := net.Retrieve(seat)
+	got, err := net.Get(ctx, seat)
 	switch {
 	case err == nil:
 		fmt.Printf("\nfinal state: %q (provably current, ts=%v, %d probes)\n",

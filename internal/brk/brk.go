@@ -14,6 +14,7 @@
 package brk
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -45,8 +46,9 @@ func New(ring dht.Ring, set hashing.Set) *Service {
 // current highest version, then write every replica with version+1.
 // Two concurrent inserts can read the same highest version and thus
 // write the same new version — the undecidability the paper points out.
-func (s *Service) Insert(k core.Key, data []byte) (res dht.OpResult, err error) {
+func (s *Service) Insert(ctx context.Context, k core.Key, data []byte) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
+	ctx = network.WithMeter(ctx, meter)
 	start := s.ring.Env().Now()
 	defer func() {
 		res.Elapsed = s.ring.Env().Now() - start
@@ -56,8 +58,11 @@ func (s *Service) Insert(k core.Key, data []byte) (res dht.OpResult, err error) 
 	// Learn the highest stored version.
 	highest := core.TSZero
 	for _, h := range s.set.Hr {
+		if cerr := network.CtxError(ctx); cerr != nil {
+			return res, fmt.Errorf("brk: insert(%q): %w", k, cerr)
+		}
 		res.Probed++
-		if val, err := s.client.GetH(k, h, meter); err == nil {
+		if val, err := s.client.GetH(ctx, k, h); err == nil {
 			res.Retrieved++
 			highest = highest.Max(val.TS)
 		}
@@ -66,10 +71,13 @@ func (s *Service) Insert(k core.Key, data []byte) (res dht.OpResult, err error) 
 	res.TS = version
 	val := core.Value{Data: data, TS: version}
 	for _, h := range s.set.Hr {
+		if cerr := network.CtxError(ctx); cerr != nil {
+			return res, fmt.Errorf("brk: insert(%q): %w", k, cerr)
+		}
 		// Version ties overwrite arbitrarily (PutIfNewerOrEqual): with
 		// concurrent same-version writers, which data survives at each
 		// replica is timing-dependent — the baseline's flaw.
-		if err := s.client.PutH(k, h, val, dht.PutIfNewerOrEqual, meter); err == nil {
+		if err := s.client.PutH(ctx, k, h, val, dht.PutIfNewerOrEqual); err == nil {
 			res.Stored++
 		}
 	}
@@ -83,8 +91,9 @@ func (s *Service) Insert(k core.Key, data []byte) (res dht.OpResult, err error) 
 // — there is no way to stop early, because any unprobed replica might
 // hold a higher version. With duplicate versions the returned data is
 // whichever replica was fetched first, and currency cannot be decided.
-func (s *Service) Retrieve(k core.Key) (res dht.OpResult, err error) {
+func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
+	ctx = network.WithMeter(ctx, meter)
 	start := s.ring.Env().Now()
 	defer func() {
 		res.Elapsed = s.ring.Env().Now() - start
@@ -94,8 +103,11 @@ func (s *Service) Retrieve(k core.Key) (res dht.OpResult, err error) {
 	var best []byte
 	bestVersion := core.TSZero
 	for _, h := range s.set.Hr {
+		if cerr := network.CtxError(ctx); cerr != nil {
+			return res, fmt.Errorf("brk: retrieve(%q): %w", k, cerr)
+		}
 		res.Probed++
-		val, err := s.client.GetH(k, h, meter)
+		val, err := s.client.GetH(ctx, k, h)
 		if err != nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package brk_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func deploy(t *testing.T, seed int64) *exp.Deployment {
 func TestInsertIncrementsVersion(t *testing.T) {
 	d := deploy(t, 1)
 	d.Do(func() {
-		r1, err := d.Peers[0].BRK.Insert("k", []byte("v1"))
+		r1, err := d.Peers[0].BRK.Insert(context.Background(), "k", []byte("v1"))
 		if err != nil {
 			t.Errorf("insert1: %v", err)
 			return
@@ -33,7 +34,7 @@ func TestInsertIncrementsVersion(t *testing.T) {
 		if r1.TS != core.TS(1) {
 			t.Errorf("first version = %v", r1.TS)
 		}
-		r2, err := d.Peers[3].BRK.Insert("k", []byte("v2"))
+		r2, err := d.Peers[3].BRK.Insert(context.Background(), "k", []byte("v2"))
 		if err != nil {
 			t.Errorf("insert2: %v", err)
 			return
@@ -41,7 +42,7 @@ func TestInsertIncrementsVersion(t *testing.T) {
 		if r2.TS != core.TS(2) {
 			t.Errorf("second version = %v", r2.TS)
 		}
-		got, err := d.Peers[7].BRK.Retrieve("k")
+		got, err := d.Peers[7].BRK.Retrieve(context.Background(), "k")
 		if err != nil {
 			t.Errorf("retrieve: %v", err)
 			return
@@ -55,11 +56,11 @@ func TestInsertIncrementsVersion(t *testing.T) {
 func TestRetrieveAlwaysProbesAllReplicas(t *testing.T) {
 	d := deploy(t, 2)
 	d.Do(func() {
-		if _, err := d.Peers[0].BRK.Insert("k", []byte("v")); err != nil {
+		if _, err := d.Peers[0].BRK.Insert(context.Background(), "k", []byte("v")); err != nil {
 			t.Errorf("insert: %v", err)
 			return
 		}
-		r, err := d.Peers[5].BRK.Retrieve("k")
+		r, err := d.Peers[5].BRK.Retrieve(context.Background(), "k")
 		if err != nil {
 			t.Errorf("retrieve: %v", err)
 			return
@@ -76,7 +77,7 @@ func TestRetrieveAlwaysProbesAllReplicas(t *testing.T) {
 func TestRetrieveMissingKey(t *testing.T) {
 	d := deploy(t, 3)
 	d.Do(func() {
-		if _, err := d.Peers[0].BRK.Retrieve("ghost"); !errors.Is(err, core.ErrNotFound) {
+		if _, err := d.Peers[0].BRK.Retrieve(context.Background(), "ghost"); !errors.Is(err, core.ErrNotFound) {
 			t.Errorf("err = %v", err)
 		}
 	})
@@ -89,18 +90,18 @@ func TestRetrieveMissingKey(t *testing.T) {
 func TestConcurrentUpdatesCollideOnVersion(t *testing.T) {
 	d := deploy(t, 4)
 	d.Do(func() {
-		if _, err := d.Peers[0].BRK.Insert("flaw", []byte("base")); err != nil {
+		if _, err := d.Peers[0].BRK.Insert(context.Background(), "flaw", []byte("base")); err != nil {
 			t.Errorf("seed insert: %v", err)
 		}
 	})
 	versions := make(chan core.Timestamp, 2)
 	d.K.Go(func() {
-		if r, err := d.Peers[1].BRK.Insert("flaw", []byte("writer-A")); err == nil {
+		if r, err := d.Peers[1].BRK.Insert(context.Background(), "flaw", []byte("writer-A")); err == nil {
 			versions <- r.TS
 		}
 	})
 	d.K.Go(func() {
-		if r, err := d.Peers[9].BRK.Insert("flaw", []byte("writer-B")); err == nil {
+		if r, err := d.Peers[9].BRK.Insert(context.Background(), "flaw", []byte("writer-B")); err == nil {
 			versions <- r.TS
 		}
 	})
@@ -119,7 +120,7 @@ func TestConcurrentUpdatesCollideOnVersion(t *testing.T) {
 	// Both writers believe they own version 2; which data a reader sees
 	// is an accident of replica timing — BRK cannot tell.
 	d.Do(func() {
-		r, err := d.Peers[4].BRK.Retrieve("flaw")
+		r, err := d.Peers[4].BRK.Retrieve(context.Background(), "flaw")
 		if err != nil {
 			t.Errorf("retrieve: %v", err)
 			return

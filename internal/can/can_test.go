@@ -1,6 +1,7 @@
 package can
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -201,7 +202,7 @@ func TestLookupFindsOwner(t *testing.T) {
 			}
 		}
 		ts.do(func() {
-			ref, _, err := origin.Lookup(target, nil)
+			ref, _, err := origin.Lookup(context.Background(), target)
 			if err != nil {
 				t.Errorf("lookup: %v", err)
 				return
@@ -220,11 +221,11 @@ func TestPutGetOnCAN(t *testing.T) {
 	h := hashing.Salted{Salt: "h0"}
 	ts.do(func() {
 		val := core.Value{Data: []byte("can-data"), TS: core.TS(1)}
-		if err := client.PutH("key", h, val, dht.PutOverwrite, nil); err != nil {
+		if err := client.PutH(context.Background(), "key", h, val, dht.PutOverwrite); err != nil {
 			t.Errorf("put: %v", err)
 			return
 		}
-		got, err := client.GetH("key", h, nil)
+		got, err := client.GetH(context.Background(), "key", h)
 		if err != nil {
 			t.Errorf("get: %v", err)
 			return
@@ -245,7 +246,7 @@ func TestGracefulLeaveHandsOver(t *testing.T) {
 		for i := range keys {
 			keys[i] = core.Key(fmt.Sprintf("ck-%d", i))
 			val := core.Value{Data: []byte(keys[i]), TS: core.TS(1)}
-			if err := client.PutH(keys[i], h, val, dht.PutOverwrite, nil); err != nil {
+			if err := client.PutH(context.Background(), keys[i], h, val, dht.PutOverwrite); err != nil {
 				t.Errorf("put: %v", err)
 			}
 		}
@@ -261,7 +262,7 @@ func TestGracefulLeaveHandsOver(t *testing.T) {
 	ts.checkPartition()
 	ts.do(func() {
 		for _, k := range keys {
-			got, err := client.GetH(k, h, nil)
+			got, err := client.GetH(context.Background(), k, h)
 			if err != nil {
 				t.Errorf("get %s after leave: %v", k, err)
 				continue
@@ -291,7 +292,7 @@ func TestFailureTakeover(t *testing.T) {
 			continue
 		}
 		ts.do(func() {
-			if _, _, err := origin.Lookup(target, nil); err != nil {
+			if _, _, err := origin.Lookup(context.Background(), target); err != nil {
 				t.Errorf("post-failure lookup: %v", err)
 			}
 		})
@@ -304,7 +305,7 @@ func TestCrashedNodeRefusesOps(t *testing.T) {
 	nd := ts.nodes[1]
 	nd.Crash()
 	ts.do(func() {
-		if _, _, err := nd.Lookup(1, nil); !errors.Is(err, core.ErrStopped) {
+		if _, _, err := nd.Lookup(context.Background(), 1); !errors.Is(err, core.ErrStopped) {
 			t.Errorf("lookup from crashed: %v", err)
 		}
 		if err := nd.Leave(); !errors.Is(err, core.ErrStopped) {

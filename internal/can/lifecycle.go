@@ -1,6 +1,7 @@
 package can
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -19,7 +20,7 @@ func (n *Node) Join(bootstrap network.Addr) error {
 	// Route from the bootstrap to the owner of our point.
 	cur := dht.NodeRef{Addr: bootstrap}
 	for step := 0; step < n.cfg.MaxRouteSteps; step++ {
-		raw, err := n.call(cur.Addr, methodRouteStep, RouteStepReq{Target: target}, nil)
+		raw, err := n.call(context.Background(), cur.Addr, methodRouteStep, RouteStepReq{Target: target})
 		if err != nil {
 			return fmt.Errorf("can: join routing via %s: %w", cur.Addr, err)
 		}
@@ -34,7 +35,7 @@ func (n *Node) Join(bootstrap network.Addr) error {
 		cur = resp.Next
 	}
 
-	raw, err := n.call(cur.Addr, methodSplit, SplitReq{NewNode: n.self}, nil)
+	raw, err := n.call(context.Background(), cur.Addr, methodSplit, SplitReq{NewNode: n.self})
 	if err != nil {
 		return fmt.Errorf("can: join split at %s: %w", cur.Addr, err)
 	}
@@ -104,14 +105,14 @@ func (n *Node) Leave() error {
 		Neighbors: infos,
 	}
 	var firstErr error
-	if _, err := n.call(takeover.Addr, methodTakeover, req, nil); err != nil {
+	if _, err := n.call(context.Background(), takeover.Addr, methodTakeover, req); err != nil {
 		firstErr = fmt.Errorf("can: leave takeover by %s: %w", takeover.Addr, err)
 	}
 	// Advertise the successor with its post-takeover zones (its own plus
 	// ours), so the remaining neighbors adopt it instead of dropping it.
 	succ := NeighborInfo{Ref: takeover, Zones: append(zonesByID[takeover.ID], zones...)}
 	for _, c := range cands[1:] {
-		if _, err := n.call(c.ref.Addr, methodGone, GoneReq{Departed: n.self, Successor: succ}, nil); err != nil && firstErr == nil {
+		if _, err := n.call(context.Background(), c.ref.Addr, methodGone, GoneReq{Departed: n.self, Successor: succ}); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("can: leave notice to %s: %w", c.ref.Addr, err)
 		}
 	}
@@ -156,7 +157,7 @@ func (n *Node) probeNeighbors() {
 	}
 	n.mu.Unlock()
 	for _, nb := range refs {
-		if _, err := n.call(nb.ref.Addr, methodPing, PingReq{}, nil); err == nil {
+		if _, err := n.call(context.Background(), nb.ref.Addr, methodPing, PingReq{}); err == nil {
 			continue
 		}
 		n.handleDeadNeighbor(nb)

@@ -1,6 +1,7 @@
 package can
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -325,7 +326,7 @@ func (n *Node) broadcastUpdate() {
 	for _, ref := range targets {
 		ref := ref
 		n.env.Go(func() {
-			if raw, err := n.call(ref.Addr, methodUpdate, UpdateReq{Info: info}, nil); err == nil {
+			if raw, err := n.call(context.Background(), ref.Addr, methodUpdate, UpdateReq{Info: info}); err == nil {
 				n.applyNeighborInfo(raw.(UpdateResp).Info)
 			}
 		})
@@ -364,8 +365,9 @@ func (n *Node) acceptServices(payloads map[string]network.Message) {
 	}
 }
 
-// Lookup implements dht.Ring by iterative greedy routing.
-func (n *Node) Lookup(target core.ID, meter *network.Meter) (dht.NodeRef, int, error) {
+// Lookup implements dht.Ring by iterative greedy routing. The context
+// bounds the walk and carries the meter the hops are charged to.
+func (n *Node) Lookup(ctx context.Context, target core.ID) (dht.NodeRef, int, error) {
 	if !n.Alive() {
 		return dht.NodeRef{}, 0, fmt.Errorf("can: lookup from dead node: %w", core.ErrStopped)
 	}
@@ -374,7 +376,10 @@ func (n *Node) Lookup(target core.ID, meter *network.Meter) (dht.NodeRef, int, e
 	hops := 0
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		ref, h, err := n.lookupOnce(p, exclude, meter)
+		if err := network.CtxError(ctx); err != nil {
+			return dht.NodeRef{}, hops, fmt.Errorf("can: lookup %v: %w", p, err)
+		}
+		ref, h, err := n.lookupOnce(ctx, p, exclude)
 		hops += h
 		if err == nil {
 			return ref, hops, nil
@@ -387,7 +392,7 @@ func (n *Node) Lookup(target core.ID, meter *network.Meter) (dht.NodeRef, int, e
 	return dht.NodeRef{}, hops, fmt.Errorf("can: lookup %v: %w", p, lastErr)
 }
 
-func (n *Node) lookupOnce(target Point, exclude map[core.ID]bool, meter *network.Meter) (dht.NodeRef, int, error) {
+func (n *Node) lookupOnce(ctx context.Context, target Point, exclude map[core.ID]bool) (dht.NodeRef, int, error) {
 	cur := n.self
 	hops := 0
 	visited := map[core.ID]bool{}
@@ -400,8 +405,8 @@ func (n *Node) lookupOnce(target Point, exclude map[core.ID]bool, meter *network
 				return dht.NodeRef{}, hops, fmt.Errorf("can: routing loop at %s: %w", cur.ID, core.ErrUnreachable)
 			}
 			visited[cur.ID] = true
-			raw, err := n.call(cur.Addr, methodRouteStep,
-				RouteStepReq{Target: target, Exclude: setToList(exclude)}, meter)
+			raw, err := n.call(ctx, cur.Addr, methodRouteStep,
+				RouteStepReq{Target: target, Exclude: setToList(exclude)})
 			hops++
 			if err != nil {
 				if errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrStopped) ||

@@ -22,6 +22,7 @@
 package chord
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -243,7 +244,8 @@ func (n *Node) Crash() {
 	n.store.Clear()
 }
 
-// call invokes a protocol RPC with the node's timeout.
-func (n *Node) call(to network.Addr, method string, req network.Message, meter *network.Meter) (network.Message, error) {
-	return n.ep.Invoke(to, method, req, network.Call{Timeout: n.cfg.RPCTimeout, Meter: meter})
+// call invokes a protocol RPC with the node's per-hop patience; the
+// caller's context carries the end-to-end deadline and the meter.
+func (n *Node) call(ctx context.Context, to network.Addr, method string, req network.Message) (network.Message, error) {
+	return n.ep.Invoke(ctx, to, method, req, network.Call{Timeout: n.cfg.RPCTimeout})
 }

@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -90,7 +91,7 @@ func TestNoDataHandoffLeavesReplicasBehind(t *testing.T) {
 		for i := range keys {
 			keys[i] = core.Key(fmt.Sprintf("nk-%d", i))
 			val := core.Value{Data: []byte(keys[i]), TS: core.TS(1)}
-			if err := client.PutH(keys[i], h, val, dht.PutOverwrite, nil); err != nil {
+			if err := client.PutH(context.Background(), keys[i], h, val, dht.PutOverwrite); err != nil {
 				t.Errorf("put: %v", err)
 			}
 		}
@@ -117,7 +118,7 @@ func TestNoDataHandoffLeavesReplicasBehind(t *testing.T) {
 	lost := 0
 	tr.do(func() {
 		for _, k := range keys {
-			if _, err := client.GetH(k, h, nil); err != nil {
+			if _, err := client.GetH(context.Background(), k, h); err != nil {
 				lost++
 			}
 		}
@@ -145,7 +146,7 @@ func TestLookupFromEveryNode(t *testing.T) {
 	for _, nd := range tr.nodes {
 		nd := nd
 		tr.do(func() {
-			ref, _, err := nd.Lookup(target, nil)
+			ref, _, err := nd.Lookup(context.Background(), target)
 			if err != nil {
 				t.Errorf("lookup from %s: %v", nd.Self().ID, err)
 				return

@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -146,7 +147,7 @@ func TestSingletonRing(t *testing.T) {
 	tr.build(1, false)
 	nd := tr.nodes[0]
 	tr.do(func() {
-		ref, hops, err := nd.Lookup(12345, nil)
+		ref, hops, err := nd.Lookup(context.Background(), 12345)
 		if err != nil {
 			t.Errorf("lookup: %v", err)
 		}
@@ -180,7 +181,7 @@ func TestLookupFindsCorrectResponsible(t *testing.T) {
 		origin := tr.nodes[rng.Intn(len(tr.nodes))]
 		want := tr.wantResponsible(target).Self().ID
 		tr.do(func() {
-			ref, _, err := origin.Lookup(target, nil)
+			ref, _, err := origin.Lookup(context.Background(), target)
 			if err != nil {
 				t.Errorf("lookup %s: %v", target, err)
 				return
@@ -203,7 +204,7 @@ func TestLookupHopsLogarithmic(t *testing.T) {
 		target := core.ID(rng.Uint64())
 		origin := tr.nodes[rng.Intn(len(tr.nodes))]
 		tr.do(func() {
-			_, hops, err := origin.Lookup(target, nil)
+			_, hops, err := origin.Lookup(context.Background(), target)
 			if err != nil {
 				t.Errorf("lookup: %v", err)
 				return
@@ -227,7 +228,7 @@ func TestMeterCountsLookupMessages(t *testing.T) {
 	origin := tr.nodes[5]
 	tr.do(func() {
 		m := &network.Meter{}
-		_, hops, err := origin.Lookup(target, m)
+		_, hops, err := origin.Lookup(network.WithMeter(context.Background(), m), target)
 		if err != nil {
 			t.Errorf("lookup: %v", err)
 			return
@@ -246,11 +247,11 @@ func TestPutGetAcrossRing(t *testing.T) {
 	h := hashing.Salted{Salt: "h0"}
 	tr.do(func() {
 		val := core.Value{Data: []byte("payload"), TS: core.TS(7)}
-		if err := client.PutH("some-key", h, val, dht.PutOverwrite, nil); err != nil {
+		if err := client.PutH(context.Background(), "some-key", h, val, dht.PutOverwrite); err != nil {
 			t.Errorf("put: %v", err)
 			return
 		}
-		got, err := client.GetH("some-key", h, nil)
+		got, err := client.GetH(context.Background(), "some-key", h)
 		if err != nil {
 			t.Errorf("get: %v", err)
 			return
@@ -275,13 +276,13 @@ func TestPutIfNewerRejectsStale(t *testing.T) {
 	tr.do(func() {
 		newer := core.Value{Data: []byte("new"), TS: core.TS(5)}
 		older := core.Value{Data: []byte("old"), TS: core.TS(3)}
-		if err := client.PutH("k", h, newer, dht.PutIfNewer, nil); err != nil {
+		if err := client.PutH(context.Background(), "k", h, newer, dht.PutIfNewer); err != nil {
 			t.Errorf("put newer: %v", err)
 		}
-		if err := client.PutH("k", h, older, dht.PutIfNewer, nil); err != nil {
+		if err := client.PutH(context.Background(), "k", h, older, dht.PutIfNewer); err != nil {
 			t.Errorf("put older: %v", err)
 		}
-		got, err := client.GetH("k", h, nil)
+		got, err := client.GetH(context.Background(), "k", h)
 		if err != nil {
 			t.Errorf("get: %v", err)
 			return
@@ -305,7 +306,7 @@ func TestJoinTransfersKeys(t *testing.T) {
 		for i := range keys {
 			keys[i] = core.Key(fmt.Sprintf("key-%d", i))
 			val := core.Value{Data: []byte(keys[i]), TS: core.TS(1)}
-			if err := client.PutH(keys[i], h, val, dht.PutOverwrite, nil); err != nil {
+			if err := client.PutH(context.Background(), keys[i], h, val, dht.PutOverwrite); err != nil {
 				t.Errorf("put %s: %v", keys[i], err)
 			}
 		}
@@ -325,7 +326,7 @@ func TestJoinTransfersKeys(t *testing.T) {
 
 	tr.do(func() {
 		for _, k := range keys {
-			got, err := client.GetH(k, h, nil)
+			got, err := client.GetH(context.Background(), k, h)
 			if err != nil {
 				t.Errorf("get %s after join: %v", k, err)
 				continue
@@ -359,7 +360,7 @@ func TestGracefulLeaveHandsOffKeys(t *testing.T) {
 		for i := range keys {
 			keys[i] = core.Key(fmt.Sprintf("lk-%d", i))
 			val := core.Value{Data: []byte(keys[i]), TS: core.TS(1)}
-			if err := client.PutH(keys[i], h, val, dht.PutOverwrite, nil); err != nil {
+			if err := client.PutH(context.Background(), keys[i], h, val, dht.PutOverwrite); err != nil {
 				t.Errorf("put: %v", err)
 			}
 		}
@@ -377,7 +378,7 @@ func TestGracefulLeaveHandsOffKeys(t *testing.T) {
 
 	tr.do(func() {
 		for _, k := range keys {
-			got, err := client.GetH(k, h, nil)
+			got, err := client.GetH(context.Background(), k, h)
 			if err != nil {
 				t.Errorf("get %s after leave: %v", k, err)
 				continue
@@ -402,7 +403,7 @@ func TestCrashLosesDataButRingHeals(t *testing.T) {
 		for i := range keys {
 			keys[i] = core.Key(fmt.Sprintf("ck-%d", i))
 			val := core.Value{Data: []byte(keys[i]), TS: core.TS(1)}
-			if err := client.PutH(keys[i], h, val, dht.PutOverwrite, nil); err != nil {
+			if err := client.PutH(context.Background(), keys[i], h, val, dht.PutOverwrite); err != nil {
 				t.Errorf("put: %v", err)
 			}
 		}
@@ -423,7 +424,7 @@ func TestCrashLosesDataButRingHeals(t *testing.T) {
 	lost := 0
 	tr.do(func() {
 		for _, k := range keys {
-			if _, err := client.GetH(k, h, nil); err != nil {
+			if _, err := client.GetH(context.Background(), k, h); err != nil {
 				if errors.Is(err, core.ErrNotFound) {
 					lost++
 					continue
@@ -453,7 +454,7 @@ func TestAssembleRingInvariants(t *testing.T) {
 		origin := tr.nodes[rng.Intn(len(tr.nodes))]
 		want := tr.wantResponsible(target).Self().ID
 		tr.do(func() {
-			ref, hops, err := origin.Lookup(target, nil)
+			ref, hops, err := origin.Lookup(context.Background(), target)
 			if err != nil {
 				t.Errorf("lookup: %v", err)
 				return
@@ -594,7 +595,7 @@ func TestChurnConvergence(t *testing.T) {
 		origin := alive[rng.Intn(len(alive))]
 		want := tr.wantResponsible(target).Self().ID
 		tr.do(func() {
-			ref, _, err := origin.Lookup(target, nil)
+			ref, _, err := origin.Lookup(context.Background(), target)
 			if err != nil {
 				t.Errorf("post-churn lookup: %v", err)
 				return
@@ -632,7 +633,7 @@ func TestCrashedNodeRefusesOperations(t *testing.T) {
 	nd := tr.nodes[1]
 	nd.Crash()
 	tr.do(func() {
-		if _, _, err := nd.Lookup(1, nil); !errors.Is(err, core.ErrStopped) {
+		if _, _, err := nd.Lookup(context.Background(), 1); !errors.Is(err, core.ErrStopped) {
 			t.Errorf("lookup from crashed node: %v", err)
 		}
 		if err := nd.Leave(); !errors.Is(err, core.ErrStopped) {

@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,8 +14,9 @@ import (
 // iterative routing from this node, restarting with an exclusion set when
 // it runs into dead peers. hops counts remote routing steps, so the
 // communication cost of a lookup is 2*hops messages (request + reply per
-// step), the paper's cret = O(log n).
-func (n *Node) Lookup(target core.ID, meter *network.Meter) (dht.NodeRef, int, error) {
+// step), the paper's cret = O(log n). The context bounds the whole walk
+// and carries the meter the hops are charged to.
+func (n *Node) Lookup(ctx context.Context, target core.ID) (dht.NodeRef, int, error) {
 	if !n.Alive() {
 		return dht.NodeRef{}, 0, fmt.Errorf("chord: lookup from dead node: %w", core.ErrStopped)
 	}
@@ -22,7 +24,10 @@ func (n *Node) Lookup(target core.ID, meter *network.Meter) (dht.NodeRef, int, e
 	hops := 0
 	var lastErr error
 	for attempt := 0; attempt <= n.cfg.LookupRetries; attempt++ {
-		ref, h, err := n.lookupOnce(target, exclude, meter)
+		if err := network.CtxError(ctx); err != nil {
+			return dht.NodeRef{}, hops, fmt.Errorf("chord: lookup %s: %w", target, err)
+		}
+		ref, h, err := n.lookupOnce(ctx, target, exclude)
 		hops += h
 		if err == nil {
 			return ref, hops, nil
@@ -38,7 +43,7 @@ func (n *Node) Lookup(target core.ID, meter *network.Meter) (dht.NodeRef, int, e
 
 // lookupOnce performs one routing walk. Peers that time out are added to
 // exclude so the retry routes around them.
-func (n *Node) lookupOnce(target core.ID, exclude map[core.ID]bool, meter *network.Meter) (dht.NodeRef, int, error) {
+func (n *Node) lookupOnce(ctx context.Context, target core.ID, exclude map[core.ID]bool) (dht.NodeRef, int, error) {
 	cur := n.self
 	hops := 0
 	visited := map[core.ID]bool{}
@@ -52,8 +57,8 @@ func (n *Node) lookupOnce(target core.ID, exclude map[core.ID]bool, meter *netwo
 					cur.ID, target, core.ErrUnreachable)
 			}
 			visited[cur.ID] = true
-			raw, err := n.call(cur.Addr, methodFindStep,
-				FindStepReq{Target: target, Exclude: setToList(exclude)}, meter)
+			raw, err := n.call(ctx, cur.Addr, methodFindStep,
+				FindStepReq{Target: target, Exclude: setToList(exclude)})
 			hops++
 			if err != nil {
 				// Dead peers are silence on the simulated transport

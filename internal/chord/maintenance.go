@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,15 +16,16 @@ import (
 // the direct algorithm's handoff), seeds its tables, and nudges its
 // predecessor so the ring converges without waiting for stabilization.
 func (n *Node) Join(bootstrap network.Addr) error {
+	ctx := context.Background()
 	// Resolve our successor through the bootstrap peer.
-	raw, err := n.call(bootstrap, methodFindStep, FindStepReq{Target: n.self.ID}, nil)
+	raw, err := n.call(ctx, bootstrap, methodFindStep, FindStepReq{Target: n.self.ID})
 	if err != nil {
 		return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
 	}
 	step := raw.(FindStepResp)
 	cur := step.Next
 	for !step.Done {
-		raw, err = n.call(cur.Addr, methodFindStep, FindStepReq{Target: n.self.ID}, nil)
+		raw, err = n.call(ctx, cur.Addr, methodFindStep, FindStepReq{Target: n.self.ID})
 		if err != nil {
 			return fmt.Errorf("chord: join routing via %s: %w", cur.Addr, err)
 		}
@@ -44,7 +46,7 @@ func (n *Node) Join(bootstrap network.Addr) error {
 	}
 
 	// Pull our arc from the successor (replicas + service state).
-	raw, err = n.call(succ.Addr, methodTransfer, TransferReq{NewNode: n.self}, nil)
+	raw, err = n.call(ctx, succ.Addr, methodTransfer, TransferReq{NewNode: n.self})
 	if err != nil {
 		return fmt.Errorf("chord: join transfer from %s: %w", succ.Addr, err)
 	}
@@ -66,7 +68,7 @@ func (n *Node) Join(bootstrap network.Addr) error {
 	// routed through it reach us immediately.
 	if !tr.Pred.IsZero() {
 		n.env.Go(func() {
-			n.call(tr.Pred.Addr, methodSuccCand, SuccCandidateReq{Candidate: n.self}, nil)
+			n.call(context.Background(), tr.Pred.Addr, methodSuccCand, SuccCandidateReq{Candidate: n.self})
 		})
 	}
 	return nil
@@ -97,13 +99,13 @@ func (n *Node) Leave() error {
 		}
 		services := n.collectServices(everything)
 		req := AbsorbReq{From: n.self, Items: items, Services: services, Departing: true, NewPred: pred}
-		if _, err := n.call(succs[0].Addr, methodAbsorb, req, nil); err != nil {
+		if _, err := n.call(context.Background(), succs[0].Addr, methodAbsorb, req); err != nil {
 			firstErr = fmt.Errorf("chord: leave handoff to %s: %w", succs[0].Addr, err)
 		}
 	}
 	if !pred.IsZero() && pred.ID != n.self.ID {
 		req := PredLeavingReq{Departing: n.self, Replacements: succs}
-		if _, err := n.call(pred.Addr, methodPredGone, req, nil); err != nil && firstErr == nil {
+		if _, err := n.call(context.Background(), pred.Addr, methodPredGone, req); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("chord: leave notice to %s: %w", pred.Addr, err)
 		}
 	}
@@ -175,7 +177,7 @@ func (n *Node) stabilize() {
 			continue
 		}
 		sawOther = true
-		raw, err := n.call(s.Addr, methodState, StateReq{}, nil)
+		raw, err := n.call(context.Background(), s.Addr, methodState, StateReq{})
 		if err != nil {
 			dead[s.ID] = true
 			continue
@@ -191,8 +193,8 @@ func (n *Node) stabilize() {
 		}
 		// The whole successor list is unreachable; try to rejoin through
 		// the finger table, verifying the candidate is actually alive.
-		if ref, _, err := n.Lookup(n.self.ID+1, nil); err == nil && ref.ID != n.self.ID {
-			if _, err := n.call(ref.Addr, methodState, StateReq{}, nil); err == nil {
+		if ref, _, err := n.Lookup(context.Background(), n.self.ID+1); err == nil && ref.ID != n.self.ID {
+			if _, err := n.call(context.Background(), ref.Addr, methodState, StateReq{}); err == nil {
 				n.setSuccessors([]dht.NodeRef{ref})
 				return
 			}
@@ -205,7 +207,7 @@ func (n *Node) stabilize() {
 
 	// Adopt succ's predecessor when it sits between us and succ.
 	if !state.Pred.IsZero() && state.Pred.ID.InOpenInterval(n.self.ID, succ.ID) && !dead[state.Pred.ID] {
-		if raw, err := n.call(state.Pred.Addr, methodState, StateReq{}, nil); err == nil {
+		if raw, err := n.call(context.Background(), state.Pred.Addr, methodState, StateReq{}); err == nil {
 			succ = state.Pred
 			state = raw.(StateResp)
 		}
@@ -216,7 +218,7 @@ func (n *Node) stabilize() {
 
 	// Tell succ about us.
 	n.env.Go(func() {
-		n.call(succ.Addr, methodNotify, NotifyReq{Candidate: n.self}, nil)
+		n.call(context.Background(), succ.Addr, methodNotify, NotifyReq{Candidate: n.self})
 	})
 }
 
@@ -228,7 +230,7 @@ func (n *Node) fixNextFinger() {
 	n.nextFix = (n.nextFix + 1) % M
 	n.mu.Unlock()
 	target := n.self.ID + core.ID(uint64(1)<<uint(i))
-	ref, _, err := n.Lookup(target, nil)
+	ref, _, err := n.Lookup(context.Background(), target)
 	if err != nil {
 		return
 	}
@@ -245,7 +247,7 @@ func (n *Node) checkPredecessor() {
 	if pred.IsZero() || pred.ID == n.self.ID {
 		return
 	}
-	if _, err := n.call(pred.Addr, methodPing, PingReq{}, nil); err != nil {
+	if _, err := n.call(context.Background(), pred.Addr, methodPing, PingReq{}); err != nil {
 		if errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrStopped) || errors.Is(err, core.ErrUnreachable) {
 			n.mu.Lock()
 			if n.pred.ID == pred.ID {

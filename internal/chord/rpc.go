@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -424,7 +425,7 @@ func (n *Node) pushState(to dht.NodeRef, ceded func(core.ID) bool, departing boo
 	}
 	req := AbsorbReq{From: n.self, Items: items, Services: services, Departing: departing, NewPred: newPred}
 	n.env.Go(func() {
-		if _, err := n.call(to.Addr, methodAbsorb, req, nil); err != nil {
+		if _, err := n.call(context.Background(), to.Addr, methodAbsorb, req); err != nil {
 			// The new responsible is unreachable; nothing to do — the
 			// state is lost exactly as if this node had crashed, and the
 			// indirect algorithm will recover counters.

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -14,12 +15,13 @@ import (
 // rsp(k, h) through the ring's lookup service and invokes the store
 // protocol on the responsible peer. One retry is allowed when the
 // responsible moved between lookup and operation.
+//
+// Every operation takes a context: its deadline bounds the whole
+// resolve-and-invoke sequence, its cancellation stops retries, and the
+// meter it carries (network.WithMeter) is charged for every message.
 type Client struct {
 	ring Ring
 	ns   string
-	// RPCTimeout bounds each put/get RPC; zero uses the transport
-	// default.
-	RPCTimeout time.Duration
 }
 
 // NewClient builds a client for the given namespace ("ums", "brk").
@@ -33,12 +35,11 @@ func (c *Client) Ring() Ring { return c.ring }
 // Namespace returns the client's storage namespace.
 func (c *Client) Namespace() string { return c.ns }
 
-// PutH stores val at rsp(k, h) — the paper's puth(k, data). Messages are
-// charged to meter.
-func (c *Client) PutH(k core.Key, h hashing.Func, val core.Value, mode PutMode, meter *network.Meter) error {
+// PutH stores val at rsp(k, h) — the paper's puth(k, data).
+func (c *Client) PutH(ctx context.Context, k core.Key, h hashing.Func, val core.Value, mode PutMode) error {
 	rid := h.ID(k)
 	req := PutReq{RingID: rid, Qual: Qualifier(c.ns, k, h.Name()), Val: val, Mode: mode}
-	_, err := c.invokeResponsible(rid, MethodPut, req, meter)
+	_, err := c.invokeResponsible(ctx, rid, MethodPut, req)
 	if err != nil {
 		return fmt.Errorf("dht: puth %q via %s: %w", k, h.Name(), err)
 	}
@@ -47,10 +48,10 @@ func (c *Client) PutH(k core.Key, h hashing.Func, val core.Value, mode PutMode, 
 
 // GetH retrieves the replica of k stored at rsp(k, h) — the paper's
 // geth(k).
-func (c *Client) GetH(k core.Key, h hashing.Func, meter *network.Meter) (core.Value, error) {
+func (c *Client) GetH(ctx context.Context, k core.Key, h hashing.Func) (core.Value, error) {
 	rid := h.ID(k)
 	req := GetReq{RingID: rid, Qual: Qualifier(c.ns, k, h.Name())}
-	resp, err := c.invokeResponsible(rid, MethodGet, req, meter)
+	resp, err := c.invokeResponsible(ctx, rid, MethodGet, req)
 	if err != nil {
 		return core.Value{}, fmt.Errorf("dht: geth %q via %s: %w", k, h.Name(), err)
 	}
@@ -59,17 +60,14 @@ func (c *Client) GetH(k core.Key, h hashing.Func, meter *network.Meter) (core.Va
 
 // invokeResponsible looks up the peer responsible for rid and invokes
 // method on it, retrying the lookup once if responsibility moved.
-func (c *Client) invokeResponsible(rid core.ID, method string, req network.Message, meter *network.Meter) (network.Message, error) {
+func (c *Client) invokeResponsible(ctx context.Context, rid core.ID, method string, req network.Message) (network.Message, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		ref, _, err := c.ring.Lookup(rid, meter)
+		ref, _, err := c.ring.Lookup(ctx, rid)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := c.ring.Endpoint().Invoke(ref.Addr, method, req, network.Call{
-			Timeout: c.RPCTimeout,
-			Meter:   meter,
-		})
+		resp, err := c.ring.Endpoint().Invoke(ctx, ref.Addr, method, req, network.Call{})
 		if err == nil {
 			return resp, nil
 		}
@@ -80,7 +78,7 @@ func (c *Client) invokeResponsible(rid core.ID, method string, req network.Messa
 			!errors.Is(err, core.ErrUnreachable) {
 			return nil, err
 		}
-		if serr := c.ring.Env().Sleep(100 * time.Millisecond); serr != nil {
+		if serr := network.SleepCtx(ctx, c.ring.Env(), 100*time.Millisecond); serr != nil {
 			return nil, serr
 		}
 	}

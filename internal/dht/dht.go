@@ -10,6 +10,7 @@
 package dht
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -57,8 +58,10 @@ type Ring interface {
 	// Self returns this peer's reference.
 	Self() NodeRef
 	// Lookup finds the peer currently responsible for ring position id.
-	// Messages are charged to meter. hops reports routing steps.
-	Lookup(id core.ID, meter *network.Meter) (ref NodeRef, hops int, err error)
+	// The context bounds the walk (deadline and cancellation) and
+	// carries the meter routing messages are charged to. hops reports
+	// routing steps.
+	Lookup(ctx context.Context, id core.ID) (ref NodeRef, hops int, err error)
 	// Endpoint returns this peer's transport attachment, on which
 	// services register their own RPC methods.
 	Endpoint() network.Endpoint

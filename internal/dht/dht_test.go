@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -158,10 +159,10 @@ func TestRegisterStoreOwnershipGuard(t *testing.T) {
 
 	var putErr, getErr, okErr error
 	k.Go(func() {
-		_, putErr = caller.Invoke("a", MethodPut,
+		_, putErr = caller.Invoke(context.Background(), "a", MethodPut,
 			PutReq{RingID: 500, Qual: "q", Val: core.Value{TS: core.TS(1)}}, network.Call{})
-		_, getErr = caller.Invoke("a", MethodGet, GetReq{RingID: 500, Qual: "q"}, network.Call{})
-		_, okErr = caller.Invoke("a", MethodPut,
+		_, getErr = caller.Invoke(context.Background(), "a", MethodGet, GetReq{RingID: 500, Qual: "q"}, network.Call{})
+		_, okErr = caller.Invoke(context.Background(), "a", MethodPut,
 			PutReq{RingID: 50, Qual: "q", Val: core.Value{TS: core.TS(1)}}, network.Call{})
 	})
 	k.RunUntilIdle()
@@ -180,7 +181,7 @@ func TestRegisterStoreOwnershipGuard(t *testing.T) {
 	// Missing key at an owned position is NotFound, not NotResponsible.
 	var missErr error
 	k.Go(func() {
-		_, missErr = caller.Invoke("a", MethodGet, GetReq{RingID: 60, Qual: "nope"}, network.Call{})
+		_, missErr = caller.Invoke(context.Background(), "a", MethodGet, GetReq{RingID: 60, Qual: "nope"}, network.Call{})
 	})
 	k.RunUntilIdle()
 	if !errors.Is(missErr, core.ErrNotFound) || errors.Is(missErr, core.ErrNotResponsible) {

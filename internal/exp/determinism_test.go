@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -23,14 +24,14 @@ func TestWholeNetworkDeterminism(t *testing.T) {
 		d.Do(func() {
 			for i := 0; i < 5; i++ {
 				p := d.RandomLivePeer(rng)
-				p.UMS.Insert("det-key", []byte("payload"))
+				p.UMS.Insert(context.Background(), "det-key", []byte("payload"))
 				victim := d.RandomLivePeer(rng)
 				d.Depart(victim, i%2 == 0)
 				d.SpawnJoin(rng)
 			}
 			for i := 0; i < 5; i++ {
 				p := d.RandomLivePeer(rng)
-				p.UMS.Retrieve("det-key")
+				p.UMS.Retrieve(context.Background(), "det-key")
 			}
 		})
 		d.RunFor(time.Minute)

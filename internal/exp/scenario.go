@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -97,20 +98,22 @@ type Result struct {
 	WallTime     time.Duration
 }
 
-// insert dispatches an insert through the scenario's algorithm.
+// insert dispatches an insert through the scenario's algorithm. The
+// harness drives virtual time and never abandons an operation, so ops
+// run under a background context.
 func (sc *Scenario) insert(p *Peer, k core.Key, data []byte) (dht.OpResult, error) {
 	if sc.Algorithm == AlgBRK {
-		return p.BRK.Insert(k, data)
+		return p.BRK.Insert(context.Background(), k, data)
 	}
-	return p.UMS.Insert(k, data)
+	return p.UMS.Insert(context.Background(), k, data)
 }
 
 // retrieve dispatches a retrieve through the scenario's algorithm.
 func (sc *Scenario) retrieve(p *Peer, k core.Key) (dht.OpResult, error) {
 	if sc.Algorithm == AlgBRK {
-		return p.BRK.Retrieve(k)
+		return p.BRK.Retrieve(context.Background(), k)
 	}
-	return p.UMS.Retrieve(k)
+	return p.UMS.Retrieve(context.Background(), k)
 }
 
 // Run executes the scenario and returns aggregated metrics.

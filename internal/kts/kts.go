@@ -20,6 +20,7 @@
 package kts
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -72,7 +73,11 @@ type Config struct {
 	// responsibility loss; Chord and CAN are RLA, so this exists as an
 	// ablation.
 	RLU bool
-	// RPCTimeout bounds service RPCs; zero uses the transport default.
+	// RPCTimeout is the service's per-call patience: a gen_ts/last_ts
+	// round trip can legitimately take many ring RPCs of server-side
+	// work, so it needs more slack than one protocol probe. A caller
+	// context with a sooner deadline always wins; zero uses the
+	// transport default.
 	RPCTimeout time.Duration
 	// LookupRetries is how often gen_ts/last_ts re-resolve the
 	// responsible when it moved or died mid-call. Default 3.
@@ -223,36 +228,40 @@ func (s *Service) Stats() (generated, indirectInits, directArrivals uint64) {
 // ---- client-side operations -------------------------------------------
 
 // GenTS generates the next timestamp for k: it locates rsp(k, hts) and
-// sends it a timestamp request. This is the paper's KTS.gen_ts(k).
-func (s *Service) GenTS(k core.Key, meter *network.Meter) (core.Timestamp, error) {
-	resp, err := s.callResponsible(MethodGenTS, GenTSReq{Key: k}, k, meter)
+// sends it a timestamp request. This is the paper's KTS.gen_ts(k). The
+// context bounds the call and carries the operation's meter.
+func (s *Service) GenTS(ctx context.Context, k core.Key) (core.Timestamp, error) {
+	resp, err := s.callResponsible(ctx, MethodGenTS, GenTSReq{Key: k}, k)
 	if err != nil {
 		return core.TSZero, fmt.Errorf("kts: gen_ts(%q): %w", k, err)
 	}
 	r := resp.(GenTSResp)
-	meter.Merge(r.Cost)
+	network.MeterFrom(ctx).Merge(r.Cost)
 	return r.TS, nil
 }
 
 // LastTS returns the last timestamp generated for k (zero when none) —
 // the paper's KTS.last_ts(k).
-func (s *Service) LastTS(k core.Key, meter *network.Meter) (core.Timestamp, error) {
-	resp, err := s.callResponsible(MethodLastTS, LastTSReq{Key: k}, k, meter)
+func (s *Service) LastTS(ctx context.Context, k core.Key) (core.Timestamp, error) {
+	resp, err := s.callResponsible(ctx, MethodLastTS, LastTSReq{Key: k}, k)
 	if err != nil {
 		return core.TSZero, fmt.Errorf("kts: last_ts(%q): %w", k, err)
 	}
 	r := resp.(LastTSResp)
-	meter.Merge(r.Cost)
+	network.MeterFrom(ctx).Merge(r.Cost)
 	return r.TS, nil
 }
 
 // callResponsible resolves rsp(k, hts) and invokes a method on it,
 // re-resolving when responsibility moved or the peer died mid-call.
-func (s *Service) callResponsible(method string, req network.Message, k core.Key, meter *network.Meter) (network.Message, error) {
+func (s *Service) callResponsible(ctx context.Context, method string, req network.Message, k core.Key) (network.Message, error) {
 	id := s.set.HTS.ID(k)
 	var lastErr error
 	for attempt := 0; attempt <= s.cfg.LookupRetries; attempt++ {
-		ref, _, err := s.ring.Lookup(id, meter)
+		if err := network.CtxError(ctx); err != nil {
+			return nil, err
+		}
+		ref, _, err := s.ring.Lookup(ctx, id)
 		if err != nil {
 			return nil, err
 		}
@@ -261,9 +270,8 @@ func (s *Service) callResponsible(method string, req network.Message, k core.Key
 			// We are the responsible: serve locally, free of charge.
 			resp, err = s.serveLocal(method, req)
 		} else {
-			resp, err = s.ring.Endpoint().Invoke(ref.Addr, method, req, network.Call{
+			resp, err = s.ring.Endpoint().Invoke(ctx, ref.Addr, method, req, network.Call{
 				Timeout: s.cfg.RPCTimeout,
-				Meter:   meter,
 			})
 		}
 		if err == nil {
@@ -276,7 +284,7 @@ func (s *Service) callResponsible(method string, req network.Message, k core.Key
 		}
 		// The responsible moved or died: give the ring a beat to
 		// converge before re-resolving.
-		if serr := s.ring.Env().Sleep(200 * time.Millisecond); serr != nil {
+		if serr := network.SleepCtx(ctx, s.ring.Env(), 200*time.Millisecond); serr != nil {
 			return nil, serr
 		}
 	}
@@ -317,7 +325,7 @@ func (s *Service) handleGenTS(req GenTSReq) (network.Message, error) {
 		return nil, err
 	}
 	var cost network.Meter
-	c, err := s.ensureCounter(k, &cost)
+	c, err := s.ensureCounter(network.WithMeter(context.Background(), &cost), k)
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +355,7 @@ func (s *Service) handleLastTS(req LastTSReq) (network.Message, error) {
 		return nil, err
 	}
 	var cost network.Meter
-	c, err := s.ensureCounter(k, &cost)
+	c, err := s.ensureCounter(network.WithMeter(context.Background(), &cost), k)
 	if err != nil {
 		return nil, err
 	}
@@ -412,8 +420,10 @@ func (s *Service) checkResponsible(k core.Key) error {
 // ensureCounter returns the counter for k, initializing it if absent.
 // Initialization is the indirect algorithm (Figure 5); in ModeDirect it
 // only runs when no transferred counter arrived (failure of the previous
-// responsible, or a brand-new key — indistinguishable cases).
-func (s *Service) ensureCounter(k core.Key, cost *network.Meter) (core.Timestamp, error) {
+// responsible, or a brand-new key — indistinguishable cases). The
+// server-side communication cost lands on the meter ctx carries, so it
+// can be reported back to the requesting peer.
+func (s *Service) ensureCounter(ctx context.Context, k core.Key) (core.Timestamp, error) {
 	s.mu.Lock()
 	if ts, ok := s.vcs.Get(k); ok {
 		s.mu.Unlock()
@@ -421,7 +431,7 @@ func (s *Service) ensureCounter(k core.Key, cost *network.Meter) (core.Timestamp
 	}
 	s.mu.Unlock()
 
-	init, err := s.indirectInit(k, cost)
+	init, err := s.indirectInit(ctx, k)
 	if err != nil {
 		return core.TSZero, err
 	}
@@ -445,7 +455,7 @@ func (s *Service) ensureCounter(k core.Key, cost *network.Meter) (core.Timestamp
 // in messages (O(|Hr|·cret), unchanged here) and reports only a slight
 // response-time impact of the replication factor on UMS-Indirect
 // (Figure 9), which matches concurrent reads, not a sequential walk.
-func (s *Service) indirectInit(k core.Key, cost *network.Meter) (core.Timestamp, error) {
+func (s *Service) indirectInit(ctx context.Context, k core.Key) (core.Timestamp, error) {
 	env := s.ring.Env()
 	if s.cfg.GraceDelay > 0 {
 		if err := env.Sleep(s.cfg.GraceDelay); err != nil {
@@ -458,32 +468,15 @@ func (s *Service) indirectInit(k core.Key, cost *network.Meter) (core.Timestamp,
 		meter network.Meter
 	}
 	results := make([]probe, len(s.set.Hr))
-	var mu sync.Mutex
-	done := 0
-	for i, h := range s.set.Hr {
-		i, h := i, h
-		env.Go(func() {
-			var p probe
-			p.val, p.err = s.client.GetH(k, h, &p.meter)
-			mu.Lock()
-			results[i] = p
-			done++
-			mu.Unlock()
-		})
+	err := network.GoJoin(env, len(s.set.Hr), 50*time.Millisecond, func(i int) {
+		var p probe
+		p.val, p.err = s.client.GetH(network.WithMeter(ctx, &p.meter), k, s.set.Hr[i])
+		results[i] = p
+	})
+	if err != nil {
+		return core.TSZero, err
 	}
-	// Join by polling in environment time (the only blocking primitives
-	// portable across the simulated and real environments).
-	for {
-		mu.Lock()
-		d := done
-		mu.Unlock()
-		if d == len(s.set.Hr) {
-			break
-		}
-		if err := env.Sleep(50 * time.Millisecond); err != nil {
-			return core.TSZero, err
-		}
-	}
+	cost := network.MeterFrom(ctx)
 	tsm := core.TSZero
 	found := false
 	for _, p := range results {
@@ -553,7 +546,7 @@ func (s *Service) Accept(msg network.Message) {
 // RecoverTo sends this peer's counters to the current responsible(s) —
 // the recovery strategy run by a restarted peer. Each counter is routed
 // to rsp(k, hts) at call time.
-func (s *Service) RecoverTo() (corrected int, err error) {
+func (s *Service) RecoverTo(ctx context.Context) (corrected int, err error) {
 	s.mu.Lock()
 	entries := make([]CounterEntry, 0, s.vcs.Len())
 	s.vcs.Each(func(k core.Key, ts core.Timestamp) bool {
@@ -562,7 +555,7 @@ func (s *Service) RecoverTo() (corrected int, err error) {
 	})
 	s.mu.Unlock()
 	for _, e := range entries {
-		resp, cerr := s.callResponsible(MethodRecover, RecoverReq{Entries: []CounterEntry{e}}, e.Key, nil)
+		resp, cerr := s.callResponsible(ctx, MethodRecover, RecoverReq{Entries: []CounterEntry{e}}, e.Key)
 		if cerr != nil {
 			err = cerr
 			continue
@@ -615,7 +608,7 @@ func (s *Service) inspectOnce() {
 		}
 		highest := core.TSZero
 		for _, h := range s.set.Hr {
-			if val, err := s.client.GetH(k, h, nil); err == nil {
+			if val, err := s.client.GetH(context.Background(), k, h); err == nil {
 				highest = highest.Max(val.TS)
 			}
 		}

@@ -7,6 +7,7 @@ package kts
 // the claim end to end.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -88,7 +89,7 @@ func TestGenTSOnCAN(t *testing.T) {
 	c.settle(time.Second)
 	c.do(func() {
 		for want := uint64(1); want <= 4; want++ {
-			ts, err := c.services[3].GenTS("can-key", nil)
+			ts, err := c.services[3].GenTS(context.Background(), "can-key")
 			if err != nil {
 				t.Errorf("gen_ts: %v", err)
 				return
@@ -97,7 +98,7 @@ func TestGenTSOnCAN(t *testing.T) {
 				t.Errorf("gen_ts #%d = %v", want, ts)
 			}
 		}
-		last, err := c.services[7].LastTS("can-key", nil)
+		last, err := c.services[7].LastTS(context.Background(), "can-key")
 		if err != nil || last != core.TS(4) {
 			t.Errorf("last_ts = %v, %v", last, err)
 		}
@@ -113,7 +114,7 @@ func TestDirectTransferOnCANLeave(t *testing.T) {
 	var before core.Timestamp
 	c.do(func() {
 		for i := 0; i < 3; i++ {
-			ts, err := c.services[0].GenTS(key, nil)
+			ts, err := c.services[0].GenTS(context.Background(), key)
 			if err != nil {
 				t.Errorf("gen: %v", err)
 				return
@@ -131,7 +132,7 @@ func TestDirectTransferOnCANLeave(t *testing.T) {
 	c.settle(2 * time.Second)
 
 	c.do(func() {
-		ts, err := c.services[c.responsibleFor(key)].GenTS(key, nil)
+		ts, err := c.services[c.responsibleFor(key)].GenTS(context.Background(), key)
 		if err != nil {
 			t.Errorf("gen after leave: %v", err)
 			return
@@ -157,14 +158,14 @@ func TestIndirectInitOnCANCrash(t *testing.T) {
 	var last core.Timestamp
 	c.do(func() {
 		for i := 0; i < 3; i++ {
-			ts, err := c.services[0].GenTS(key, nil)
+			ts, err := c.services[0].GenTS(context.Background(), key)
 			if err != nil {
 				t.Errorf("gen: %v", err)
 				return
 			}
 			last = ts
 			for _, h := range c.set.Hr {
-				client.PutH(key, h, core.Value{Data: []byte("v"), TS: ts}, dht.PutIfNewer, nil)
+				client.PutH(context.Background(), key, h, core.Value{Data: []byte("v"), TS: ts}, dht.PutIfNewer)
 			}
 		}
 	})
@@ -174,7 +175,7 @@ func TestIndirectInitOnCANCrash(t *testing.T) {
 	c.settle(5 * time.Second) // ping rounds + takeover
 
 	c.do(func() {
-		ts, err := c.services[c.responsibleFor(key)].GenTS(key, nil)
+		ts, err := c.services[c.responsibleFor(key)].GenTS(context.Background(), key)
 		if err != nil {
 			t.Errorf("gen after crash: %v", err)
 			return

@@ -1,6 +1,7 @@
 package kts
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -102,7 +103,7 @@ func TestGenTSStartsAtOneAndIncrements(t *testing.T) {
 	c.settle(2 * time.Second)
 	c.do(func() {
 		for want := uint64(1); want <= 5; want++ {
-			ts, err := c.svc().GenTS("fresh-key", nil)
+			ts, err := c.svc().GenTS(context.Background(), "fresh-key")
 			if err != nil {
 				t.Errorf("gen_ts: %v", err)
 				return
@@ -118,20 +119,20 @@ func TestLastTSFollowsGenTS(t *testing.T) {
 	c := newCluster(t, 2, 8, Config{Mode: ModeDirect})
 	c.settle(2 * time.Second)
 	c.do(func() {
-		if ts, err := c.svc().LastTS("nokey", nil); err != nil || !ts.IsZero() {
+		if ts, err := c.svc().LastTS(context.Background(), "nokey"); err != nil || !ts.IsZero() {
 			t.Errorf("last_ts of never-stamped key = %v, %v", ts, err)
 		}
 		for i := 0; i < 3; i++ {
-			if _, err := c.svc().GenTS("k1", nil); err != nil {
+			if _, err := c.svc().GenTS(context.Background(), "k1"); err != nil {
 				t.Errorf("gen_ts: %v", err)
 			}
 		}
-		ts, err := c.svc().LastTS("k1", nil)
+		ts, err := c.svc().LastTS(context.Background(), "k1")
 		if err != nil || ts != core.TS(3) {
 			t.Errorf("last_ts = %v, %v; want ts(3)", ts, err)
 		}
 		// last_ts must not consume timestamps.
-		ts2, err := c.svc().LastTS("k1", nil)
+		ts2, err := c.svc().LastTS(context.Background(), "k1")
 		if err != nil || ts2 != core.TS(3) {
 			t.Errorf("repeated last_ts = %v, %v", ts2, err)
 		}
@@ -143,9 +144,9 @@ func TestTimestampsForDifferentKeysIndependent(t *testing.T) {
 	c.settle(2 * time.Second)
 	c.do(func() {
 		for i := 0; i < 3; i++ {
-			c.svc().GenTS("ka", nil)
+			c.svc().GenTS(context.Background(), "ka")
 		}
-		ts, err := c.svc().GenTS("kb", nil)
+		ts, err := c.svc().GenTS(context.Background(), "kb")
 		if err != nil || ts != core.TS(1) {
 			t.Errorf("first gen for kb = %v, %v (keys must not share counters)", ts, err)
 		}
@@ -161,7 +162,7 @@ func TestDirectTransferOnGracefulLeave(t *testing.T) {
 	var before core.Timestamp
 	c.do(func() {
 		for i := 0; i < 4; i++ {
-			ts, err := c.svc().GenTS(key, nil)
+			ts, err := c.svc().GenTS(context.Background(), key)
 			if err != nil {
 				t.Errorf("gen: %v", err)
 				return
@@ -184,7 +185,7 @@ func TestDirectTransferOnGracefulLeave(t *testing.T) {
 	// (no replicas exist, so indirect init would restart at 1 — direct
 	// transfer is the only way to continue).
 	c.do(func() {
-		ts, err := c.svc().GenTS(key, nil)
+		ts, err := c.svc().GenTS(context.Background(), key)
 		if err != nil {
 			t.Errorf("gen after leave: %v", err)
 			return
@@ -215,14 +216,14 @@ func TestIndirectInitAfterCrash(t *testing.T) {
 	var last core.Timestamp
 	c.do(func() {
 		for i := 0; i < 3; i++ {
-			ts, err := c.svc().GenTS(key, nil)
+			ts, err := c.svc().GenTS(context.Background(), key)
 			if err != nil {
 				t.Errorf("gen: %v", err)
 				return
 			}
 			last = ts
 			for _, h := range c.set.Hr {
-				client.PutH(key, h, core.Value{Data: []byte("v"), TS: ts}, dht.PutIfNewer, nil)
+				client.PutH(context.Background(), key, h, core.Value{Data: []byte("v"), TS: ts}, dht.PutIfNewer)
 			}
 		}
 	})
@@ -233,7 +234,7 @@ func TestIndirectInitAfterCrash(t *testing.T) {
 	c.settle(5 * time.Second) // ring heals
 
 	c.do(func() {
-		ts, err := c.svc().GenTS(key, nil)
+		ts, err := c.svc().GenTS(context.Background(), key)
 		if err != nil {
 			t.Errorf("gen after crash: %v", err)
 			return
@@ -257,14 +258,14 @@ func TestModeIndirectDropsCountersOnLeave(t *testing.T) {
 	var last core.Timestamp
 	c.do(func() {
 		for i := 0; i < 3; i++ {
-			ts, err := c.svc().GenTS(key, nil)
+			ts, err := c.svc().GenTS(context.Background(), key)
 			if err != nil {
 				t.Errorf("gen: %v", err)
 				return
 			}
 			last = ts
 			for _, h := range c.set.Hr {
-				client.PutH(key, h, core.Value{Data: []byte("v"), TS: ts}, dht.PutIfNewer, nil)
+				client.PutH(context.Background(), key, h, core.Value{Data: []byte("v"), TS: ts}, dht.PutIfNewer)
 			}
 		}
 	})
@@ -278,7 +279,7 @@ func TestModeIndirectDropsCountersOnLeave(t *testing.T) {
 	c.settle(3 * time.Second)
 
 	c.do(func() {
-		ts, err := c.svc().GenTS(key, nil)
+		ts, err := c.svc().GenTS(context.Background(), key)
 		if err != nil {
 			t.Errorf("gen: %v", err)
 			return
@@ -317,7 +318,7 @@ func TestMonotonicityUnderChurn(t *testing.T) {
 
 			genAll := func() {
 				for _, k := range keys {
-					ts, err := c.svc().GenTS(k, nil)
+					ts, err := c.svc().GenTS(context.Background(), k)
 					if err != nil {
 						continue // responsible mid-transition: acceptable, no violation
 					}
@@ -326,7 +327,7 @@ func TestMonotonicityUnderChurn(t *testing.T) {
 					}
 					lastSeen[k] = ts
 					for _, h := range c.set.Hr {
-						client.PutH(k, h, core.Value{Data: []byte("x"), TS: ts}, dht.PutIfNewer, nil)
+						client.PutH(context.Background(), k, h, core.Value{Data: []byte("x"), TS: ts}, dht.PutIfNewer)
 					}
 				}
 			}
@@ -391,7 +392,7 @@ func TestRLUModeReinitializesEveryTime(t *testing.T) {
 	var prev core.Timestamp
 	c.do(func() {
 		for i := 0; i < 4; i++ {
-			ts, err := c.svc().GenTS(key, nil)
+			ts, err := c.svc().GenTS(context.Background(), key)
 			if err != nil {
 				t.Errorf("gen: %v", err)
 				return
@@ -401,7 +402,7 @@ func TestRLUModeReinitializesEveryTime(t *testing.T) {
 			}
 			prev = ts
 			for _, h := range c.set.Hr {
-				client.PutH(key, h, core.Value{Data: []byte("x"), TS: ts}, dht.PutIfNewer, nil)
+				client.PutH(context.Background(), key, h, core.Value{Data: []byte("x"), TS: ts}, dht.PutIfNewer)
 			}
 		}
 	})
@@ -429,7 +430,7 @@ func TestRecoveryCorrectsLowCounters(t *testing.T) {
 		repaired = append(repaired, fmt.Sprintf("%s:%v->%v", k, oldTS, newTS))
 	})
 	c.do(func() {
-		if ts, err := c.svc().GenTS(key, nil); err != nil || ts != core.TS(1) {
+		if ts, err := c.svc().GenTS(context.Background(), key); err != nil || ts != core.TS(1) {
 			t.Errorf("initial gen = %v, %v", ts, err)
 		}
 	})
@@ -438,7 +439,7 @@ func TestRecoveryCorrectsLowCounters(t *testing.T) {
 		t.Fatalf("recover: %+v, %v", resp, err)
 	}
 	c.do(func() {
-		ts, err := c.svc().GenTS(key, nil)
+		ts, err := c.svc().GenTS(context.Background(), key)
 		if err != nil {
 			t.Errorf("gen after recover: %v", err)
 			return
@@ -464,7 +465,7 @@ func TestRecoverToRoutesCounters(t *testing.T) {
 	restarted.vcs.Put(key, core.TS(42))
 	restarted.mu.Unlock()
 	c.do(func() {
-		corrected, err := restarted.RecoverTo()
+		corrected, err := restarted.RecoverTo(context.Background())
 		if err != nil {
 			t.Errorf("recover-to: %v", err)
 		}
@@ -473,7 +474,7 @@ func TestRecoverToRoutesCounters(t *testing.T) {
 		}
 	})
 	c.do(func() {
-		ts, err := c.svc().GenTS(key, nil)
+		ts, err := c.svc().GenTS(context.Background(), key)
 		if err != nil {
 			t.Errorf("gen: %v", err)
 			return
@@ -494,16 +495,16 @@ func TestPeriodicInspectionRaisesCounter(t *testing.T) {
 	// issued it), while the current responsible believes the counter is
 	// low.
 	c.do(func() {
-		if _, err := c.svc().GenTS(key, nil); err != nil {
+		if _, err := c.svc().GenTS(context.Background(), key); err != nil {
 			t.Errorf("gen: %v", err)
 		}
 		for _, h := range c.set.Hr {
-			client.PutH(key, h, core.Value{Data: []byte("x"), TS: core.TS(50)}, dht.PutIfNewer, nil)
+			client.PutH(context.Background(), key, h, core.Value{Data: []byte("x"), TS: core.TS(50)}, dht.PutIfNewer)
 		}
 	})
 	c.settle(5 * time.Second) // several inspection rounds
 	c.do(func() {
-		ts, err := c.svc().LastTS(key, nil)
+		ts, err := c.svc().LastTS(context.Background(), key)
 		if err != nil {
 			t.Errorf("last: %v", err)
 			return
@@ -539,7 +540,7 @@ func TestGenTSCostAccounting(t *testing.T) {
 	c.settle(2 * time.Second)
 	c.do(func() {
 		m := &network.Meter{}
-		if _, err := c.svc().GenTS("cost-key", m); err != nil {
+		if _, err := c.svc().GenTS(network.WithMeter(context.Background(), m), "cost-key"); err != nil {
 			t.Errorf("gen: %v", err)
 			return
 		}

@@ -14,9 +14,11 @@
 package network
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -79,14 +81,14 @@ func SizeOf(m Message) int {
 // immutable.
 type HandlerFunc func(from Addr, req Message) (Message, error)
 
-// Call carries per-invocation options.
+// Call carries per-invocation options. Deadlines and cancellation come
+// from the context passed to Invoke; Timeout is only the per-RPC
+// patience a protocol grants one round trip (its failure-detection
+// threshold), never an end-to-end budget.
 type Call struct {
 	// Timeout bounds the round trip; zero selects the transport default.
+	// A context deadline that expires sooner always wins.
 	Timeout time.Duration
-	// Meter, when non-nil, accumulates the messages and bytes this call
-	// puts on the wire (request and reply each count as one message, as
-	// the paper counts communication cost).
-	Meter *Meter
 }
 
 // Endpoint is one peer's attachment to the network.
@@ -94,14 +96,122 @@ type Endpoint interface {
 	// Addr returns this endpoint's address.
 	Addr() Addr
 	// Invoke performs a synchronous RPC. Under simulation it must be
-	// called from an Env activity. Errors from the remote handler are
-	// reconstructed so errors.Is works across the wire.
-	Invoke(to Addr, method string, req Message, opt Call) (Message, error)
+	// called from an Env activity. The context's deadline caps the round
+	// trip (mapped onto virtual time under simulation) and a context
+	// already done fails fast with the matching core error. Message
+	// costs are charged to the meter carried by ctx (see WithMeter).
+	// Errors from the remote handler are reconstructed so errors.Is
+	// works across the wire.
+	Invoke(ctx context.Context, to Addr, method string, req Message, opt Call) (Message, error)
 	// Handle registers the handler for a method name. Registration is
 	// not safe to interleave with traffic; register before serving.
 	Handle(method string, h HandlerFunc)
 	// Close detaches the endpoint. Pending calls fail.
 	Close() error
+}
+
+// meterCtxKey carries the per-operation Meter through call chains.
+type meterCtxKey struct{}
+
+// WithMeter returns a context that charges message costs of every
+// Invoke and Lookup beneath it to m. One logical operation attaches one
+// meter at its entry point; passing nil returns ctx unchanged.
+func WithMeter(ctx context.Context, m *Meter) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, meterCtxKey{}, m)
+}
+
+// MeterFrom returns the meter ctx carries, or nil when the operation is
+// unmetered. All Meter methods accept a nil receiver, so callers charge
+// unconditionally: MeterFrom(ctx).Count(n).
+func MeterFrom(ctx context.Context) *Meter {
+	m, _ := ctx.Value(meterCtxKey{}).(*Meter)
+	return m
+}
+
+// CtxError translates a context's termination into the core taxonomy:
+// an expired deadline wraps both core.ErrTimeout and
+// context.DeadlineExceeded so callers can classify with either; a
+// cancellation passes through as context.Canceled. Returns nil while
+// ctx is live.
+func CtxError(ctx context.Context) error {
+	err := ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", core.ErrTimeout, err)
+	default:
+		return err
+	}
+}
+
+// Patience resolves the effective timeout for one RPC: the call's
+// timeout (or the transport default when zero), capped by the context's
+// remaining deadline budget. The result is always positive — an already
+// expired context must be rejected with CtxError before calling this.
+func Patience(ctx context.Context, timeout, transportDefault time.Duration) time.Duration {
+	if timeout <= 0 {
+		timeout = transportDefault
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout < time.Millisecond {
+		timeout = time.Millisecond
+	}
+	return timeout
+}
+
+// GoJoin spawns n activities with env.Go and blocks the caller until
+// all have finished, polling in environment time every poll — the only
+// fan-out/join shape portable across the simulated and real
+// environments (a sync.WaitGroup would block real goroutines, which
+// deadlocks the simulation kernel). It returns early with the
+// environment's error when the environment shuts down mid-join.
+func GoJoin(env Env, n int, poll time.Duration, run func(i int)) error {
+	if n == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	done := 0
+	for i := 0; i < n; i++ {
+		env.Go(func() {
+			run(i)
+			mu.Lock()
+			done++
+			mu.Unlock()
+		})
+	}
+	for {
+		mu.Lock()
+		d := done
+		mu.Unlock()
+		if d == n {
+			return nil
+		}
+		if err := env.Sleep(poll); err != nil {
+			return err
+		}
+	}
+}
+
+// SleepCtx sleeps d of environment time, giving up when ctx is done.
+// Under simulation the context's wall-clock deadline cannot interrupt a
+// virtual-time sleep, so the check happens at both edges — which keeps
+// retry loops from outliving their caller.
+func SleepCtx(ctx context.Context, env Env, d time.Duration) error {
+	if err := CtxError(ctx); err != nil {
+		return err
+	}
+	if err := env.Sleep(d); err != nil {
+		return err
+	}
+	return CtxError(ctx)
 }
 
 // Meter accumulates communication cost for a single logical operation.

@@ -9,6 +9,7 @@
 package simwire
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -222,17 +223,24 @@ func (ep *Endpoint) handler(method string) network.HandlerFunc {
 // process. A dead or missing destination produces core.ErrTimeout after
 // the call's timeout (crash failures are indistinguishable from silence,
 // as in a real network).
-func (ep *Endpoint) Invoke(to network.Addr, method string, req network.Message, opt network.Call) (network.Message, error) {
+//
+// Context mapping: a context that is already done fails fast with the
+// matching core error, and a live deadline's remaining wall-clock budget
+// is mapped onto a virtual-time timeout — the simulation's analogue of
+// honoring the deadline. Deadline-free calls keep the configured
+// timeout, so deterministic experiments stay bit-reproducible.
+func (ep *Endpoint) Invoke(ctx context.Context, to network.Addr, method string, req network.Message, opt network.Call) (network.Message, error) {
 	if !ep.isAlive() {
 		return nil, fmt.Errorf("simwire: %s: %w", ep.addr, core.ErrStopped)
 	}
-	n := ep.net
-	timeout := opt.Timeout
-	if timeout == 0 {
-		timeout = n.cfg.DefaultTimeout
+	if err := network.CtxError(ctx); err != nil {
+		return nil, fmt.Errorf("simwire: %s->%s %s: %w", ep.addr, to, method, err)
 	}
+	n := ep.net
+	timeout := network.Patience(ctx, opt.Timeout, n.cfg.DefaultTimeout)
+	meter := network.MeterFrom(ctx)
 	reqSize := network.SizeOf(req)
-	opt.Meter.Count(reqSize)
+	meter.Count(reqSize)
 	n.countMsg()
 
 	reply := n.k.NewFuture()
@@ -269,10 +277,15 @@ func (ep *Endpoint) Invoke(to network.Addr, method string, req network.Message, 
 
 	v, err := reply.Await(timeout)
 	if err != nil {
+		// The virtual-time wait may have been cut short by the caller's
+		// deadline; report it in context terms when so.
+		if cerr := network.CtxError(ctx); cerr != nil {
+			err = cerr
+		}
 		return nil, fmt.Errorf("simwire: %s->%s %s: %w", ep.addr, to, method, err)
 	}
 	r := v.(simReply)
-	opt.Meter.Count(r.size)
+	meter.Count(r.size)
 	if r.code != "" {
 		return nil, network.DecodeError(r.code, r.msg)
 	}

@@ -1,6 +1,7 @@
 package simwire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -50,7 +51,7 @@ func TestInvokeRoundTrip(t *testing.T) {
 	k.Go(func() {
 		start := k.Now()
 		m := &network.Meter{}
-		resp, err := a.Invoke("b", "echo", echoReq{Text: "hi"}, network.Call{Meter: m})
+		resp, err := a.Invoke(network.WithMeter(context.Background(), m), "b", "echo", echoReq{Text: "hi"}, network.Call{})
 		if err != nil {
 			t.Errorf("invoke: %v", err)
 			return
@@ -83,7 +84,7 @@ func TestInvokeToDeadPeerTimesOut(t *testing.T) {
 	var elapsed time.Duration
 	k.Go(func() {
 		start := k.Now()
-		_, err = a.Invoke("b", "echo", echoReq{}, network.Call{Timeout: 500 * time.Millisecond})
+		_, err = a.Invoke(context.Background(), "b", "echo", echoReq{}, network.Call{Timeout: 500 * time.Millisecond})
 		elapsed = k.Now() - start
 	})
 	k.RunUntilIdle()
@@ -105,7 +106,7 @@ func TestInvokeUnknownMethodTimesOut(t *testing.T) {
 	n.NewEndpoint("b")
 	var err error
 	k.Go(func() {
-		_, err = a.Invoke("b", "nope", echoReq{}, network.Call{Timeout: 300 * time.Millisecond})
+		_, err = a.Invoke(context.Background(), "b", "nope", echoReq{}, network.Call{Timeout: 300 * time.Millisecond})
 	})
 	k.RunUntilIdle()
 	if !errors.Is(err, core.ErrTimeout) {
@@ -123,7 +124,7 @@ func TestRemoteErrorCrossesWire(t *testing.T) {
 	})
 	var err error
 	k.Go(func() {
-		_, err = a.Invoke("b", "get", echoReq{}, network.Call{})
+		_, err = a.Invoke(context.Background(), "b", "get", echoReq{}, network.Call{})
 	})
 	k.RunUntilIdle()
 	if !errors.Is(err, core.ErrNotFound) {
@@ -147,7 +148,7 @@ func TestBandwidthChargesLargeMessages(t *testing.T) {
 	var rtt time.Duration
 	k.Go(func() {
 		start := k.Now()
-		if _, err := a.Invoke("b", "put", bigMsg{}, network.Call{}); err != nil {
+		if _, err := a.Invoke(context.Background(), "b", "put", bigMsg{}, network.Call{}); err != nil {
 			t.Errorf("invoke: %v", err)
 		}
 		rtt = k.Now() - start
@@ -177,7 +178,7 @@ func TestKillDuringServiceDropsReply(t *testing.T) {
 	})
 	var err error
 	k.Go(func() {
-		_, err = a.Invoke("b", "slow", echoReq{}, network.Call{Timeout: 5 * time.Second})
+		_, err = a.Invoke(context.Background(), "b", "slow", echoReq{}, network.Call{Timeout: 5 * time.Second})
 	})
 	k.RunUntilIdle()
 	if !errors.Is(err, core.ErrTimeout) {
@@ -195,7 +196,7 @@ func TestNestedInvokeFromHandler(t *testing.T) {
 		return echoResp{Text: "leaf"}, nil
 	})
 	b.Handle("mid", func(from network.Addr, req network.Message) (network.Message, error) {
-		r, err := b.Invoke("c", "leaf", echoReq{}, network.Call{})
+		r, err := b.Invoke(context.Background(), "c", "leaf", echoReq{}, network.Call{})
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +204,7 @@ func TestNestedInvokeFromHandler(t *testing.T) {
 	})
 	var got string
 	k.Go(func() {
-		r, err := a.Invoke("b", "mid", echoReq{}, network.Call{})
+		r, err := a.Invoke(context.Background(), "b", "mid", echoReq{}, network.Call{})
 		if err != nil {
 			t.Errorf("invoke: %v", err)
 			return
@@ -224,7 +225,7 @@ func TestClosedCallerFailsFast(t *testing.T) {
 	a.Close()
 	var err error
 	k.Go(func() {
-		_, err = a.Invoke("b", "x", echoReq{}, network.Call{})
+		_, err = a.Invoke(context.Background(), "b", "x", echoReq{}, network.Call{})
 	})
 	k.RunUntilIdle()
 	if !errors.Is(err, core.ErrStopped) {

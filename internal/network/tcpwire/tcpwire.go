@@ -5,6 +5,7 @@
 package tcpwire
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -165,40 +166,63 @@ func (ep *Endpoint) serveConn(conn net.Conn) {
 	}
 }
 
-// Invoke implements network.Endpoint.
-func (ep *Endpoint) Invoke(to network.Addr, method string, req network.Message, opt network.Call) (network.Message, error) {
+// Invoke implements network.Endpoint. The context is honored natively:
+// an already-done context fails fast, its deadline caps the socket
+// deadlines (dial, write and read), and a cancellation mid-flight
+// aborts the in-progress I/O.
+func (ep *Endpoint) Invoke(ctx context.Context, to network.Addr, method string, req network.Message, opt network.Call) (network.Message, error) {
 	if ep.isClosed() {
 		return nil, fmt.Errorf("tcpwire: %s: %w", ep.addr, core.ErrStopped)
 	}
-	timeout := opt.Timeout
-	if timeout == 0 {
-		timeout = DefaultTimeout
+	if err := network.CtxError(ctx); err != nil {
+		return nil, fmt.Errorf("tcpwire: %s->%s %s: %w", ep.addr, to, method, err)
 	}
-	pc, err := ep.getConn(to, timeout)
+	timeout := network.Patience(ctx, opt.Timeout, DefaultTimeout)
+	pc, err := ep.getConn(ctx, to, timeout)
 	if err != nil {
+		if cerr := network.CtxError(ctx); cerr != nil {
+			return nil, fmt.Errorf("tcpwire: %s->%s %s: %w", ep.addr, to, method, cerr)
+		}
 		return nil, err
 	}
-	opt.Meter.Count(network.SizeOf(req))
+	meter := network.MeterFrom(ctx)
+	meter.Count(network.SizeOf(req))
 
 	pc.conn.SetDeadline(time.Now().Add(timeout))
+	// A cancellation mid-flight yanks the socket deadline into the past,
+	// which aborts the blocked encode/decode immediately.
+	stopWatch := context.AfterFunc(ctx, func() { pc.conn.SetDeadline(time.Unix(1, 0)) })
+	abort := func(ioErr error) error {
+		stopWatch()
+		pc.close()
+		if cerr := network.CtxError(ctx); cerr != nil {
+			return fmt.Errorf("tcpwire: %s->%s %s: %w", ep.addr, to, method, cerr)
+		}
+		return mapNetErr(ep.addr, to, method, ioErr)
+	}
 	frame := wireRequest{Method: method, From: string(ep.addr), Body: req}
 	if err := pc.enc.Encode(frame); err != nil {
-		pc.close()
-		return nil, mapNetErr(ep.addr, to, method, err)
+		return nil, abort(err)
 	}
 	var resp wireResponse
 	if err := pc.dec.Decode(&resp); err != nil {
-		pc.close()
-		return nil, mapNetErr(ep.addr, to, method, err)
+		return nil, abort(err)
 	}
-	pc.conn.SetDeadline(time.Time{})
-	ep.putConn(to, pc)
+	if !stopWatch() {
+		// The cancellation watchdog already started: it may yank the
+		// socket deadline at any moment, so this conn cannot be trusted
+		// by a future lease — drop it instead of pooling.
+		pc.close()
+	} else {
+		pc.conn.SetDeadline(time.Time{})
+		ep.putConn(to, pc)
+	}
 
 	if resp.Code != "" {
-		opt.Meter.Count(network.DefaultWireSize)
+		meter.Count(network.DefaultWireSize)
 		return nil, network.DecodeError(resp.Code, resp.Msg)
 	}
-	opt.Meter.Count(network.SizeOf(resp.Body))
+	meter.Count(network.SizeOf(resp.Body))
 	return resp.Body, nil
 }
 
@@ -267,11 +291,12 @@ func (ep *Endpoint) pool(to network.Addr) *connPool {
 	return p
 }
 
-func (ep *Endpoint) getConn(to network.Addr, timeout time.Duration) (*persistConn, error) {
+func (ep *Endpoint) getConn(ctx context.Context, to network.Addr, timeout time.Duration) (*persistConn, error) {
 	if pc := ep.pool(to).get(); pc != nil {
 		return pc, nil
 	}
-	conn, err := net.DialTimeout("tcp", string(to), timeout)
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
 		return nil, mapNetErr(ep.addr, to, "dial", err)
 	}

@@ -1,6 +1,7 @@
 package tcpwire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,7 +42,7 @@ func TestRoundTrip(t *testing.T) {
 		return pong{N: req.(ping).N + 1}, nil
 	})
 	m := &network.Meter{}
-	resp, err := a.Invoke(b.Addr(), "ping", ping{N: 41}, network.Call{Meter: m})
+	resp, err := a.Invoke(network.WithMeter(context.Background(), m), b.Addr(), "ping", ping{N: 41}, network.Call{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestConnectionReuse(t *testing.T) {
 		return pong{N: req.(ping).N}, nil
 	})
 	for i := 0; i < 20; i++ {
-		if _, err := a.Invoke(b.Addr(), "ping", ping{N: i}, network.Call{}); err != nil {
+		if _, err := a.Invoke(context.Background(), b.Addr(), "ping", ping{N: i}, network.Call{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -75,7 +76,7 @@ func TestRemoteErrorTaxonomy(t *testing.T) {
 	b.Handle("get", func(network.Addr, network.Message) (network.Message, error) {
 		return nil, fmt.Errorf("nothing stored: %w", core.ErrNotFound)
 	})
-	_, err := a.Invoke(b.Addr(), "get", ping{}, network.Call{})
+	_, err := a.Invoke(context.Background(), b.Addr(), "get", ping{}, network.Call{})
 	if !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
@@ -83,7 +84,7 @@ func TestRemoteErrorTaxonomy(t *testing.T) {
 
 func TestUnknownMethod(t *testing.T) {
 	a, b := newPair(t)
-	_, err := a.Invoke(b.Addr(), "nope", ping{}, network.Call{})
+	_, err := a.Invoke(context.Background(), b.Addr(), "nope", ping{}, network.Call{})
 	if !errors.Is(err, core.ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
@@ -92,7 +93,7 @@ func TestUnknownMethod(t *testing.T) {
 func TestDialFailureIsUnreachable(t *testing.T) {
 	a, _ := newPair(t)
 	// A port with (almost certainly) nothing listening.
-	_, err := a.Invoke("127.0.0.1:1", "ping", ping{}, network.Call{Timeout: 500 * time.Millisecond})
+	_, err := a.Invoke(context.Background(), "127.0.0.1:1", "ping", ping{}, network.Call{Timeout: 500 * time.Millisecond})
 	if !errors.Is(err, core.ErrUnreachable) && !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("err = %v", err)
 	}
@@ -105,7 +106,7 @@ func TestSlowHandlerTimesOut(t *testing.T) {
 		return pong{}, nil
 	})
 	start := time.Now()
-	_, err := a.Invoke(b.Addr(), "slow", ping{}, network.Call{Timeout: 200 * time.Millisecond})
+	_, err := a.Invoke(context.Background(), b.Addr(), "slow", ping{}, network.Call{Timeout: 200 * time.Millisecond})
 	if !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("err = %v, want timeout", err)
 	}
@@ -117,7 +118,7 @@ func TestSlowHandlerTimesOut(t *testing.T) {
 func TestClosedEndpointRefusesCalls(t *testing.T) {
 	a, b := newPair(t)
 	a.Close()
-	_, err := a.Invoke(b.Addr(), "ping", ping{}, network.Call{})
+	_, err := a.Invoke(context.Background(), b.Addr(), "ping", ping{}, network.Call{})
 	if !errors.Is(err, core.ErrStopped) {
 		t.Fatalf("err = %v", err)
 	}
@@ -128,11 +129,11 @@ func TestCallToClosedPeer(t *testing.T) {
 	b.Handle("ping", func(network.Addr, network.Message) (network.Message, error) {
 		return pong{}, nil
 	})
-	if _, err := a.Invoke(b.Addr(), "ping", ping{}, network.Call{}); err != nil {
+	if _, err := a.Invoke(context.Background(), b.Addr(), "ping", ping{}, network.Call{}); err != nil {
 		t.Fatal(err)
 	}
 	b.Close()
-	_, err := a.Invoke(b.Addr(), "ping", ping{N: 2}, network.Call{Timeout: 500 * time.Millisecond})
+	_, err := a.Invoke(context.Background(), b.Addr(), "ping", ping{N: 2}, network.Call{Timeout: 500 * time.Millisecond})
 	if err == nil {
 		t.Fatal("call to closed peer should fail")
 	}
@@ -149,7 +150,7 @@ func TestConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := a.Invoke(b.Addr(), "ping", ping{N: i}, network.Call{})
+			resp, err := a.Invoke(context.Background(), b.Addr(), "ping", ping{N: i}, network.Call{})
 			if err != nil {
 				errs <- err
 				return
@@ -177,13 +178,13 @@ func TestNestedInvokeAcrossThreeNodes(t *testing.T) {
 		return pong{N: 7}, nil
 	})
 	b.Handle("mid", func(network.Addr, network.Message) (network.Message, error) {
-		r, err := b.Invoke(c.Addr(), "leaf", ping{}, network.Call{})
+		r, err := b.Invoke(context.Background(), c.Addr(), "leaf", ping{}, network.Call{})
 		if err != nil {
 			return nil, err
 		}
 		return pong{N: r.(pong).N + 1}, nil
 	})
-	r, err := a.Invoke(b.Addr(), "mid", ping{}, network.Call{})
+	r, err := a.Invoke(context.Background(), b.Addr(), "mid", ping{}, network.Call{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package ums
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -53,22 +54,26 @@ func (s *Service) KTS() *kts.Service { return s.ts }
 // then send (k, {data, ts}) to rsp(k, h) for every h ∈ Hr. Peers keep
 // the pair only if the timestamp is newer than what they hold, so of
 // concurrent inserts exactly the one with the latest timestamp survives.
-func (s *Service) Insert(k core.Key, data []byte) (res dht.OpResult, err error) {
+func (s *Service) Insert(ctx context.Context, k core.Key, data []byte) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
+	ctx = network.WithMeter(ctx, meter)
 	start := s.ring.Env().Now()
 	defer func() {
 		res.Elapsed = s.ring.Env().Now() - start
 		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
 	}()
 
-	ts, err := s.ts.GenTS(k, meter)
+	ts, err := s.ts.GenTS(ctx, k)
 	if err != nil {
 		return res, fmt.Errorf("ums: insert(%q): %w", k, err)
 	}
 	res.TS = ts
 	val := core.Value{Data: data, TS: ts}
 	for _, h := range s.set.Hr {
-		if err := s.client.PutH(k, h, val, dht.PutIfNewer, meter); err == nil {
+		if cerr := network.CtxError(ctx); cerr != nil {
+			return res, fmt.Errorf("ums: insert(%q): %w", k, cerr)
+		}
+		if err := s.client.PutH(ctx, k, h, val, dht.PutIfNewer); err == nil {
 			res.Stored++
 		}
 		// A failed put means that replica position is currently
@@ -85,15 +90,16 @@ func (s *Service) Insert(k core.Key, data []byte) (res dht.OpResult, err error) 
 // ts1 from KTS, then probe rsp(k, h) for each h ∈ Hr until a replica
 // stamped ts1 appears. If none is reachable, the most recent available
 // replica is returned together with core.ErrNoCurrentReplica.
-func (s *Service) Retrieve(k core.Key) (res dht.OpResult, err error) {
+func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
+	ctx = network.WithMeter(ctx, meter)
 	start := s.ring.Env().Now()
 	defer func() {
 		res.Elapsed = s.ring.Env().Now() - start
 		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
 	}()
 
-	ts1, err := s.ts.LastTS(k, meter)
+	ts1, err := s.ts.LastTS(ctx, k)
 	if err != nil {
 		return res, fmt.Errorf("ums: retrieve(%q): %w", k, err)
 	}
@@ -104,8 +110,11 @@ func (s *Service) Retrieve(k core.Key) (res dht.OpResult, err error) {
 	var dataMR []byte // most recent replica seen so far (Figure 2's data_mr)
 	tsMR := core.TSZero
 	for _, h := range s.set.Hr {
+		if cerr := network.CtxError(ctx); cerr != nil {
+			return res, fmt.Errorf("ums: retrieve(%q): %w", k, cerr)
+		}
 		res.Probed++
-		val, err := s.client.GetH(k, h, meter)
+		val, err := s.client.GetH(ctx, k, h)
 		if err != nil {
 			continue // replica unavailable (peer down, data lost, stale lookup)
 		}
@@ -132,10 +141,11 @@ func (s *Service) Retrieve(k core.Key) (res dht.OpResult, err error) {
 func (s *Service) repair(k core.Key, oldTS, newTS core.Timestamp) {
 	env := s.ring.Env()
 	env.Go(func() {
+		ctx := context.Background()
 		var best core.Value
 		found := false
 		for _, h := range s.set.Hr {
-			if val, err := s.client.GetH(k, h, nil); err == nil {
+			if val, err := s.client.GetH(ctx, k, h); err == nil {
 				if !found || best.TS.Less(val.TS) {
 					best = val
 					found = true
@@ -147,7 +157,7 @@ func (s *Service) repair(k core.Key, oldTS, newTS core.Timestamp) {
 		}
 		reinsert := core.Value{Data: best.Data, TS: newTS}
 		for _, h := range s.set.Hr {
-			s.client.PutH(k, h, reinsert, dht.PutIfNewer, nil)
+			s.client.PutH(ctx, k, h, reinsert, dht.PutIfNewer)
 		}
 	})
 }

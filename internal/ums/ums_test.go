@@ -1,6 +1,7 @@
 package ums_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func TestInsertThenRetrieveIsCurrent(t *testing.T) {
 	d := deploy(t, 1)
 	ok := d.Do(func() {
 		p := d.Peers[0]
-		ins, err := p.UMS.Insert("k", []byte("v1"))
+		ins, err := p.UMS.Insert(context.Background(), "k", []byte("v1"))
 		if err != nil {
 			t.Errorf("insert: %v", err)
 			return
@@ -40,7 +41,7 @@ func TestInsertThenRetrieveIsCurrent(t *testing.T) {
 			t.Errorf("first insert ts = %v", ins.TS)
 		}
 		// Retrieve from a different peer.
-		r, err := d.Peers[7].UMS.Retrieve("k")
+		r, err := d.Peers[7].UMS.Retrieve(context.Background(), "k")
 		if err != nil {
 			t.Errorf("retrieve: %v", err)
 			return
@@ -64,15 +65,15 @@ func TestUpdateWinsOverStaleReplica(t *testing.T) {
 	d := deploy(t, 2)
 	ok := d.Do(func() {
 		p := d.Peers[0]
-		if _, err := p.UMS.Insert("k", []byte("v1")); err != nil {
+		if _, err := p.UMS.Insert(context.Background(), "k", []byte("v1")); err != nil {
 			t.Errorf("insert1: %v", err)
 			return
 		}
-		if _, err := d.Peers[3].UMS.Insert("k", []byte("v2")); err != nil {
+		if _, err := d.Peers[3].UMS.Insert(context.Background(), "k", []byte("v2")); err != nil {
 			t.Errorf("insert2: %v", err)
 			return
 		}
-		r, err := d.Peers[9].UMS.Retrieve("k")
+		r, err := d.Peers[9].UMS.Retrieve(context.Background(), "k")
 		if err != nil {
 			t.Errorf("retrieve: %v", err)
 			return
@@ -92,7 +93,7 @@ func TestUpdateWinsOverStaleReplica(t *testing.T) {
 func TestRetrieveNeverInserted(t *testing.T) {
 	d := deploy(t, 3)
 	d.Do(func() {
-		_, err := d.Peers[0].UMS.Retrieve("ghost")
+		_, err := d.Peers[0].UMS.Retrieve(context.Background(), "ghost")
 		if !errors.Is(err, core.ErrNotFound) {
 			t.Errorf("retrieve of never-inserted key: %v", err)
 		}
@@ -106,19 +107,19 @@ func TestConcurrentInsertsSingleWinner(t *testing.T) {
 	d := deploy(t, 4)
 	results := make(chan core.Timestamp, 3)
 	d.K.Go(func() {
-		r, err := d.Peers[1].UMS.Insert("hot", []byte("from-1"))
+		r, err := d.Peers[1].UMS.Insert(context.Background(), "hot", []byte("from-1"))
 		if err == nil {
 			results <- r.TS
 		}
 	})
 	d.K.Go(func() {
-		r, err := d.Peers[5].UMS.Insert("hot", []byte("from-5"))
+		r, err := d.Peers[5].UMS.Insert(context.Background(), "hot", []byte("from-5"))
 		if err == nil {
 			results <- r.TS
 		}
 	})
 	d.K.Go(func() {
-		r, err := d.Peers[9].UMS.Insert("hot", []byte("from-9"))
+		r, err := d.Peers[9].UMS.Insert(context.Background(), "hot", []byte("from-9"))
 		if err == nil {
 			results <- r.TS
 		}
@@ -138,7 +139,7 @@ func TestConcurrentInsertsSingleWinner(t *testing.T) {
 		t.Fatalf("expected 3 successful inserts, got %d", len(seen))
 	}
 	d.Do(func() {
-		r, err := d.Peers[2].UMS.Retrieve("hot")
+		r, err := d.Peers[2].UMS.Retrieve(context.Background(), "hot")
 		if err != nil {
 			t.Errorf("retrieve: %v", err)
 			return
@@ -155,7 +156,7 @@ func TestRetrieveFallsBackToMostRecent(t *testing.T) {
 	d := deploy(t, 5)
 	key := core.Key("fallback")
 	d.Do(func() {
-		if _, err := d.Peers[0].UMS.Insert(key, []byte("old")); err != nil {
+		if _, err := d.Peers[0].UMS.Insert(context.Background(), key, []byte("old")); err != nil {
 			t.Errorf("insert: %v", err)
 		}
 	})
@@ -163,12 +164,12 @@ func TestRetrieveFallsBackToMostRecent(t *testing.T) {
 	// (simulating an updater that obtained a timestamp and crashed
 	// before storing any replica).
 	d.Do(func() {
-		if _, err := d.Peers[0].UMS.KTS().GenTS(key, nil); err != nil {
+		if _, err := d.Peers[0].UMS.KTS().GenTS(context.Background(), key); err != nil {
 			t.Errorf("gen: %v", err)
 		}
 	})
 	d.Do(func() {
-		r, err := d.Peers[4].UMS.Retrieve(key)
+		r, err := d.Peers[4].UMS.Retrieve(context.Background(), key)
 		if !ums.IsNoCurrent(err) {
 			t.Errorf("want ErrNoCurrentReplica, got %v", err)
 			return
@@ -193,7 +194,7 @@ func TestProbeCountTracksAvailability(t *testing.T) {
 	keys := []core.Key{"p1", "p2", "p3", "p4", "p5", "p6"}
 	d.Do(func() {
 		for _, k := range keys {
-			if _, err := d.Peers[0].UMS.Insert(k, []byte(k)); err != nil {
+			if _, err := d.Peers[0].UMS.Insert(context.Background(), k, []byte(k)); err != nil {
 				t.Errorf("insert %s: %v", k, err)
 			}
 		}
@@ -201,7 +202,7 @@ func TestProbeCountTracksAvailability(t *testing.T) {
 	total := 0
 	d.Do(func() {
 		for _, k := range keys {
-			r, err := d.Peers[2].UMS.Retrieve(k)
+			r, err := d.Peers[2].UMS.Retrieve(context.Background(), k)
 			if err != nil {
 				t.Errorf("retrieve %s: %v", k, err)
 				continue

@@ -1,7 +1,9 @@
 package dcdht
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/brk"
@@ -98,29 +100,66 @@ func (n *Node) Join(bootstrap string) error {
 	return nil
 }
 
-// Insert stores data under key with a fresh timestamp (UMS).
-func (n *Node) Insert(key Key, data []byte) (Result, error) {
-	return n.ums.Insert(key, data)
+// Put implements Client: it stores data under key with a fresh
+// timestamp, issued from this node. The context's deadline and
+// cancellation are honored natively by the TCP transport.
+func (n *Node) Put(ctx context.Context, key Key, data []byte, opts ...OpOption) (Result, error) {
+	if resolveOpts(opts).alg == AlgBRK {
+		return n.brk.Insert(ctx, key, data)
+	}
+	return n.ums.Insert(ctx, key, data)
 }
 
-// Retrieve returns the current replica of key (UMS).
-func (n *Node) Retrieve(key Key) (Result, error) {
-	return n.ums.Retrieve(key)
+// Get implements Client: it returns the current replica of key.
+func (n *Node) Get(ctx context.Context, key Key, opts ...OpOption) (Result, error) {
+	if resolveOpts(opts).alg == AlgBRK {
+		return n.brk.Retrieve(ctx, key)
+	}
+	return n.ums.Retrieve(ctx, key)
 }
 
-// InsertBRK runs the baseline's update.
-func (n *Node) InsertBRK(key Key, data []byte) (Result, error) {
-	return n.brk.Insert(key, data)
+// LastTS implements Client: it asks KTS for the last timestamp
+// generated for key.
+func (n *Node) LastTS(ctx context.Context, key Key) (Timestamp, error) {
+	return n.kts.LastTS(ctx, key)
 }
 
-// RetrieveBRK runs the baseline's retrieval.
-func (n *Node) RetrieveBRK(key Key) (Result, error) {
-	return n.brk.Retrieve(key)
+// PutMulti implements Client: the writes fan out on concurrent
+// goroutines with per-key error isolation.
+func (n *Node) PutMulti(ctx context.Context, items []KV, opts ...OpOption) ([]MultiResult, error) {
+	return nodeMulti(ctx, len(items), func(i int) (Key, Result, error) {
+		r, err := n.Put(ctx, items[i].Key, items[i].Data, opts...)
+		return items[i].Key, r, err
+	})
 }
 
-// LastTS asks KTS for the last timestamp generated for key.
-func (n *Node) LastTS(key Key) (Timestamp, error) {
-	return n.kts.LastTS(key, nil)
+// GetMulti implements Client: the reads fan out on concurrent
+// goroutines with per-key error isolation.
+func (n *Node) GetMulti(ctx context.Context, keys []Key, opts ...OpOption) ([]MultiResult, error) {
+	return nodeMulti(ctx, len(keys), func(i int) (Key, Result, error) {
+		r, err := n.Get(ctx, keys[i], opts...)
+		return keys[i], r, err
+	})
+}
+
+// nodeMulti fans count sub-operations out concurrently and gathers
+// per-key outcomes.
+func nodeMulti(ctx context.Context, count int, one func(i int) (Key, Result, error)) ([]MultiResult, error) {
+	if err := network.CtxError(ctx); err != nil {
+		return nil, fmt.Errorf("dcdht: %w", err)
+	}
+	out := make([]MultiResult, count)
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, r, err := one(i)
+			out[i] = MultiResult{Key: k, Result: r, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out, nil
 }
 
 // Leave departs gracefully, handing replicas and counters to the
