@@ -8,9 +8,11 @@
 //	dcdht-bench -full           # paper-scale axes (10,000 peers, 3h windows)
 //	dcdht-bench -figure 7,8     # only selected figures
 //	dcdht-bench -csv out/       # also write CSV per figure
+//	dcdht-bench -figure repair  # replica-maintenance comparison + BENCH_repair.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +22,27 @@ import (
 	"repro/internal/exp"
 )
 
+// writeRepairJSON serializes the repair comparison so CI and perf
+// tracking can diff currency/cost across commits without parsing tables.
+func writeRepairJSON(path string, points []exp.RepairPoint) {
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repair json: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "repair json %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote repair comparison to %s\n", path)
+}
+
 func main() {
 	full := flag.Bool("full", false, "paper-scale axes (10,000 peers, 3-hour windows; slow)")
 	seed := flag.Int64("seed", 42, "simulation seed")
-	figures := flag.String("figure", "all", "comma-separated list: analysis,6,7,8,9,10,11,12,ablations")
+	figures := flag.String("figure", "all", "comma-separated list: analysis,6,7,8,9,10,11,12,ablations,repair")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files")
+	repairJSON := flag.String("json", "", "path for the machine-readable repair comparison, e.g. BENCH_repair.json (written when the repair figure runs)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
 	flag.Parse()
 
@@ -93,6 +111,12 @@ func main() {
 		emit(exp.AblationSuccessorList(opts))
 		emit(exp.AblationDataHandoff(opts))
 	}
+	var repairPoints []exp.RepairPoint
+	if wanted("repair") {
+		t, points := exp.FigureRepair(opts)
+		emit(t)
+		repairPoints = points
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -114,5 +138,10 @@ func main() {
 			f.Close()
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(tables), *csvDir)
+	}
+	// Last, after every other output is safely on disk: a failure here
+	// must not discard a long run's figures.
+	if repairPoints != nil && *repairJSON != "" {
+		writeRepairJSON(*repairJSON, repairPoints)
 	}
 }

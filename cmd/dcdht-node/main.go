@@ -6,6 +6,7 @@
 //
 //	dcdht-node serve -listen 127.0.0.1:4000                  # first node
 //	dcdht-node serve -listen 127.0.0.1:4001 -join 127.0.0.1:4000
+//	dcdht-node serve -join 127.0.0.1:4000 -repair 30s -read-repair -inspect 1m
 //	dcdht-node put  -via 127.0.0.1:4000 agenda:mon "standup 9am"
 //	dcdht-node get  -via 127.0.0.1:4000 agenda:mon
 //	dcdht-node last -via 127.0.0.1:4000 agenda:mon           # KTS last_ts
@@ -48,9 +49,21 @@ func serve(args []string) {
 	join := fs.String("join", "", "bootstrap peer; empty creates a new ring")
 	replicas := fs.Int("replicas", 10, "|Hr|: replicas per data (must match the ring)")
 	indirect := fs.Bool("indirect", false, "use the indirect counter initialization only")
+	repairEvery := fs.Duration("repair", 0, "anti-entropy sweep period (0 disables replica maintenance)")
+	repairBudget := fs.Int("repair-budget", 0, "keys repaired per sweep round (0 selects the default)")
+	readRepair := fs.Bool("read-repair", false, "refresh stale/missing replicas observed by retrieves")
+	inspect := fs.Duration("inspect", 0, "KTS periodic inspection period (0 disables)")
+	inspectBudget := fs.Int("inspect-budget", 0, "counters re-read per inspection round (0 selects the default)")
 	fs.Parse(args)
 
-	cfg := dcdht.NodeConfig{Replicas: *replicas}
+	cfg := dcdht.NodeConfig{
+		Replicas:        *replicas,
+		RepairEvery:     *repairEvery,
+		RepairPerRound:  *repairBudget,
+		ReadRepair:      *readRepair,
+		Inspect:         *inspect,
+		InspectPerRound: *inspectBudget,
+	}
 	if *indirect {
 		cfg.Mode = dcdht.ModeIndirect
 	}
@@ -69,10 +82,17 @@ func serve(args []string) {
 		}
 		fmt.Printf("joined via %s; listening on %s\n", *join, node.Addr())
 	}
+	if *repairEvery > 0 || *readRepair {
+		fmt.Printf("replica maintenance on (sweep=%s read-repair=%v)\n", *repairEvery, *readRepair)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	if st := node.RepairStats(); st.Rounds > 0 || st.ReadRepairs > 0 {
+		fmt.Printf("repair: %d rounds, %d replicas healed, %d read-repairs, %d msgs\n",
+			st.Rounds, st.Healed, st.ReadRepairs, st.Msgs)
+	}
 	fmt.Println("leaving gracefully (handing off replicas and counters)...")
 	if err := node.Leave(); err != nil {
 		fmt.Fprintf(os.Stderr, "leave: %v\n", err)

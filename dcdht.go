@@ -30,6 +30,7 @@ import (
 	"repro/internal/kts"
 	"repro/internal/network"
 	"repro/internal/network/simwire"
+	"repro/internal/repair"
 )
 
 // Key names a data item.
@@ -53,6 +54,13 @@ var (
 // Mode selects the KTS counter initialization strategy.
 type Mode = kts.InitMode
 
+// RepairStats reports the replica-maintenance subsystem's cumulative
+// work: sweep rounds run, replicas actually healed (pushes kept under
+// PutIfNewer), read-repair refreshes, and the maintenance traffic in
+// messages and bytes. Aggregated across peers on SimNetwork; per node on
+// Node.
+type RepairStats = repair.Stats
+
 // The two UMS variants of the paper's evaluation.
 const (
 	ModeDirect   = kts.ModeDirect
@@ -75,33 +83,61 @@ var (
 	ReplicasForSuccess = analysis.ReplicasForSuccess
 )
 
+// Float returns a pointer to v, for the optional float knobs (e.g.
+// SimConfig.FailureRate) whose zero value must stay expressible:
+// dcdht.Float(0) means "no failures", nil means "use the default".
+func Float(v float64) *float64 { return &v }
+
 // SimConfig tunes a simulated network. The zero value gives the paper's
 // Table 1 environment with 10 replicas and the direct algorithm.
 type SimConfig struct {
-	// Replicas is |Hr|. Default 10 (Table 1).
+	// Replicas is |Hr|. Default 10 (Table 1). Zero is not a meaningful
+	// replication factor, so the zero value selects the default.
 	Replicas int
 	// Mode selects UMS-Direct or UMS-Indirect. Default direct.
 	Mode Mode
-	// Seed makes the whole simulation reproducible. Default 1.
+	// Seed makes the whole simulation reproducible. Default 1 (seed 0
+	// itself is reserved as "unset"; every other value is used as given).
 	Seed int64
 	// Cluster selects the LAN profile instead of Table 1's WAN model.
 	Cluster bool
 	// FailureRate is the fraction of ChurnOne departures that crash
-	// instead of leaving gracefully. Default 0.05 (Table 1).
-	FailureRate float64
-	// GraceDelay overrides the indirect algorithm's wait.
+	// instead of leaving gracefully. nil selects Table 1's 0.05; use
+	// Float(0) for a network whose departures are all graceful — a plain
+	// float64 could not express that (its zero value meant the default).
+	FailureRate *float64
+	// GraceDelay overrides the indirect algorithm's wait. Zero selects
+	// the KTS default (500ms); a negative value means "no wait".
 	GraceDelay time.Duration
 	// Inspect enables KTS periodic inspection with the given period.
 	Inspect time.Duration
+	// RepairEvery enables the replica-maintenance subsystem's
+	// anti-entropy sweep with the given period: each peer periodically
+	// re-pushes the current value of the keys it hosts to the current
+	// replica set, healing replicas lost to churn. Zero disables it.
+	RepairEvery time.Duration
+	// RepairPerRound caps how many keys one sweep round repairs per
+	// peer. Default 8.
+	RepairPerRound int
+	// ReadRepair enables opportunistic read-repair: a retrieve that
+	// observes stale or missing replicas among the probed positions
+	// refreshes them asynchronously with the value it found.
+	ReadRepair bool
+}
+
+// repairConfig translates the facade knobs for the subsystem.
+func (c SimConfig) repairConfig() repair.Config {
+	return repair.Config{Every: c.RepairEvery, PerRound: c.RepairPerRound, ReadRepair: c.ReadRepair}
 }
 
 // SimNetwork is a simulated deployment of peers running Chord + KTS +
 // UMS + BRK. All methods drive virtual time; a retrieve that takes 6
 // simulated seconds returns in microseconds of wall time.
 type SimNetwork struct {
-	cfg SimConfig
-	d   *exp.Deployment
-	rng interface{ Intn(int) int }
+	cfg      SimConfig
+	failRate float64
+	d        *exp.Deployment
+	rng      interface{ Intn(int) int }
 }
 
 // NewSimNetwork builds and assembles a simulated network of n peers.
@@ -115,8 +151,9 @@ func NewSimNetwork(n int, cfg SimConfig) *SimNetwork {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	if cfg.FailureRate == 0 {
-		cfg.FailureRate = 0.05
+	failRate := 0.05 // Table 1
+	if cfg.FailureRate != nil {
+		failRate = *cfg.FailureRate
 	}
 	net := simwire.Table1()
 	sc := exp.Table1Scenario(exp.AlgUMSDirect, n, cfg.Seed)
@@ -137,8 +174,9 @@ func NewSimNetwork(n int, cfg SimConfig) *SimNetwork {
 		KTSMode:      cfg.Mode,
 		GraceDelay:   cfg.GraceDelay,
 		InspectEvery: cfg.Inspect,
+		Repair:       cfg.repairConfig(),
 	})
-	sim := &SimNetwork{cfg: cfg, d: d, rng: d.K.NewRand("facade")}
+	sim := &SimNetwork{cfg: cfg, failRate: failRate, d: d, rng: d.K.NewRand("facade")}
 	// Let maintenance settle before handing the network to the caller.
 	d.RunFor(time.Minute)
 	return sim
@@ -231,7 +269,7 @@ func (s *SimNetwork) ChurnOne() {
 		if victim == nil {
 			return
 		}
-		fail := s.rng.Intn(10000) < int(s.cfg.FailureRate*10000)
+		fail := s.rng.Intn(10000) < int(s.failRate*10000)
 		s.d.Depart(victim, fail)
 		s.d.SpawnJoin(s.rng)
 	})
@@ -246,6 +284,10 @@ func (s *SimNetwork) FailOne() {
 		}
 	})
 }
+
+// RepairStats aggregates the replica-maintenance counters over every
+// peer (zero when RepairEvery and ReadRepair are both off).
+func (s *SimNetwork) RepairStats() RepairStats { return s.d.RepairStats() }
 
 // Close stops the simulation.
 func (s *SimNetwork) Close() { s.d.K.Stop() }

@@ -110,6 +110,36 @@ func ExampleReplicasForSuccess() {
 	// Output: 13 replicas, ps = 0.9903
 }
 
+// ExampleSimNetwork_RepairStats enables the replica-maintenance
+// subsystem: a periodic anti-entropy sweep re-pushes current values to
+// the replica set (healing replicas lost to crashes) and read-repair
+// refreshes stale or missing replicas observed by retrieves. Both are
+// monotone (PutIfNewer) and, under simulation, fully deterministic per
+// seed.
+func ExampleSimNetwork_RepairStats() {
+	net := dcdht.NewSimNetwork(40, dcdht.SimConfig{
+		Replicas:    5,
+		Seed:        11,
+		FailureRate: dcdht.Float(1.0), // every departure crashes (replicas lost)
+		RepairEvery: 30 * time.Second, // anti-entropy sweep period
+		ReadRepair:  true,             // refresh stale replicas seen by reads
+	})
+	defer net.Close()
+
+	ctx := context.Background()
+	net.Put(ctx, "doc", []byte("v1"))
+	for i := 0; i < 8; i++ {
+		net.ChurnOne()
+		net.Advance(time.Minute) // sweeps run in virtual time
+	}
+
+	r, err := net.Get(ctx, "doc")
+	st := net.RepairStats()
+	fmt.Printf("data=%s err=%v current=%v rounds>0=%v\n",
+		r.Data, err, r.Current, st.Rounds > 0)
+	// Output: data=v1 err=<nil> current=true rounds>0=true
+}
+
 // ExampleSimNetwork_ChurnOne shows that data survives peer churn: every
 // departure is replaced by a fresh joiner, and UMS still retrieves the
 // latest value.

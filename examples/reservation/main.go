@@ -20,7 +20,7 @@ func main() {
 	net := dcdht.NewSimNetwork(120, dcdht.SimConfig{
 		Seed:        5,
 		Replicas:    10,
-		FailureRate: 1.0, // every departure in this demo is a crash
+		FailureRate: dcdht.Float(1.0), // every departure in this demo is a crash
 	})
 	defer net.Close()
 	ctx := context.Background()

@@ -124,43 +124,27 @@ func (n *Node) Start() {
 	n.started = true
 	n.mu.Unlock()
 
-	rng := n.env.Rand("chord:" + string(n.self.Addr))
-	jitter := func(d time.Duration) time.Duration {
-		return d + time.Duration(rng.Int63n(int64(d)/4+1))
+	// Each task derives its own jitter stream: on the real deployment the
+	// three loops run as concurrent goroutines, and a shared rand.Rand is
+	// not synchronized.
+	task := func(label string, period time.Duration, run func()) {
+		rng := n.env.Rand("chord-" + label + ":" + string(n.self.Addr))
+		n.env.Go(func() {
+			for n.Alive() {
+				jitter := time.Duration(rng.Int63n(int64(period)/4 + 1))
+				if err := n.env.Sleep(period + jitter); err != nil {
+					return
+				}
+				if !n.Alive() {
+					return
+				}
+				run()
+			}
+		})
 	}
-	n.env.Go(func() {
-		for n.Alive() {
-			if err := n.env.Sleep(jitter(n.cfg.StabilizeEvery)); err != nil {
-				return
-			}
-			if !n.Alive() {
-				return
-			}
-			n.stabilize()
-		}
-	})
-	n.env.Go(func() {
-		for n.Alive() {
-			if err := n.env.Sleep(jitter(n.cfg.FixFingersEvery)); err != nil {
-				return
-			}
-			if !n.Alive() {
-				return
-			}
-			n.fixNextFinger()
-		}
-	})
-	n.env.Go(func() {
-		for n.Alive() {
-			if err := n.env.Sleep(jitter(n.cfg.CheckPredEvery)); err != nil {
-				return
-			}
-			if !n.Alive() {
-				return
-			}
-			n.checkPredecessor()
-		}
-	})
+	task("stabilize", n.cfg.StabilizeEvery, n.stabilize)
+	task("fingers", n.cfg.FixFingersEvery, n.fixNextFinger)
+	task("checkpred", n.cfg.CheckPredEvery, n.checkPredecessor)
 }
 
 // stabilize is Chord's core repair: find the first live successor, adopt

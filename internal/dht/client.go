@@ -37,13 +37,23 @@ func (c *Client) Namespace() string { return c.ns }
 
 // PutH stores val at rsp(k, h) — the paper's puth(k, data).
 func (c *Client) PutH(ctx context.Context, k core.Key, h hashing.Func, val core.Value, mode PutMode) error {
+	_, err := c.PutHStored(ctx, k, h, val, mode)
+	return err
+}
+
+// PutHStored is PutH, additionally reporting whether the responsible
+// actually kept the value — false when PutIfNewer (or PutIfNewerOrEqual)
+// rejected a write that would travel backwards in time. The replica
+// maintenance subsystem uses the report to count real heals instead of
+// every push.
+func (c *Client) PutHStored(ctx context.Context, k core.Key, h hashing.Func, val core.Value, mode PutMode) (bool, error) {
 	rid := h.ID(k)
 	req := PutReq{RingID: rid, Qual: Qualifier(c.ns, k, h.Name()), Val: val, Mode: mode}
-	_, err := c.invokeResponsible(ctx, rid, MethodPut, req)
+	resp, err := c.invokeResponsible(ctx, rid, MethodPut, req)
 	if err != nil {
-		return fmt.Errorf("dht: puth %q via %s: %w", k, h.Name(), err)
+		return false, fmt.Errorf("dht: puth %q via %s: %w", k, h.Name(), err)
 	}
-	return nil
+	return resp.(PutResp).Stored, nil
 }
 
 // GetH retrieves the replica of k stored at rsp(k, h) — the paper's

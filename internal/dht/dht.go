@@ -12,6 +12,7 @@ package dht
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/network"
@@ -137,6 +138,19 @@ func init() {
 // apart when one peer is responsible for a key under several functions.
 func Qualifier(ns string, k core.Key, hname string) string {
 	return ns + "|" + string(k) + "|" + hname
+}
+
+// ParseQualifier inverts Qualifier. Namespaces and hash-function names
+// never contain '|', so the first and last separators delimit the key
+// even when the key itself contains one. The replica-maintenance
+// subsystem uses this to recover the hosted keys from a LocalStore.
+func ParseQualifier(q string) (ns string, k core.Key, hname string, ok bool) {
+	first := strings.Index(q, "|")
+	last := strings.LastIndex(q, "|")
+	if first < 0 || last <= first {
+		return "", "", "", false
+	}
+	return q[:first], core.Key(q[first+1 : last]), q[last+1:], true
 }
 
 // Methods registered by RegisterStore.

@@ -84,6 +84,14 @@ func (s *LocalStore) CollectIf(pred func(core.ID) bool, remove bool) []Item {
 	return out
 }
 
+// Snapshot returns a copy of every stored item without removing
+// anything. The iteration order is unspecified (map order); callers that
+// need determinism must sort. The anti-entropy sweep snapshots the store
+// once per round so repairs never hold the store lock across RPCs.
+func (s *LocalStore) Snapshot() []Item {
+	return s.CollectIf(func(core.ID) bool { return true }, false)
+}
+
 // Absorb installs items collected elsewhere, keeping the newer value on
 // qualifier collisions (a replica must never travel backwards in time).
 func (s *LocalStore) Absorb(items []Item) {

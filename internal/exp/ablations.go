@@ -58,7 +58,7 @@ func AblationGraceDelay(o Options) *Table {
 		sc.Name = fmt.Sprintf("ablation-grace=%s", grace)
 		sc.Grace = grace
 		if grace == 0 {
-			sc.Grace = time.Nanosecond // explicit zero: "no wait" (0 selects the default)
+			sc.Grace = -1 // explicit "no wait" (0 selects the default)
 		}
 		r := Run(sc)
 		t.Set(grace.String(), "resp (s)", r.RespTime.Mean())

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/kts"
 	"repro/internal/network/simwire"
+	"repro/internal/repair"
 	"repro/internal/simnet"
 	"repro/internal/ums"
 )
@@ -33,12 +34,13 @@ var Algorithms = []Algorithm{AlgBRK, AlgUMSIndirect, AlgUMSDirect}
 
 // Peer bundles one simulated peer's substrate and services.
 type Peer struct {
-	Name string
-	EP   *simwire.Endpoint
-	Node *chord.Node
-	KTS  *kts.Service
-	UMS  *ums.Service
-	BRK  *brk.Service
+	Name   string
+	EP     *simwire.Endpoint
+	Node   *chord.Node
+	KTS    *kts.Service
+	UMS    *ums.Service
+	BRK    *brk.Service
+	Repair *repair.Service // nil when the maintenance subsystem is off
 }
 
 // Alive reports whether the peer is still part of the overlay.
@@ -71,6 +73,10 @@ type DeployConfig struct {
 	// between updates — the dynamic behind Figures 7–12. KTS counters
 	// still move (the direct algorithm is about counters, §4.2.1).
 	PaperDataModel bool
+	// Repair configures the replica-maintenance subsystem (anti-entropy
+	// sweep + read-repair). The zero value keeps it off, preserving the
+	// paper's dynamics; the repair figures and scenarios switch it on.
+	Repair repair.Config
 }
 
 func (c DeployConfig) ktsTimeout() time.Duration {
@@ -132,7 +138,7 @@ func (d *Deployment) newPeer() *Peer {
 		RPCTimeout:   d.Cfg.ktsTimeout(),
 		RLU:          d.Cfg.RLU,
 	})
-	return &Peer{
+	p := &Peer{
 		Name: name,
 		EP:   ep,
 		Node: node,
@@ -140,6 +146,12 @@ func (d *Deployment) newPeer() *Peer {
 		UMS:  ums.New(node, d.Set, ktsSvc),
 		BRK:  brk.New(node, d.Set),
 	}
+	if d.Cfg.Repair.Enabled() {
+		p.Repair = repair.New(node, d.Set, ktsSvc, node.Store(), ums.Namespace, d.Cfg.Repair)
+		p.UMS.SetReadRepair(p.Repair)
+		p.Repair.Start()
+	}
+	return p
 }
 
 // RandomLivePeer picks a live peer uniformly using the given stream.
@@ -197,6 +209,18 @@ func (d *Deployment) SpawnJoin(rng interface{ Intn(int) int }) *Peer {
 		return p
 	}
 	return nil
+}
+
+// RepairStats aggregates the maintenance counters over every peer ever
+// created — departed peers' heals still happened and still count.
+func (d *Deployment) RepairStats() repair.Stats {
+	var total repair.Stats
+	for _, p := range d.Peers {
+		if p.Repair != nil {
+			total.Add(p.Repair.Stats())
+		}
+	}
+	return total
 }
 
 // Do runs fn as a simulation process and drives the kernel until it

@@ -88,7 +88,7 @@ func TestAblationsSmoke(t *testing.T) {
 
 	short := base
 	short.Algorithm = AlgUMSIndirect
-	short.Grace = time.Nanosecond
+	short.Grace = -1 // explicit "no wait" (0 selects the default)
 	if r := Run(short); r.QueriesRun == 0 {
 		t.Fatal("grace scenario ran no queries")
 	}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/repair"
+)
+
+// TestRepairScenarioSmoke runs one tiny churny scenario with the full
+// maintenance subsystem on, keeping the bench-scale RepairComparison
+// honest (it shares this code path).
+func TestRepairScenarioSmoke(t *testing.T) {
+	sc := Table1Scenario(AlgUMSDirect, 40, 5)
+	sc.Name = "repair-smoke"
+	sc.Duration = 8 * time.Minute
+	sc.Warmup = 30 * time.Second
+	sc.Keys = 4
+	sc.Queries = 8
+	sc.ChurnRate = 0.05
+	sc.FailRate = 0.5
+	sc.UpdateRate = 6
+	sc.Repair = repair.Config{Every: 30 * time.Second, PerRound: 4, ReadRepair: true}
+
+	r := Run(sc)
+	if r.QueriesRun == 0 {
+		t.Fatal("repair scenario ran no queries")
+	}
+	if r.Repair.Rounds == 0 {
+		t.Fatalf("maintenance never swept: %+v", r.Repair)
+	}
+	if r.Repair.Msgs == 0 {
+		t.Fatalf("maintenance sent no traffic: %+v", r.Repair)
+	}
+
+	// The subsystem must stay inert when unconfigured.
+	sc.Repair = repair.Config{}
+	sc.Queries = 4
+	if r := Run(sc); r.Repair != (repair.Stats{}) {
+		t.Fatalf("repair off but stats non-zero: %+v", r.Repair)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/kts"
 	"repro/internal/network/simwire"
+	"repro/internal/repair"
 	"repro/internal/stats"
 	"repro/internal/ums"
 )
@@ -46,6 +47,9 @@ type Scenario struct {
 	// DataHandoff re-enables replica handoff on responsibility changes
 	// (ablation: the engineering improvement the paper's model omits).
 	DataHandoff bool
+	// Repair configures the replica-maintenance subsystem; the zero
+	// value keeps it off (the paper's dynamics).
+	Repair repair.Config
 }
 
 // Table1Scenario returns the paper's default configuration (Table 1)
@@ -93,6 +97,10 @@ type Result struct {
 	ChurnEvents   int
 	FailEvents    int
 
+	// Repair aggregates the maintenance subsystem's work across all
+	// peers (zero when the subsystem is off).
+	Repair repair.Stats
+
 	TotalNetMsgs uint64 // every message the network carried
 	SimEvents    uint64
 	WallTime     time.Duration
@@ -129,6 +137,7 @@ func Run(sc Scenario) *Result {
 		InspectEvery:   sc.Inspect,
 		RLU:            sc.RLU,
 		PaperDataModel: !sc.DataHandoff,
+		Repair:         sc.Repair,
 	}
 	if sc.Algorithm == AlgUMSIndirect {
 		cfg.KTSMode = kts.ModeIndirect
@@ -268,6 +277,7 @@ func Run(sc Scenario) *Result {
 		// BRK can never prove currency, so its rate is 0 by construction.
 		res.CurrentRate = float64(currentReturns) / float64(res.QueriesRun)
 	}
+	res.Repair = d.RepairStats()
 	res.TotalNetMsgs = d.Net.TotalMessages()
 	res.SimEvents = d.K.Events()
 	res.WallTime = time.Since(wallStart)

@@ -59,7 +59,9 @@ type Config struct {
 	Mode InitMode
 	// GraceDelay is how long the indirect algorithm waits before reading
 	// replicas, so timestamps granted by the previous responsible can be
-	// committed (§4.2.2 "it waits a while"). Default 500ms.
+	// committed (§4.2.2 "it waits a while"). Default 500ms; a negative
+	// value means "no wait" (the zero value selects the default, so an
+	// explicit zero wait needs its own spelling).
 	GraceDelay time.Duration
 	// InspectEvery enables periodic inspection with the given period;
 	// zero disables it.
@@ -87,6 +89,8 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.GraceDelay == 0 {
 		c.GraceDelay = 500 * time.Millisecond
+	} else if c.GraceDelay < 0 {
+		c.GraceDelay = 0
 	}
 	if c.InspectPerRound == 0 {
 		c.InspectPerRound = 4
@@ -573,6 +577,9 @@ func (s *Service) RecoverTo(ctx context.Context) (corrected int, err error) {
 func (s *Service) startInspection() {
 	env := s.ring.Env()
 	rng := env.Rand("kts-inspect:" + string(s.ring.Self().Addr))
+	// One pick stream for the whole loop: re-deriving it per round would
+	// replay the same sequence and pin every round to the same start.
+	pick := env.Rand("kts-inspect-pick:" + string(s.ring.Self().Addr))
 	env.Go(func() {
 		for s.ring.Alive() {
 			if err := env.Sleep(s.cfg.InspectEvery + time.Duration(rng.Int63n(int64(s.cfg.InspectEvery)/4+1))); err != nil {
@@ -581,13 +588,13 @@ func (s *Service) startInspection() {
 			if !s.ring.Alive() {
 				return
 			}
-			s.inspectOnce()
+			s.inspectOnce(pick)
 		}
 	})
 }
 
 // inspectOnce checks up to InspectPerRound counters against the DHT.
-func (s *Service) inspectOnce() {
+func (s *Service) inspectOnce(rng interface{ Intn(int) int }) {
 	s.mu.Lock()
 	keys := s.vcs.Keys()
 	repair := s.onRepair
@@ -599,7 +606,6 @@ func (s *Service) inspectOnce() {
 	if limit > len(keys) {
 		limit = len(keys)
 	}
-	rng := s.ring.Env().Rand("kts-inspect-pick:" + string(s.ring.Self().Addr))
 	start := rng.Intn(len(keys))
 	for i := 0; i < limit; i++ {
 		k := keys[(start+i)%len(keys)]

@@ -22,14 +22,24 @@ import (
 // Namespace is the storage namespace UMS replicas live in.
 const Namespace = "ums"
 
+// ReadRepairer receives retrieve observations: the freshest value a
+// retrieve returned plus the probed replica positions that were stale or
+// missing. The replica-maintenance subsystem (internal/repair) implements
+// it to refresh exactly those positions asynchronously; implementations
+// must not block the caller.
+type ReadRepairer interface {
+	ReadRepair(k core.Key, current core.Value, stale []hashing.Func)
+}
+
 // Service is the per-peer UMS instance. Any peer can run inserts and
 // retrieves; the heavy lifting happens at the peers responsible for the
 // key's replica positions and timestamping.
 type Service struct {
-	ring   dht.Ring
-	set    hashing.Set
-	ts     *kts.Service
-	client *dht.Client
+	ring    dht.Ring
+	set     hashing.Set
+	ts      *kts.Service
+	client  *dht.Client
+	repairs ReadRepairer // nil: read-repair disabled
 }
 
 // New attaches a UMS instance to a peer, wiring it to the peer's KTS
@@ -49,6 +59,10 @@ func New(ring dht.Ring, set hashing.Set, ts *kts.Service) *Service {
 
 // KTS returns the timestamping service this UMS uses.
 func (s *Service) KTS() *kts.Service { return s.ts }
+
+// SetReadRepair installs the read-repair sink. Install before serving
+// traffic; retrieves read the field without synchronization.
+func (s *Service) SetReadRepair(r ReadRepairer) { s.repairs = r }
 
 // Insert implements Figure 2's insert(k, data): generate a timestamp,
 // then send (k, {data, ts}) to rsp(k, h) for every h ∈ Hr. Peers keep
@@ -109,6 +123,7 @@ func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, e
 
 	var dataMR []byte // most recent replica seen so far (Figure 2's data_mr)
 	tsMR := core.TSZero
+	var obs []observation // probed positions that did not carry ts1
 	for _, h := range s.set.Hr {
 		if cerr := network.CtxError(ctx); cerr != nil {
 			return res, fmt.Errorf("ums: retrieve(%q): %w", k, cerr)
@@ -116,14 +131,18 @@ func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, e
 		res.Probed++
 		val, err := s.client.GetH(ctx, k, h)
 		if err != nil {
+			obs = append(obs, observation{h: h, missing: true})
 			continue // replica unavailable (peer down, data lost, stale lookup)
 		}
 		res.Retrieved++
 		if val.TS == ts1 {
-			// One current replica found: return it immediately.
+			// One current replica found: return it immediately, handing
+			// the stale positions seen on the way to read-repair.
 			res.Data, res.TS, res.Current = val.Data, val.TS, true
+			s.readRepair(k, val, obs)
 			return res, nil
 		}
+		obs = append(obs, observation{h: h, ts: val.TS})
 		if tsMR.Less(val.TS) {
 			dataMR, tsMR = val.Data, val.TS
 		}
@@ -131,8 +150,43 @@ func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, e
 	if dataMR == nil {
 		return res, fmt.Errorf("ums: retrieve(%q): no replica available: %w", k, core.ErrNotFound)
 	}
+	// No provably current replica: still refresh the probed set with the
+	// most recent available value — PutIfNewer only restores availability,
+	// it can never push a replica backwards.
+	s.readRepair(k, core.Value{Data: dataMR, TS: tsMR}, obs)
 	res.Data, res.TS = dataMR, tsMR
 	return res, fmt.Errorf("ums: retrieve(%q): returning most recent available: %w", k, core.ErrNoCurrentReplica)
+}
+
+// observation records one probed replica position that did not carry the
+// sought timestamp: either nothing was readable there, or a value behind
+// the target.
+type observation struct {
+	h       hashing.Func
+	ts      core.Timestamp
+	missing bool
+}
+
+// readRepair forwards a retrieve's observation to the installed sink, if
+// any, keeping only the positions a PutIfNewer push of the returned
+// value could actually improve — missing replicas and those strictly
+// behind it (the position that supplied the value itself would reject
+// the push). The sink refreshes asynchronously; the retrieve never
+// waits.
+func (s *Service) readRepair(k core.Key, current core.Value, obs []observation) {
+	if s.repairs == nil {
+		return
+	}
+	var stale []hashing.Func
+	for _, o := range obs {
+		if o.missing || o.ts.Less(current.TS) {
+			stale = append(stale, o.h)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	s.repairs.ReadRepair(k, current, stale)
 }
 
 // repair is the KTS repair hook (§4.2.2): after a counter correction,

@@ -12,6 +12,7 @@ import (
 	"repro/internal/kts"
 	"repro/internal/network"
 	"repro/internal/network/tcpwire"
+	"repro/internal/repair"
 	"repro/internal/ums"
 )
 
@@ -28,19 +29,41 @@ type NodeConfig struct {
 	// StabilizeEvery overrides the maintenance period (default 1s on
 	// real deployments, where RPCs are cheap).
 	StabilizeEvery time.Duration
-	// GraceDelay overrides the indirect algorithm's wait.
+	// GraceDelay overrides the indirect algorithm's wait. Zero selects
+	// the KTS default (500ms); a negative value means "no wait".
 	GraceDelay time.Duration
+	// Inspect enables KTS periodic inspection (§4.2.2) with the given
+	// period: the responsible re-reads replicas and raises counters that
+	// initialization under-estimated. Zero disables it.
+	Inspect time.Duration
+	// InspectPerRound caps how many counters one inspection round
+	// re-reads. Default 4.
+	InspectPerRound int
+	// RepairEvery enables the replica-maintenance subsystem's
+	// anti-entropy sweep with the given period: the node periodically
+	// re-pushes the current value of the keys it hosts to the current
+	// replica set, healing replicas lost to churn. Zero disables it.
+	RepairEvery time.Duration
+	// RepairPerRound caps how many keys one sweep round repairs.
+	// Default 8.
+	RepairPerRound int
+	// ReadRepair enables opportunistic read-repair: a retrieve that
+	// observes stale or missing replicas among the probed positions
+	// refreshes them asynchronously with the value it found.
+	ReadRepair bool
 }
 
 // Node is one real peer: a TCP endpoint running Chord, KTS, UMS and BRK
-// — the deployment unit of the paper's cluster experiment.
+// — the deployment unit of the paper's cluster experiment — plus the
+// replica-maintenance subsystem when enabled.
 type Node struct {
-	env   *network.RealEnv
-	ep    *tcpwire.Endpoint
-	chord *chord.Node
-	kts   *kts.Service
-	ums   *ums.Service
-	brk   *brk.Service
+	env    *network.RealEnv
+	ep     *tcpwire.Endpoint
+	chord  *chord.Node
+	kts    *kts.Service
+	ums    *ums.Service
+	brk    *brk.Service
+	repair *repair.Service // nil when maintenance is off
 }
 
 // StartNode opens a TCP endpoint on listen ("127.0.0.1:0" picks a free
@@ -66,28 +89,38 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 	node := chord.New(env, ep, hashing.NodeID(string(ep.Addr())), chordCfg)
 	set := hashing.NewSet(cfg.Replicas)
 	ktsSvc := kts.New(node, set, ums.Namespace, kts.Config{
-		Mode:       cfg.Mode,
-		GraceDelay: cfg.GraceDelay,
-		RPCTimeout: 30 * time.Second,
+		Mode:            cfg.Mode,
+		GraceDelay:      cfg.GraceDelay,
+		InspectEvery:    cfg.Inspect,
+		InspectPerRound: cfg.InspectPerRound,
+		RPCTimeout:      30 * time.Second,
 	})
-	return &Node{
+	n := &Node{
 		env:   env,
 		ep:    ep,
 		chord: node,
 		kts:   ktsSvc,
 		ums:   ums.New(node, set, ktsSvc),
 		brk:   brk.New(node, set),
-	}, nil
+	}
+	rcfg := repair.Config{Every: cfg.RepairEvery, PerRound: cfg.RepairPerRound, ReadRepair: cfg.ReadRepair}
+	if rcfg.Enabled() {
+		n.repair = repair.New(node, set, ktsSvc, node.Store(), ums.Namespace, rcfg)
+		n.ums.SetReadRepair(n.repair)
+	}
+	return n, nil
 }
 
 // Addr returns the node's listen address (give it to joiners).
 func (n *Node) Addr() string { return string(n.ep.Addr()) }
 
 // CreateRing makes this node the first of a new ring and starts
-// maintenance.
+// maintenance (Chord stabilization plus the replica-maintenance sweep,
+// when enabled).
 func (n *Node) CreateRing() {
 	n.chord.CreateRing()
 	n.chord.Start()
+	n.startRepair()
 }
 
 // Join attaches this node to the ring reachable at bootstrap and starts
@@ -97,7 +130,23 @@ func (n *Node) Join(bootstrap string) error {
 		return err
 	}
 	n.chord.Start()
+	n.startRepair()
 	return nil
+}
+
+func (n *Node) startRepair() {
+	if n.repair != nil {
+		n.repair.Start()
+	}
+}
+
+// RepairStats reports the replica-maintenance subsystem's counters for
+// this node (zero when RepairEvery and ReadRepair are both off).
+func (n *Node) RepairStats() RepairStats {
+	if n.repair == nil {
+		return RepairStats{}
+	}
+	return n.repair.Stats()
 }
 
 // Put implements Client: it stores data under key with a fresh
