@@ -65,6 +65,7 @@ const (
 	AlgBRK
 )
 
+// String returns "UMS" or "BRK".
 func (a Algorithm) String() string {
 	if a == AlgBRK {
 		return "BRK"
@@ -108,6 +109,7 @@ func resolveOpts(opts []OpOption) opConfig {
 
 // KV is one key/data pair of a PutMulti batch.
 type KV struct {
+	// Key names the item; Data is the value to replicate under it.
 	Key  Key
 	Data []byte
 }
@@ -116,6 +118,8 @@ type KV struct {
 // operation metrics plus the key's own error, isolated from its
 // siblings (one missing key does not fail the batch).
 type MultiResult struct {
+	// Key names the item this outcome belongs to; the embedded Result
+	// carries the operation's data and metrics.
 	Key Key
 	Result
 	// Err is this key's outcome; classify with errors.Is (ErrNotFound,

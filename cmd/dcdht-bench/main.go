@@ -1,6 +1,8 @@
 // Command dcdht-bench regenerates every table and figure of the paper's
-// evaluation (§3.3 analysis, Figures 6–12) and prints them as series
-// tables, optionally writing CSV files.
+// evaluation (§3.3 analysis, Figures 6–12), the ablations, and the
+// post-paper figures (replica maintenance, workload engine), printing
+// each as a series table and optionally writing CSV and machine-readable
+// JSON.
 //
 // Usage:
 //
@@ -8,7 +10,11 @@
 //	dcdht-bench -full           # paper-scale axes (10,000 peers, 3h windows)
 //	dcdht-bench -figure 7,8     # only selected figures
 //	dcdht-bench -csv out/       # also write CSV per figure
-//	dcdht-bench -figure repair  # replica-maintenance comparison + BENCH_repair.json
+//	dcdht-bench -figure repair -repair-json BENCH_repair.json
+//	dcdht-bench -figure workload -workload zipf -ratio 0.9 -seed 1
+//
+// The workload figure drives YCSB-style load (see docs/BENCHMARKS.md)
+// and writes BENCH_workload.json by default.
 package main
 
 import (
@@ -18,32 +24,42 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 )
 
-// writeRepairJSON serializes the repair comparison so CI and perf
-// tracking can diff currency/cost across commits without parsing tables.
-func writeRepairJSON(path string, points []exp.RepairPoint) {
-	data, err := json.MarshalIndent(points, "", "  ")
+// writeJSON serializes one figure's machine-readable points so CI and
+// perf tracking can diff results across commits without parsing tables.
+func writeJSON(what, path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "repair json: %v\n", err)
+		fmt.Fprintf(os.Stderr, "%s json: %v\n", what, err)
 		os.Exit(1)
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "repair json %s: %v\n", path, err)
+		fmt.Fprintf(os.Stderr, "%s json %s: %v\n", what, path, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote repair comparison to %s\n", path)
+	fmt.Fprintf(os.Stderr, "wrote %s results to %s\n", what, path)
 }
 
 func main() {
-	full := flag.Bool("full", false, "paper-scale axes (10,000 peers, 3-hour windows; slow)")
-	seed := flag.Int64("seed", 42, "simulation seed")
-	figures := flag.String("figure", "all", "comma-separated list: analysis,6,7,8,9,10,11,12,ablations,repair")
-	csvDir := flag.String("csv", "", "directory to write per-figure CSV files")
-	repairJSON := flag.String("json", "", "path for the machine-readable repair comparison, e.g. BENCH_repair.json (written when the repair figure runs)")
-	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
+	full := flag.Bool("full", false, "paper-scale axes: 10,000 peers, 3-hour simulated windows (slow; default is quick mode)")
+	seed := flag.Int64("seed", 42, "simulation seed; every figure replays bit-identically per seed")
+	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload")
+	csvDir := flag.String("csv", "", "directory to also write one CSV file per figure (empty disables)")
+	repairJSON := flag.String("repair-json", "", "path for the machine-readable repair comparison, e.g. BENCH_repair.json (written when the repair figure runs; empty disables)")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress lines on stderr")
+
+	// Workload-figure knobs (-figure workload).
+	workloadName := flag.String("workload", "all", "workload pattern: uniform|zipf|hotkey-update|scan-recent|all")
+	ratio := flag.Float64("ratio", 0.9, "read fraction of the workload mix, in [0,1]")
+	zipfS := flag.Float64("zipf", 1.1, "Zipf skew exponent s (>1; larger is more skewed) for the zipf workload")
+	rate := flag.Float64("rate", 0, "open-loop target throughput in ops per simulated second; 0 selects the closed-loop driver")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	duration := flag.Duration("duration", 2*time.Minute, "measured window of simulated time per workload run, e.g. 2m")
+	workloadJSON := flag.String("workload-json", "BENCH_workload.json", "path for the machine-readable workload results (written when the workload figure runs; empty disables)")
 	flag.Parse()
 
 	opts := exp.Options{Full: *full, Seed: *seed}
@@ -117,6 +133,27 @@ func main() {
 		emit(t)
 		repairPoints = points
 	}
+	var workloadPoints []exp.WorkloadPoint
+	if wanted("workload") {
+		if *ratio < 0 || *ratio > 1 {
+			fmt.Fprintf(os.Stderr, "-ratio %v outside [0,1]\n", *ratio)
+			os.Exit(2)
+		}
+		t, points, err := exp.FigureWorkload(opts, exp.WorkloadOptions{
+			Pattern:     *workloadName,
+			ReadRatio:   ratio,
+			ZipfS:       *zipfS,
+			Rate:        *rate,
+			Concurrency: *concurrency,
+			Duration:    *duration,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workload figure: %v\n", err)
+			os.Exit(2)
+		}
+		emit(t)
+		workloadPoints = points
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -142,6 +179,9 @@ func main() {
 	// Last, after every other output is safely on disk: a failure here
 	// must not discard a long run's figures.
 	if repairPoints != nil && *repairJSON != "" {
-		writeRepairJSON(*repairJSON, repairPoints)
+		writeJSON("repair", *repairJSON, repairPoints)
+	}
+	if workloadPoints != nil && *workloadJSON != "" {
+		writeJSON("workload", *workloadJSON, workloadPoints)
 	}
 }

@@ -45,19 +45,21 @@ func usage() {
 
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	listen := fs.String("listen", "127.0.0.1:0", "address to listen on")
-	join := fs.String("join", "", "bootstrap peer; empty creates a new ring")
-	replicas := fs.Int("replicas", 10, "|Hr|: replicas per data (must match the ring)")
-	indirect := fs.Bool("indirect", false, "use the indirect counter initialization only")
-	repairEvery := fs.Duration("repair", 0, "anti-entropy sweep period (0 disables replica maintenance)")
-	repairBudget := fs.Int("repair-budget", 0, "keys repaired per sweep round (0 selects the default)")
+	listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on, host:port (port 0 picks a free one)")
+	join := fs.String("join", "", "host:port of any ring member to join via; empty creates a new ring")
+	replicas := fs.Int("replicas", 10, "|Hr|: replicas per data item (must match every ring member)")
+	indirect := fs.Bool("indirect", false, "use the indirect counter initialization (§4.2.2) instead of direct")
+	seed := fs.Int64("seed", 0, "seed for the node's jitter streams; 0 derives one from the clock")
+	repairEvery := fs.Duration("repair", 0, "anti-entropy sweep period as a duration, e.g. 30s (0 disables replica maintenance)")
+	repairBudget := fs.Int("repair-budget", 0, "keys repaired per sweep round (0 selects the default, 8)")
 	readRepair := fs.Bool("read-repair", false, "refresh stale/missing replicas observed by retrieves")
-	inspect := fs.Duration("inspect", 0, "KTS periodic inspection period (0 disables)")
-	inspectBudget := fs.Int("inspect-budget", 0, "counters re-read per inspection round (0 selects the default)")
+	inspect := fs.Duration("inspect", 0, "KTS periodic inspection period as a duration, e.g. 1m (0 disables)")
+	inspectBudget := fs.Int("inspect-budget", 0, "counters re-read per inspection round (0 selects the default, 4)")
 	fs.Parse(args)
 
 	cfg := dcdht.NodeConfig{
 		Replicas:        *replicas,
+		Seed:            *seed,
 		RepairEvery:     *repairEvery,
 		RepairPerRound:  *repairBudget,
 		ReadRepair:      *readRepair,
@@ -101,9 +103,9 @@ func serve(args []string) {
 
 func client(op string, args []string) {
 	fs := flag.NewFlagSet(op, flag.ExitOnError)
-	via := fs.String("via", "", "address of any ring member (required)")
-	replicas := fs.Int("replicas", 10, "|Hr|: must match the ring")
-	timeout := fs.Duration("timeout", 30*time.Second, "deadline for the whole operation")
+	via := fs.String("via", "", "host:port of any ring member (required)")
+	replicas := fs.Int("replicas", 10, "|Hr|: replicas per data item (must match every ring member)")
+	timeout := fs.Duration("timeout", 30*time.Second, "deadline for the whole operation as a duration, e.g. 30s")
 	baseline := fs.Bool("brk", false, "run the BRICKS baseline protocol instead of UMS")
 	fs.Parse(args)
 	if *via == "" || fs.NArg() < 1 {

@@ -19,17 +19,17 @@ import (
 )
 
 func main() {
-	peers := flag.Int("peers", 1000, "number of peers")
-	alg := flag.String("alg", "UMS-Direct", "algorithm: BRK, UMS-Indirect, UMS-Direct")
-	replicas := flag.Int("replicas", 10, "|Hr|: replicas per data")
-	keys := flag.Int("keys", 20, "working-set size")
-	duration := flag.Duration("duration", time.Hour, "measured window of simulated time")
-	queries := flag.Int("queries", 30, "retrieve operations at uniform times")
-	churn := flag.Float64("churn", 1, "peer departures per second")
-	fail := flag.Float64("fail", 0.05, "fraction of departures that are failures")
-	updates := flag.Float64("updates", 1, "updates per key per hour")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	cluster := flag.Bool("cluster", false, "use the LAN cluster profile instead of Table 1")
+	peers := flag.Int("peers", 1000, "number of simulated peers")
+	alg := flag.String("alg", "UMS-Direct", "algorithm: BRK, UMS-Indirect or UMS-Direct")
+	replicas := flag.Int("replicas", 10, "|Hr|: replicas per data item")
+	keys := flag.Int("keys", 20, "working-set size in keys")
+	duration := flag.Duration("duration", time.Hour, "measured window of simulated time, e.g. 1h")
+	queries := flag.Int("queries", 30, "retrieve operations at uniform times over the window (paper: 30)")
+	churn := flag.Float64("churn", 1, "peer departures per simulated second (Table 1: 1)")
+	fail := flag.Float64("fail", 0.05, "fraction of departures that are failures, in [0,1] (Table 1: 0.05)")
+	updates := flag.Float64("updates", 1, "updates per key per simulated hour (Table 1: 1)")
+	seed := flag.Int64("seed", 1, "simulation seed; the run replays bit-identically per seed")
+	cluster := flag.Bool("cluster", false, "use the LAN cluster profile instead of Table 1's WAN model")
 	flag.Parse()
 
 	var algorithm exp.Algorithm

@@ -1,20 +1,3 @@
-// Package dcdht is a Go reproduction of "Data Currency in Replicated
-// DHTs" (Akbarinia, Pacitti, Valduriez — SIGMOD 2007): an Update
-// Management Service (UMS) that retrieves provably current replicas from
-// a replicated DHT, built on a Key-based Timestamping Service (KTS) that
-// generates monotonic per-key timestamps with distributed local counters.
-//
-// The package offers two deployment styles with one protocol codebase:
-//
-//   - NewSimNetwork builds a deterministic simulated network (virtual
-//     time, the paper's Table 1 latency/bandwidth model, churn and
-//     failures on demand) — the equivalent of the paper's SimJava study;
-//   - StartNode runs a real peer over TCP — the equivalent of the
-//     paper's 64-node cluster deployment.
-//
-// The evaluation harness that regenerates the paper's figures lives in
-// internal/exp and is exposed through cmd/dcdht-bench and the root
-// benchmarks in bench_test.go.
 package dcdht
 
 import (
@@ -45,10 +28,18 @@ type Result = dht.OpResult
 
 // Errors re-exported for callers to classify with errors.Is.
 var (
-	ErrNotFound         = core.ErrNotFound
+	// ErrNotFound marks a key no reachable replica holds.
+	ErrNotFound = core.ErrNotFound
+	// ErrNoCurrentReplica marks a retrieve that fell back to the most
+	// recent available replica because currency could not be proven;
+	// classify with IsNoCurrent.
 	ErrNoCurrentReplica = core.ErrNoCurrentReplica
-	ErrUnreachable      = core.ErrUnreachable
-	ErrTimeout          = core.ErrTimeout
+	// ErrUnreachable marks an operation that could not reach any
+	// responsible peer.
+	ErrUnreachable = core.ErrUnreachable
+	// ErrTimeout marks an operation that exceeded its deadline (also
+	// wraps context.DeadlineExceeded when the context set it).
+	ErrTimeout = core.ErrTimeout
 )
 
 // Mode selects the KTS counter initialization strategy.
@@ -63,7 +54,11 @@ type RepairStats = repair.Stats
 
 // The two UMS variants of the paper's evaluation.
 const (
-	ModeDirect   = kts.ModeDirect
+	// ModeDirect transfers KTS counters directly on responsibility
+	// changes (§4.2.1) — the default and the paper's best performer.
+	ModeDirect = kts.ModeDirect
+	// ModeIndirect re-initializes counters from the stored replicas
+	// after a grace delay (§4.2.2) — cheaper joins, slower timestamping.
 	ModeIndirect = kts.ModeIndirect
 )
 

@@ -6,17 +6,21 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/brk"
 	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/dht"
 	"repro/internal/hashing"
 	"repro/internal/kts"
 	"repro/internal/network/simwire"
 	"repro/internal/repair"
 	"repro/internal/simnet"
 	"repro/internal/ums"
+	"repro/internal/workload"
 )
 
 // Algorithm names one of the three compared protocols.
@@ -221,6 +225,61 @@ func (d *Deployment) RepairStats() repair.Stats {
 		}
 	}
 	return total
+}
+
+// workloadClient adapts the deployment to the workload engine's Client:
+// each operation is issued through UMS from a live peer drawn off a
+// dedicated deterministic stream, mirroring how the paper's harness
+// issues queries from random peers.
+type workloadClient struct {
+	d   *Deployment
+	rng interface{ Intn(int) int }
+}
+
+func (c workloadClient) Put(ctx context.Context, key core.Key, data []byte) (dht.OpResult, error) {
+	p := c.d.RandomLivePeer(c.rng)
+	if p == nil {
+		return dht.OpResult{}, fmt.Errorf("exp: no live peer: %w", core.ErrUnreachable)
+	}
+	return p.UMS.Insert(ctx, key, data)
+}
+
+func (c workloadClient) Get(ctx context.Context, key core.Key) (dht.OpResult, error) {
+	p := c.d.RandomLivePeer(c.rng)
+	if p == nil {
+		return dht.OpResult{}, fmt.Errorf("exp: no live peer: %w", core.ErrUnreachable)
+	}
+	return p.UMS.Retrieve(ctx, key)
+}
+
+// RunWorkload drives a workload spec against the deployment as a
+// simulation process: the generator's operation stream, the issuing
+// peers and every latency sample all run in virtual time, so the same
+// seed replays the identical report bit for bit. Unlike Do, the kernel
+// is driven until the run finishes however long the spec's window is;
+// a run only aborts if the simulation goes completely silent (no
+// events at all for a sustained stretch of virtual time — with ring
+// maintenance timers alive that means a genuine stall).
+func (d *Deployment) RunWorkload(ctx context.Context, spec workload.Spec) (*workload.Report, error) {
+	cl := workloadClient{d: d, rng: d.K.NewRand("workload-issuer")}
+	var rep *workload.Report
+	var err error
+	done := false
+	d.K.Go(func() {
+		rep, err = workload.Run(ctx, d.Net.Env(), cl, spec)
+		done = true
+	})
+	idle := 0
+	for !done {
+		if d.K.Run(d.K.Now()+time.Hour) == 0 {
+			if idle++; idle > 100 {
+				return nil, fmt.Errorf("exp: workload stalled: %w", core.ErrTimeout)
+			}
+		} else {
+			idle = 0
+		}
+	}
+	return rep, err
 }
 
 // Do runs fn as a simulation process and drives the kernel until it

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// workloadTestOptions keeps the figure fast enough for `go test`.
+func workloadTestOptions() (Options, WorkloadOptions) {
+	ratio := 0.8
+	return Options{Seed: 5}, WorkloadOptions{
+		Peers:       32,
+		Keys:        12,
+		Ops:         40,
+		Concurrency: 3,
+		ReadRatio:   &ratio,
+	}
+}
+
+func TestFigureWorkload(t *testing.T) {
+	o, wo := workloadTestOptions()
+	wo.Pattern = string(workload.Zipf)
+	table, points, err := FigureWorkload(o, wo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("got %d points, want 1", len(points))
+	}
+	p := points[0]
+	if p.Workload != string(workload.Zipf) || p.Peers != 32 {
+		t.Fatalf("point provenance wrong: %+v", p)
+	}
+	if p.Ops != 40 || p.Reads.Ops+p.Writes.Ops != 40 {
+		t.Fatalf("ops accounting wrong: %+v", p)
+	}
+	if p.OpsPerSec <= 0 || p.Reads.P50Ms <= 0 {
+		t.Fatalf("throughput/latency missing: %+v", p)
+	}
+	if p.Reads.P50Ms > p.Reads.P95Ms || p.Reads.P95Ms > p.Reads.P99Ms {
+		t.Fatalf("read quantiles not monotone: %+v", p.Reads)
+	}
+	if v, ok := table.Get(string(workload.Zipf), "ops/s"); !ok || v != p.OpsPerSec {
+		t.Fatalf("table row missing or wrong: %v %v", v, ok)
+	}
+	if _, err := json.Marshal(points); err != nil {
+		t.Fatalf("points not serializable: %v", err)
+	}
+}
+
+func TestFigureWorkloadRejectsUnknownPattern(t *testing.T) {
+	o, wo := workloadTestOptions()
+	wo.Pattern = "bogus"
+	if _, _, err := FigureWorkload(o, wo); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+// TestDeploymentWorkloadDeterminism is the sim-mode acceptance check at
+// the exp layer: the same seed must replay the identical operation
+// sequence and identical latency histograms.
+func TestDeploymentWorkloadDeterminism(t *testing.T) {
+	run := func() *workload.Report {
+		sc := Table1Scenario(AlgUMSDirect, 32, 9)
+		d := NewDeployment(DeployConfig{
+			Peers: 32, Replicas: sc.Replicas, Seed: 9, Net: sc.Net, Chord: sc.Chord,
+		})
+		defer d.K.Stop()
+		d.RunFor(2 * time.Minute)
+		rep, err := d.RunWorkload(context.Background(), workload.Spec{
+			Pattern: workload.ScanRecent, Seed: 9, Keys: 10, Ops: 30,
+			Concurrency: 3, DataSize: 64, Trace: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Fatal("op sequences diverged across same-seed replays")
+	}
+	if !reflect.DeepEqual(a.ReadHist.Buckets(), b.ReadHist.Buckets()) ||
+		!reflect.DeepEqual(a.WriteHist.Buckets(), b.WriteHist.Buckets()) {
+		t.Fatal("latency histograms diverged across same-seed replays")
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("reports diverged:\n%s\n%s", aj, bj)
+	}
+}

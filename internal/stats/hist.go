@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// The histogram's bucket layout is HDR-style log-linear over int64
+// nanoseconds: values below 2^linBits land in exact unit-width buckets,
+// and every octave [2^t, 2^(t+1)) above that is split into 2^subShift
+// linear sub-buckets, bounding the relative quantile error at
+// 2^-subShift (~3.1%) while covering nanoseconds to centuries in a few
+// kilobytes of counters.
+const (
+	histLinBits  = 6                 // exact buckets below 2^6 ns
+	histSubShift = 5                 // 32 sub-buckets per octave
+	histLinCount = 1 << histLinBits  // 64 exact buckets
+	histSubCount = 1 << histSubShift // 32
+	histOctaves  = 63 - histLinBits  // octaves above the linear region
+	histBuckets  = histLinCount + histOctaves*histSubCount
+)
+
+// Histogram is a fixed-memory log-bucketed latency histogram: Record is
+// O(1) and allocation-free, quantiles are read with bounded (~3%)
+// relative error, and two histograms fed the same samples are equal
+// field for field — which is what lets the workload determinism tests
+// compare whole distributions across simulation replays. The zero value
+// is ready to use. A Histogram is not safe for concurrent use; callers
+// that share one across goroutines must serialize access (under simnet
+// the kernel already does).
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    int64 // exact sum of recorded values, for Mean
+	min    int64 // exact observed extremes (quantiles are bucketed)
+	max    int64
+}
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < histLinCount {
+		return int(u)
+	}
+	top := bits.Len64(u) - 1 // >= histLinBits
+	if top > 62 {
+		top = 62 // clamp absurd values into the last octave
+		u = 1<<63 - 1
+	}
+	sub := (u - 1<<uint(top)) >> uint(top-histSubShift)
+	return histLinCount + (top-histLinBits)*histSubCount + int(sub)
+}
+
+// histUpper returns the exclusive upper bound of bucket i.
+func histUpper(i int) int64 {
+	if i < histLinCount {
+		return int64(i) + 1
+	}
+	i -= histLinCount
+	top := histLinBits + i/histSubCount
+	sub := int64(i%histSubCount) + 1
+	return 1<<uint(top) + sub<<uint(top-histSubShift)
+}
+
+// Record adds one duration sample. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordValue adds one raw sample (the unit is the caller's; the
+// workload engine records nanoseconds). Negative values clamp to zero.
+func (h *Histogram) RecordValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[histIndex(v)]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded value exactly, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value exactly, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) as the upper bound
+// of the bucket holding the nearest-rank sample, clamped to the exact
+// observed extremes — so Quantile(0) == Min, Quantile(1) == Max, and
+// the result never exceeds any recorded maximum. Empty histograms
+// return 0. Because ranks walk one cumulative scan, quantiles are
+// monotone in q by construction.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank == 0 {
+		return h.min
+	}
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum > rank {
+			v := histUpper(i) - 1 // largest value the bucket can hold
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// QuantileDuration returns Quantile interpreted as a duration, for
+// histograms recorded with Record.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}
+
+// Merge folds other's samples into h. Merging an empty histogram is a
+// no-op; the exact min/max/sum/mean survive the merge.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Bucket is one populated histogram bucket, for export and equality
+// checks: Upper is the bucket's exclusive upper bound, Count how many
+// samples it holds.
+type Bucket struct {
+	Upper int64
+	Count uint64
+}
+
+// Buckets returns the populated buckets in ascending value order. Two
+// histograms fed identical samples return identical slices, which the
+// determinism tests rely on.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c != 0 {
+			out = append(out, Bucket{Upper: histUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
+// String renders a compact one-line summary with the quantiles the
+// workload reports use.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.0f p50=%d p95=%d p99=%d p999=%d max=%d",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.95),
+		h.Quantile(0.99), h.Quantile(0.999), h.Max())
+	return b.String()
+}

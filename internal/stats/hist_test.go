@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram reports non-zero aggregates: %s", h.String())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+	if b := h.Buckets(); len(b) != 0 {
+		t.Fatalf("empty histogram has buckets: %v", b)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(1234567 * time.Nanosecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1234567 || h.Max() != 1234567 {
+		t.Fatalf("min/max = %d/%d, want exact sample", h.Min(), h.Max())
+	}
+	if h.Mean() != 1234567 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.999, 1} {
+		if v := h.Quantile(q); v != 1234567 {
+			t.Fatalf("Quantile(%v) = %d, want the single sample (clamped to max)", q, v)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Below the linear region every value is exact.
+	for _, v := range []int64{0, 1, 31, 62, 63} {
+		var h Histogram
+		h.RecordValue(v)
+		if got := h.Quantile(0.5); got != v {
+			t.Errorf("exact bucket: Quantile(0.5) of %d = %d", v, got)
+		}
+	}
+	// At and above 2^6 values are bucketed with <= 1/32 relative error.
+	// A far-out sentinel keeps the exact min/max clamps from masking the
+	// bucket bound under test.
+	for _, v := range []int64{64, 65, 127, 128, 1 << 20, 1<<20 + 1, 1<<40 - 1, 1 << 40} {
+		var h Histogram
+		h.RecordValue(v)
+		h.RecordValue(v)
+		h.RecordValue(1 << 50)
+		got := h.Quantile(0.5)
+		if got < v || got > v+v/32+1 {
+			t.Errorf("bucketed: Quantile(0.5) of %d = %d, want within +3.2%%", v, got)
+		}
+	}
+	// Negative durations clamp to zero instead of corrupting the layout.
+	var h Histogram
+	h.Record(-5 * time.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Quantile(1) != 0 {
+		t.Errorf("negative sample not clamped: %s", h.String())
+	}
+}
+
+func TestHistogramPercentileMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var h Histogram
+	n := 20000
+	values := make([]int64, n)
+	for i := range values {
+		// Long-tailed latencies: microseconds to tens of seconds.
+		v := int64(1000 * (1 + rng.ExpFloat64()*float64(rng.Intn(20000))))
+		values[i] = v
+		h.RecordValue(v)
+	}
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	prev := int64(-1)
+	for _, q := range qs {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: Quantile(%v) = %d < previous %d", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("Quantile(%v) = %d outside [min=%d, max=%d]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+	// Bucketed quantiles stay within the layout's relative error of the
+	// exact nearest-rank percentile.
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := values[int(q*float64(n))]
+		got := h.Quantile(q)
+		if got < exact || got > exact+exact/16+2 {
+			t.Errorf("Quantile(%v) = %d, exact %d: outside bucket-error bound", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var all, a, b Histogram
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1_000_000_000))
+		all.RecordValue(v)
+		if i%2 == 0 {
+			a.RecordValue(v)
+		} else {
+			b.RecordValue(v)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(nil)          // no-op
+	a.Merge(&Histogram{}) // empty no-op
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() || a.Mean() != all.Mean() {
+		t.Fatalf("merge lost aggregates: %s vs %s", a.String(), all.String())
+	}
+	if !reflect.DeepEqual(a.Buckets(), all.Buckets()) {
+		t.Fatal("merged buckets differ from single-feed buckets")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.999} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("merged Quantile(%v) differs", q)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+#!/bin/sh
+# check_docs.sh — the docs/lint gate run by CI:
+#   1. every file must be gofmt-clean;
+#   2. every example program must build;
+#   3. every exported identifier in the root dcdht package must carry a
+#      doc comment (grep-based: an exported top-level func/type/var/const
+#      declaration must be preceded by a comment line or live in a
+#      commented group).
+# Run from the repository root: ./scripts/check_docs.sh
+set -eu
+
+fail=0
+
+# 1. gofmt
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+# 2. examples build
+if ! go build ./examples/...; then
+    echo "examples failed to build" >&2
+    fail=1
+fi
+
+# 3. exported identifiers in the root package are documented
+for f in *.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    missing=$(awk '
+        # A pending group is fine if its first member line is a comment.
+        pending != "" { if ($0 !~ /^[\t ]*\/\//) print pending; pending = "" }
+        /^(func|type|var|const) [A-Z]/ && prev !~ /^\/\// { print FILENAME ":" FNR ": " $0 }
+        # Exported methods on exported receiver types (an unexported
+        # receiver keeps its methods out of the godoc surface).
+        /^func \([a-zA-Z0-9_]+ \*?[A-Z][A-Za-z0-9_]*\) [A-Z]/ && prev !~ /^\/\// { print FILENAME ":" FNR ": " $0 }
+        /^(var|const) \($/ && prev !~ /^\/\//             { pending = FILENAME ":" FNR ": " $0 }
+        { prev = $0 }
+        END { if (pending != "") print pending }
+    ' "$f")
+    if [ -n "$missing" ]; then
+        echo "undocumented exported declarations:" >&2
+        echo "$missing" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "docs check clean: gofmt, examples, exported doc comments"

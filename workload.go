@@ -1,0 +1,110 @@
+package dcdht
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// WorkloadSpec configures one workload run: the key-popularity pattern
+// (uniform, zipf, hotkey-update, scan-recent), the read/write mix, the
+// keyspace, and the driver — closed-loop (Concurrency workers issuing
+// back to back) or open-loop (operations issued at Rate per second
+// regardless of completions). The zero value is a read-heavy uniform
+// workload of 500 operations; see the field docs on workload.Spec.
+type WorkloadSpec = workload.Spec
+
+// WorkloadReport is one workload run's outcome: throughput, per-op-type
+// latency quantiles (p50/p95/p99/p999 from log-bucketed histograms),
+// and error/staleness counts. It serializes to the BENCH_workload.json
+// schema documented in docs/BENCHMARKS.md.
+type WorkloadReport = workload.Report
+
+// WorkloadOpStats is one operation kind's slice of a WorkloadReport.
+type WorkloadOpStats = workload.OpStats
+
+// WorkloadPattern names a key-popularity pattern.
+type WorkloadPattern = workload.Pattern
+
+// The built-in workload patterns.
+const (
+	// WorkloadUniform draws reads and writes uniformly over the keyspace
+	// — the paper's own access model.
+	WorkloadUniform = workload.Uniform
+	// WorkloadZipf draws both from a Zipf distribution (skew
+	// WorkloadSpec.ZipfS), concentrating traffic on a few hot keys.
+	WorkloadZipf = workload.Zipf
+	// WorkloadHotKeyUpdate hammers writes on a small hot set while reads
+	// stay uniform — stresses timestamping of contended keys.
+	WorkloadHotKeyUpdate = workload.HotKeyUpdate
+	// WorkloadScanRecent writes round-robin and reads the most recently
+	// written keys — stresses currency of fresh updates.
+	WorkloadScanRecent = workload.ScanRecent
+)
+
+// WorkloadRunner is implemented by clients that run workloads natively:
+// SimNetwork executes the whole run as virtual-time processes (so a
+// seed replays bit-identically), Node on its own environment. The
+// package-level RunWorkload prefers this interface when present.
+type WorkloadRunner interface {
+	RunWorkload(ctx context.Context, spec WorkloadSpec) (*WorkloadReport, error)
+}
+
+// Compile-time conformance: both deployment styles run workloads
+// natively.
+var (
+	_ WorkloadRunner = (*SimNetwork)(nil)
+	_ WorkloadRunner = (*Node)(nil)
+)
+
+// RunWorkload drives spec against any Client. Clients that implement
+// WorkloadRunner (both SimNetwork and Node do) run it natively;
+// anything else is driven by wall-clock goroutines through the plain
+// Put/Get surface. Cancelling ctx stops issuing new operations at the
+// next boundary.
+func RunWorkload(ctx context.Context, c Client, spec WorkloadSpec) (*WorkloadReport, error) {
+	if r, ok := c.(WorkloadRunner); ok {
+		return r.RunWorkload(ctx, spec)
+	}
+	env := network.NewRealEnv(spec.Seed)
+	defer env.Close()
+	return workload.Run(ctx, env, genericWorkloadClient{c}, spec)
+}
+
+// genericWorkloadClient adapts a plain Client for the workload engine.
+type genericWorkloadClient struct{ c Client }
+
+func (a genericWorkloadClient) Put(ctx context.Context, key Key, data []byte) (Result, error) {
+	return a.c.Put(ctx, key, data)
+}
+
+func (a genericWorkloadClient) Get(ctx context.Context, key Key) (Result, error) {
+	return a.c.Get(ctx, key)
+}
+
+// RunWorkload implements WorkloadRunner: the generator, the issuing
+// peers and every latency sample run in virtual time, so the same spec
+// and seed replay the identical report bit for bit (asserted by the
+// determinism tests). When spec.Seed is zero the network's own seed is
+// used, keeping one knob for full reproducibility. A context that is
+// already done is rejected before the simulation is touched.
+func (s *SimNetwork) RunWorkload(ctx context.Context, spec WorkloadSpec) (*WorkloadReport, error) {
+	if err := network.CtxError(ctx); err != nil {
+		return nil, fmt.Errorf("dcdht: %w", err)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = s.cfg.Seed
+	}
+	return s.d.RunWorkload(ctx, spec)
+}
+
+// RunWorkload implements WorkloadRunner: the workload issues every
+// operation from this node over TCP, measuring wall-clock latency.
+func (n *Node) RunWorkload(ctx context.Context, spec WorkloadSpec) (*WorkloadReport, error) {
+	if err := network.CtxError(ctx); err != nil {
+		return nil, fmt.Errorf("dcdht: %w", err)
+	}
+	return workload.Run(ctx, n.env, genericWorkloadClient{n}, spec)
+}
