@@ -12,9 +12,13 @@
 //	dcdht-bench -csv out/       # also write CSV per figure
 //	dcdht-bench -figure repair -repair-json BENCH_repair.json
 //	dcdht-bench -figure workload -workload zipf -ratio 0.9 -seed 1
+//	dcdht-bench -figure scenario -scenario split-heal,lossy-wan
 //
 // The workload figure drives YCSB-style load (see docs/BENCHMARKS.md)
-// and writes BENCH_workload.json by default.
+// and writes BENCH_workload.json by default. The scenario figure plays
+// the scripted fault scenarios of docs/SCENARIOS.md — churn waves,
+// partitions with heal, degraded links — with replica maintenance off
+// and on, and writes BENCH_scenario.json by default.
 package main
 
 import (
@@ -47,7 +51,7 @@ func writeJSON(what, path string, v any) {
 func main() {
 	full := flag.Bool("full", false, "paper-scale axes: 10,000 peers, 3-hour simulated windows (slow; default is quick mode)")
 	seed := flag.Int64("seed", 42, "simulation seed; every figure replays bit-identically per seed")
-	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload")
+	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario")
 	csvDir := flag.String("csv", "", "directory to also write one CSV file per figure (empty disables)")
 	repairJSON := flag.String("repair-json", "", "path for the machine-readable repair comparison, e.g. BENCH_repair.json (written when the repair figure runs; empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines on stderr")
@@ -60,6 +64,11 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
 	duration := flag.Duration("duration", 2*time.Minute, "measured window of simulated time per workload run, e.g. 2m")
 	workloadJSON := flag.String("workload-json", "BENCH_workload.json", "path for the machine-readable workload results (written when the workload figure runs; empty disables)")
+
+	// Scenario-figure knobs (-figure scenario).
+	scenarioNames := flag.String("scenario", "all", "comma-separated scripted scenarios: calm|churn-wave|split-heal|lossy-wan|mass-crash|all")
+	scenarioPeers := flag.Int("scenario-peers", 0, "deployment size for the scenario figure; 0 selects the default (400 quick, base full)")
+	scenarioJSON := flag.String("scenario-json", "BENCH_scenario.json", "path for the machine-readable scenario results (written when the scenario figure runs; empty disables)")
 	flag.Parse()
 
 	opts := exp.Options{Full: *full, Seed: *seed}
@@ -154,6 +163,25 @@ func main() {
 		emit(t)
 		workloadPoints = points
 	}
+	var scenarioPoints []exp.ScenarioPoint
+	if wanted("scenario") {
+		names := []string{}
+		for _, n := range strings.Split(*scenarioNames, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		t, points, err := exp.FigureScenario(opts, exp.ScenarioOptions{
+			Names: names,
+			Peers: *scenarioPeers,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario figure: %v\n", err)
+			os.Exit(2)
+		}
+		emit(t)
+		scenarioPoints = points
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -183,5 +211,8 @@ func main() {
 	}
 	if workloadPoints != nil && *workloadJSON != "" {
 		writeJSON("workload", *workloadJSON, workloadPoints)
+	}
+	if scenarioPoints != nil && *scenarioJSON != "" {
+		writeJSON("scenario", *scenarioJSON, scenarioPoints)
 	}
 }

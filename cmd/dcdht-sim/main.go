@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/network/simwire"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	updates := flag.Float64("updates", 1, "updates per key per simulated hour (Table 1: 1)")
 	seed := flag.Int64("seed", 1, "simulation seed; the run replays bit-identically per seed")
 	cluster := flag.Bool("cluster", false, "use the LAN cluster profile instead of Table 1's WAN model")
+	scen := flag.String("scenario", "", "scripted scenario to play over the window: calm, churn-wave, split-heal, lossy-wan or mass-crash (see docs/SCENARIOS.md); empty plays none")
 	flag.Parse()
 
 	var algorithm exp.Algorithm
@@ -62,6 +64,15 @@ func main() {
 		sc.Grace = 10 * time.Millisecond
 	}
 
+	if *scen != "" {
+		script, err := scenario.Builtin(*scen, sc.Duration)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		sc.Script = &script
+	}
+
 	fmt.Fprintf(os.Stderr, "running %s: peers=%d |Hr|=%d keys=%d duration=%s churn=%g/s fail=%.0f%% updates=%g/h\n",
 		algorithm, sc.Peers, sc.Replicas, sc.Keys, sc.Duration, sc.ChurnRate, 100*sc.FailRate, sc.UpdateRate)
 	r := exp.Run(sc)
@@ -76,6 +87,9 @@ func main() {
 	fmt.Printf("failed queries     %d / %d\n", r.QueriesFailed, r.QueriesRun)
 	fmt.Printf("updates run        %d (failed %d)\n", r.UpdatesRun, r.UpdatesFailed)
 	fmt.Printf("churn events       %d (failures %d)\n", r.ChurnEvents, r.FailEvents)
+	if r.Trace != nil {
+		fmt.Printf("scenario           %s: %d events applied\n", r.Trace.Script, len(r.Trace.Applied))
+	}
 	fmt.Printf("network messages   %d total\n", r.TotalNetMsgs)
 	fmt.Printf("simulation         %d events in %s wall time\n", r.SimEvents, r.WallTime.Round(time.Millisecond))
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/network/simwire"
 	"repro/internal/repair"
+	"repro/internal/scenario"
 )
 
 // Key names a data item.
@@ -118,6 +119,13 @@ type SimConfig struct {
 	// observes stale or missing replicas among the probed positions
 	// refreshes them asynchronously with the value it found.
 	ReadRepair bool
+	// Scenario plays a scripted fault-and-condition schedule against
+	// the network: events fire in virtual time, relative to the moment
+	// NewSimNetwork returns, as the caller advances the clock. Build
+	// one from Event values or BuiltinScenario. NewSimNetwork panics on
+	// an invalid scenario (use Scenario.Validate to check one first);
+	// nil plays nothing.
+	Scenario *Scenario
 }
 
 // repairConfig translates the facade knobs for the subsystem.
@@ -133,6 +141,7 @@ type SimNetwork struct {
 	failRate float64
 	d        *exp.Deployment
 	rng      interface{ Intn(int) int }
+	eng      *scenario.Engine // most recent scenario playback, nil if none
 }
 
 // NewSimNetwork builds and assembles a simulated network of n peers.
@@ -174,6 +183,11 @@ func NewSimNetwork(n int, cfg SimConfig) *SimNetwork {
 	sim := &SimNetwork{cfg: cfg, failRate: failRate, d: d, rng: d.K.NewRand("facade")}
 	// Let maintenance settle before handing the network to the caller.
 	d.RunFor(time.Minute)
+	if cfg.Scenario != nil {
+		if err := sim.PlayScenario(*cfg.Scenario); err != nil {
+			panic(err)
+		}
+	}
 	return sim
 }
 

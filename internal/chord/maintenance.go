@@ -74,6 +74,64 @@ func (n *Node) Join(bootstrap network.Addr) error {
 	return nil
 }
 
+// Nudge re-introduces this node to the ring reachable through bootstrap
+// — the rendezvous step after a network partition heals. During a split
+// each side stabilizes into its own ring; once disjoint, no periodic
+// message ever crosses them, so stabilization alone cannot re-merge
+// (every deployed DHT needs an out-of-band rendezvous here). Nudge
+// routes a lookup for this node's own successor position through the
+// bootstrap's ring, adopts the result as a successor candidate when it
+// sits closer than the current successor, and notifies it — with every
+// healed peer nudged through the other side, each node learns its true
+// global successor and stabilization converges the merged ring.
+func (n *Node) Nudge(bootstrap network.Addr) error {
+	if !n.Alive() {
+		return core.ErrStopped
+	}
+	ctx := context.Background()
+	target := n.self.ID + 1
+	// Bounded, loop-guarded walk (like lookupOnce, but rooted at the
+	// bootstrap, not at this node — routing must happen on the *other*
+	// ring): post-heal routing state is exactly when stale fingers can
+	// form cycles, so an unguarded walk could spin forever.
+	raw, err := n.call(ctx, bootstrap, methodFindStep, FindStepReq{Target: target})
+	if err != nil {
+		return fmt.Errorf("chord: nudge via %s: %w", bootstrap, err)
+	}
+	step := raw.(FindStepResp)
+	cur := step.Next
+	visited := map[core.ID]bool{}
+	for hop := 0; !step.Done && hop < n.cfg.MaxLookupSteps; hop++ {
+		if visited[cur.ID] {
+			break // routing loop mid-merge; cur is still a usable candidate
+		}
+		visited[cur.ID] = true
+		raw, err = n.call(ctx, cur.Addr, methodFindStep, FindStepReq{Target: target})
+		if err != nil {
+			return fmt.Errorf("chord: nudge routing via %s: %w", cur.Addr, err)
+		}
+		step = raw.(FindStepResp)
+		if step.Next.IsZero() || (!step.Done && step.Next.ID == cur.ID) {
+			break
+		}
+		cur = step.Next
+	}
+	cand := step.Next
+	if cand.IsZero() || cand.ID == n.self.ID {
+		return nil
+	}
+	n.mu.Lock()
+	if len(n.succs) > 0 && cand.ID.InOpenInterval(n.self.ID, n.succs[0].ID) {
+		n.setSuccessorsLocked(append([]dht.NodeRef{cand}, n.succs...))
+	}
+	n.mu.Unlock()
+	// Tell the candidate about us either way: if we sit between it and
+	// its predecessor it adopts us, which is how the other ring learns
+	// this side exists.
+	_, err = n.call(ctx, cand.Addr, methodNotify, NotifyReq{Candidate: n.self})
+	return err
+}
+
 // Leave departs gracefully (§4.2.1's "normal" departure): the node hands
 // its entire arc — replicas and KTS counters — to its successor in O(1)
 // messages and tells its predecessor to splice it out. Afterwards the

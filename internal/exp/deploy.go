@@ -194,8 +194,10 @@ func (d *Deployment) Depart(p *Peer, fail bool) {
 // SpawnJoin creates a fresh peer and joins it through a live bootstrap,
 // keeping the population constant after departures (as in the paper's
 // churn model). Under heavy churn a join can catch a dying bootstrap, so
-// a couple of fresh bootstraps are tried before giving up. Must run
-// inside a kernel process. Returns nil if every attempt fails.
+// a couple of fresh bootstraps are tried before giving up. A peer that
+// joins during an active network partition is confined to its
+// bootstrap's side — churn replacements must not bridge a split. Must
+// run inside a kernel process. Returns nil if every attempt fails.
 func (d *Deployment) SpawnJoin(rng interface{ Intn(int) int }) *Peer {
 	for attempt := 0; attempt < 3; attempt++ {
 		boot := d.RandomLivePeer(rng)
@@ -203,6 +205,9 @@ func (d *Deployment) SpawnJoin(rng interface{ Intn(int) int }) *Peer {
 			return nil
 		}
 		p := d.newPeer()
+		// Assign the partition side before the join traffic flows, so
+		// even the join RPCs cannot cross the split.
+		d.Net.JoinGroupOf(p.EP.Addr(), boot.EP.Addr())
 		if err := p.Node.Join(boot.Node.Self().Addr); err != nil {
 			p.Node.Crash()
 			d.Net.Kill(p.EP.Addr())

@@ -11,6 +11,7 @@ import (
 	"repro/internal/kts"
 	"repro/internal/network/simwire"
 	"repro/internal/repair"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/ums"
 )
@@ -50,6 +51,12 @@ type Scenario struct {
 	// Repair configures the replica-maintenance subsystem; the zero
 	// value keeps it off (the paper's dynamics).
 	Repair repair.Config
+	// Script plays a scripted fault-and-condition scenario
+	// (internal/scenario) over the measured window: event times are
+	// relative to the end of warmup and initial load. Nil plays nothing.
+	// Run panics on an invalid script — validate first when the script
+	// comes from outside.
+	Script *scenario.Script
 }
 
 // Table1Scenario returns the paper's default configuration (Table 1)
@@ -100,6 +107,10 @@ type Result struct {
 	// Repair aggregates the maintenance subsystem's work across all
 	// peers (zero when the subsystem is off).
 	Repair repair.Stats
+
+	// Trace records the scripted scenario's applied events (nil when no
+	// script ran). Bit-identical across replays of the same seed.
+	Trace *scenario.Trace
 
 	TotalNetMsgs uint64 // every message the network carried
 	SimEvents    uint64
@@ -169,6 +180,17 @@ func Run(sc Scenario) *Result {
 	})
 	if !ok {
 		panic("exp: initial load did not complete")
+	}
+
+	// Scripted scenario: events play out over the measured window,
+	// relative to this moment (post-warmup, post-load).
+	var eng *scenario.Engine
+	if sc.Script != nil {
+		var serr error
+		eng, serr = d.PlayScript(*sc.Script)
+		if serr != nil {
+			panic(fmt.Sprintf("exp: scenario script: %v", serr))
+		}
 	}
 
 	endAt := d.K.Now() + sc.Duration
@@ -278,6 +300,10 @@ func Run(sc Scenario) *Result {
 		res.CurrentRate = float64(currentReturns) / float64(res.QueriesRun)
 	}
 	res.Repair = d.RepairStats()
+	if eng != nil {
+		tr := eng.Trace()
+		res.Trace = &tr
+	}
 	res.TotalNetMsgs = d.Net.TotalMessages()
 	res.SimEvents = d.K.Events()
 	res.WallTime = time.Since(wallStart)

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/repair"
+	"repro/internal/scenario"
+)
+
+// The scenario figure: the same UMS-Direct workload driven through the
+// scripted fault scenarios of internal/scenario — correlated churn
+// waves, a 60/40 partition with heal, a degraded lossy WAN, a mass
+// crash — each with the replica-maintenance subsystem off and on. Where
+// the paper's figures vary one scalar knob (uniform churn, failure
+// rate), this figure varies the *shape* of adversity and measures what
+// it costs in currency, E(X) probes and response time, and how much of
+// it maintenance wins back.
+
+// ScenarioRepairModes are the repair configurations each scenario runs
+// under, in plotting order.
+var ScenarioRepairModes = []string{"off", "on"}
+
+// scenarioRepairConfigFor maps a mode to the subsystem configuration
+// (the "on" setting matches the repair figure's sweep+read-repair).
+func scenarioRepairConfigFor(mode string) repair.Config {
+	if mode == "on" {
+		return repairConfigFor("sweep+read-repair")
+	}
+	return repair.Config{}
+}
+
+// ScenarioOptions parameterises the scenario comparison beyond the
+// shared exp.Options. The zero value runs every builtin scenario at the
+// quick-mode scale.
+type ScenarioOptions struct {
+	// Names restricts the comparison; empty or ["all"] runs every
+	// builtin script.
+	Names []string
+	// Peers overrides the deployment size (default: quick 400, full
+	// basePeers).
+	Peers int
+	// Duration overrides the measured window per run.
+	Duration time.Duration
+	// Queries overrides the retrieves measured per run.
+	Queries int
+}
+
+func (so ScenarioOptions) names() ([]string, error) {
+	if len(so.Names) == 0 || (len(so.Names) == 1 && so.Names[0] == "all") {
+		return scenario.BuiltinNames(), nil
+	}
+	for _, n := range so.Names {
+		if _, err := scenario.Builtin(n, time.Hour); err != nil {
+			return nil, err
+		}
+	}
+	return so.Names, nil
+}
+
+// ScenarioPoint is one (scenario, repair mode) outcome in
+// machine-readable form; cmd/dcdht-bench serializes the set as
+// BENCH_scenario.json (schema in docs/BENCHMARKS.md).
+type ScenarioPoint struct {
+	Scenario          string  `json:"scenario"`
+	Repair            string  `json:"repair"` // off | on (sweep+read-repair)
+	Peers             int     `json:"peers"`
+	Seed              int64   `json:"seed"`
+	DurationSec       float64 `json:"duration_sec"`
+	EventsApplied     int     `json:"events_applied"`
+	QueriesRun        int     `json:"queries_run"`
+	CurrentRate       float64 `json:"current_rate"`
+	ProbesPerRetrieve float64 `json:"probes_per_retrieve"` // observed E(X)
+	RespTimeSec       float64 `json:"resp_time_sec"`
+	MsgsPerRetrieve   float64 `json:"msgs_per_retrieve"`
+	StaleReturns      int     `json:"stale_returns"`
+	FailedQueries     int     `json:"failed_queries"`
+	ChurnEvents       int     `json:"churn_events"`
+	ReplicasHealed    uint64  `json:"replicas_healed"`
+	ReadRepairs       uint64  `json:"read_repairs"`
+	MaintenanceMsgs   uint64  `json:"maintenance_msgs"`
+}
+
+// scenarioBase is the shared configuration every (scenario, mode) run
+// starts from: UMS-Direct with the paper's background churn kept on, so
+// the scripted events land on top of realistic steady-state dynamics.
+func scenarioBase(o Options, so ScenarioOptions) Scenario {
+	peers := so.Peers
+	if peers <= 0 {
+		peers = 400
+		if o.Full {
+			peers = o.basePeers()
+		}
+	}
+	sc := Table1Scenario(AlgUMSDirect, peers, o.seed())
+	sc.Duration = o.duration()
+	if so.Duration > 0 {
+		sc.Duration = so.Duration
+	}
+	sc.ChurnRate = o.churnFor(peers)
+	sc.UpdateRate *= o.compress()
+	if so.Queries > 0 {
+		sc.Queries = so.Queries
+	} else {
+		sc.Queries = 60 // double the paper's 30: scenarios bend the tail
+	}
+	return sc
+}
+
+// ScenarioComparison runs each selected scenario with maintenance off
+// and on, on the same seed, and returns one point per (scenario, mode).
+func ScenarioComparison(o Options, so ScenarioOptions) ([]ScenarioPoint, error) {
+	names, err := so.names()
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ScenarioPoint, 0, len(names)*len(ScenarioRepairModes))
+	for _, name := range names {
+		for _, mode := range ScenarioRepairModes {
+			sc := scenarioBase(o, so)
+			sc.Name = fmt.Sprintf("scenario-%s/repair-%s", name, mode)
+			sc.Repair = scenarioRepairConfigFor(mode)
+			script, err := scenario.Builtin(name, sc.Duration)
+			if err != nil {
+				return nil, err
+			}
+			sc.Script = &script
+			r := Run(sc)
+			applied := 0
+			if r.Trace != nil {
+				applied = len(r.Trace.Applied)
+			}
+			points = append(points, ScenarioPoint{
+				Scenario:          name,
+				Repair:            mode,
+				Peers:             sc.Peers,
+				Seed:              sc.Seed,
+				DurationSec:       sc.Duration.Seconds(),
+				EventsApplied:     applied,
+				QueriesRun:        r.QueriesRun,
+				CurrentRate:       r.CurrentRate,
+				ProbesPerRetrieve: r.Probed.Mean(),
+				RespTimeSec:       r.RespTime.Mean(),
+				MsgsPerRetrieve:   r.Msgs.Mean(),
+				StaleReturns:      r.StaleReturns,
+				FailedQueries:     r.QueriesFailed,
+				ChurnEvents:       r.ChurnEvents,
+				ReplicasHealed:    r.Repair.Healed,
+				ReadRepairs:       r.Repair.ReadRepairs,
+				MaintenanceMsgs:   r.Repair.Msgs,
+			})
+			o.progress("%-32s events=%2d current=%3.0f%% probes=%4.2f resp=%6.2fs stale=%d failed=%d healed=%d",
+				sc.Name, applied, 100*r.CurrentRate, r.Probed.Mean(),
+				r.RespTime.Mean(), r.StaleReturns, r.QueriesFailed, r.Repair.Healed)
+		}
+	}
+	return points, nil
+}
+
+// FigureScenario tabulates the comparison: currency, E(X), response
+// time and failure counts per (scenario, repair mode).
+func FigureScenario(o Options, so ScenarioOptions) (*Table, []ScenarioPoint, error) {
+	points, err := ScenarioComparison(o, so)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := NewTable("Scenarios: currency and cost under scripted faults (UMS-Direct, repair off vs on)",
+		"scenario/repair", "effect",
+		[]string{"current %", "E(X) probes", "resp (s)", "stale", "failed", "events", "healed"})
+	for _, p := range points {
+		row := p.Scenario + "/" + p.Repair
+		t.Set(row, "current %", 100*p.CurrentRate)
+		t.Set(row, "E(X) probes", p.ProbesPerRetrieve)
+		t.Set(row, "resp (s)", p.RespTimeSec)
+		t.Set(row, "stale", float64(p.StaleReturns))
+		t.Set(row, "failed", float64(p.FailedQueries))
+		t.Set(row, "events", float64(p.EventsApplied))
+		t.Set(row, "healed", float64(p.ReplicasHealed))
+	}
+	t.Notes = append(t.Notes,
+		"scripted scenarios (internal/scenario) on top of the paper's background churn;",
+		"calm is the control; split-heal exercises the partition/heal path incl. ring re-merge;",
+		"repair on = anti-entropy sweep + read-repair, same knobs as the repair figure;",
+		"repair trades failed queries for available (sometimes stale) returns: after the hts",
+		"responsible crashes, indirect init leaves last_ts past every replica until the next",
+		"insert, so healed replicas count as stale, not provably current (see README repair notes)")
+	return t, points, nil
+}

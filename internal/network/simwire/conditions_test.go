@@ -1,0 +1,246 @@
+package simwire
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// echoNet builds a network with two endpoints where b echoes.
+func echoNet(t *testing.T, cfg Config) (*simnet.Kernel, *Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	k := simnet.New(1)
+	n := New(k, cfg)
+	a := n.NewEndpoint("a")
+	b := n.NewEndpoint("b")
+	b.Handle("echo", func(from network.Addr, req network.Message) (network.Message, error) {
+		return echoResp{Text: "re:" + req.(echoReq).Text}, nil
+	})
+	return k, n, a, b
+}
+
+// invoke runs one a->b echo inside the kernel and reports the outcome.
+func invoke(k *simnet.Kernel, a *Endpoint, to network.Addr, timeout time.Duration) error {
+	var err error
+	k.Go(func() {
+		_, err = a.Invoke(context.Background(), to, "echo", echoReq{Text: "x"}, network.Call{Timeout: timeout})
+	})
+	k.RunUntilIdle()
+	return err
+}
+
+func TestPartitionBlocksDeliveryBothWaysAndHeals(t *testing.T) {
+	k, n, a, b := echoNet(t, fixedConfig())
+	a.Handle("echo", func(from network.Addr, req network.Message) (network.Message, error) {
+		return echoResp{Text: "re:" + req.(echoReq).Text}, nil
+	})
+
+	n.Partition([]network.Addr{"a"}, []network.Addr{"b"})
+	drops := n.TotalDropped()
+	if err := invoke(k, a, "b", 300*time.Millisecond); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("a->b across partition: err = %v, want timeout", err)
+	}
+	if err := invoke(k, b, "a", 300*time.Millisecond); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("b->a across partition: err = %v, want timeout", err)
+	}
+	if got := n.TotalDropped() - drops; got != 2 {
+		t.Fatalf("dropped %d messages across the partition, want 2", got)
+	}
+	if n.Reachable("a", "b") || n.Reachable("b", "a") {
+		t.Fatal("Reachable must report the split")
+	}
+
+	// Same-group and unconstrained traffic still flows.
+	c := n.NewEndpoint("c") // attached after the split: unconstrained
+	c.Handle("echo", func(from network.Addr, req network.Message) (network.Message, error) {
+		return echoResp{}, nil
+	})
+	if err := invoke(k, a, "c", time.Second); err != nil {
+		t.Fatalf("a->c (unconstrained) failed: %v", err)
+	}
+
+	n.Heal()
+	if err := invoke(k, a, "b", time.Second); err != nil {
+		t.Fatalf("a->b after heal: %v", err)
+	}
+	if !n.Reachable("a", "b") {
+		t.Fatal("Reachable must clear after heal")
+	}
+}
+
+func TestPartitionMidFlightBlocksDelivery(t *testing.T) {
+	k, n, a, _ := echoNet(t, fixedConfig())
+	served := false
+	// Partition 50ms after the message departs; it needs 100ms to arrive.
+	k.Go(func() {
+		k.Sleep(50 * time.Millisecond)
+		n.Partition([]network.Addr{"a"}, []network.Addr{"b"})
+	})
+	var err error
+	k.Go(func() {
+		_, err = a.Invoke(context.Background(), "b", "echo", echoReq{}, network.Call{Timeout: 400 * time.Millisecond})
+		served = true
+	})
+	k.RunUntilIdle()
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("mid-flight partition: err = %v, want timeout", err)
+	}
+	if !served {
+		t.Fatal("caller never unblocked")
+	}
+}
+
+func TestLossProfileDropsMessages(t *testing.T) {
+	k, n, a, _ := echoNet(t, fixedConfig())
+	n.Model().SetProfile(nil, nil, Profile{
+		LatencyMS: stats.Normal{Mean: 100, Min: 100},
+		Loss:      1,
+	})
+	if err := invoke(k, a, "b", 300*time.Millisecond); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("loss=1: err = %v, want timeout", err)
+	}
+	n.Model().ClearProfiles()
+	if err := invoke(k, a, "b", time.Second); err != nil {
+		t.Fatalf("after ClearProfiles: %v", err)
+	}
+}
+
+func TestLinkProfileOverridesLatencyPerLink(t *testing.T) {
+	k, n, a, b := echoNet(t, fixedConfig())
+	c := n.NewEndpoint("c")
+	c.Handle("echo", b.handler("echo"))
+	// Only the a->b direction is degraded; a->c keeps the base 100ms.
+	n.Model().SetProfile([]network.Addr{"a"}, []network.Addr{"b"}, Profile{
+		LatencyMS: stats.Normal{Mean: 1000, Min: 1000},
+	})
+	measure := func(to network.Addr) time.Duration {
+		var rtt time.Duration
+		k.Go(func() {
+			start := k.Now()
+			if _, err := a.Invoke(context.Background(), to, "echo", echoReq{}, network.Call{Timeout: 5 * time.Second}); err != nil {
+				t.Errorf("invoke %s: %v", to, err)
+			}
+			rtt = k.Now() - start
+		})
+		k.RunUntilIdle()
+		return rtt
+	}
+	slow := measure("b") // 1000ms out + 100ms back
+	fast := measure("c") // 100ms out + 100ms back
+	if slow < 1050*time.Millisecond || slow > 1200*time.Millisecond {
+		t.Fatalf("degraded link rtt = %v, want ~1100ms", slow)
+	}
+	if fast < 150*time.Millisecond || fast > 250*time.Millisecond {
+		t.Fatalf("untouched link rtt = %v, want ~200ms", fast)
+	}
+}
+
+// TestLossOnlyProfileKeepsBaseLatency pins the inheritance rule: a
+// profile that names only Loss must not replace the base latency model
+// (a zero-mean normal would clamp to ~1ms and silently turn a "lossy"
+// WAN into a fast one).
+func TestLossOnlyProfileKeepsBaseLatency(t *testing.T) {
+	k := simnet.New(1)
+	m := NewModel(k.NewRand, fixedConfig()) // base: exactly 100ms
+	m.SetProfile(nil, nil, Profile{Loss: 0.5})
+	for i := 0; i < 20; i++ {
+		d, _ := m.Plan("a", "b", 200)
+		if d < 100*time.Millisecond {
+			t.Fatalf("loss-only profile dropped base latency: delay = %v", d)
+		}
+	}
+}
+
+// TestJoinGroupOfConfinesJoiner pins the churn-under-partition rule: a
+// peer assigned to a side via JoinGroupOf cannot reach the other side,
+// so replacements spawned during a split never bridge it.
+func TestJoinGroupOfConfinesJoiner(t *testing.T) {
+	k, n, a, _ := echoNet(t, fixedConfig())
+	a.Handle("echo", func(from network.Addr, req network.Message) (network.Message, error) {
+		return echoResp{}, nil
+	})
+	n.Partition([]network.Addr{"a"}, []network.Addr{"b"})
+	c := n.NewEndpoint("c")
+	c.Handle("echo", func(from network.Addr, req network.Message) (network.Message, error) {
+		return echoResp{}, nil
+	})
+	n.JoinGroupOf("c", "a") // c joined through a: it lives on a's side
+	if err := invoke(k, c, "a", time.Second); err != nil {
+		t.Fatalf("c->a (same side): %v", err)
+	}
+	if err := invoke(k, c, "b", 300*time.Millisecond); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("c->b across the split: err = %v, want timeout", err)
+	}
+	n.Heal()
+	if err := invoke(k, c, "b", time.Second); err != nil {
+		t.Fatalf("c->b after heal: %v", err)
+	}
+}
+
+// TestModelPlanConcurrencySafe hammers one Model from many real
+// goroutines: the point of the per-link locked streams is that no
+// concurrent access pattern — repair sweeps, timer callbacks, handlers —
+// can race the RNG state (run under -race).
+func TestModelPlanConcurrencySafe(t *testing.T) {
+	k := simnet.New(1)
+	m := NewModel(k.NewRand, Table1())
+	m.SetProfile([]network.Addr{"p1"}, nil, Profile{
+		LatencyMS: stats.Normal{Mean: 50, Min: 1},
+		Loss:      0.1,
+		JitterMS:  5,
+	})
+	var wg sync.WaitGroup
+	links := []network.Addr{"p0", "p1", "p2", "p3"}
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := links[g%len(links)]
+			for i := 0; i < 500; i++ {
+				dst := links[(g+i)%len(links)]
+				m.Plan(src, dst, 200+i)
+				if i%100 == 0 && g == 0 {
+					m.SetProfile([]network.Addr{src}, []network.Addr{dst}, Profile{
+						LatencyMS: stats.Normal{Mean: float64(10 + i), Min: 1},
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestModelPlanDeterministicPerLink asserts the per-link streams: the
+// sequence a link draws depends only on the seed and that link's own
+// traffic order, so interleaving traffic on other links cannot perturb
+// it — the property that makes whole-network replays bit-identical.
+func TestModelPlanDeterministicPerLink(t *testing.T) {
+	draw := func(withNoise bool) []time.Duration {
+		m := NewModel(simnet.New(42).NewRand, Table1())
+		var out []time.Duration
+		for i := 0; i < 20; i++ {
+			if withNoise {
+				// Unrelated links drawing in between must not matter.
+				m.Plan("x", "y", 300)
+				m.Plan("y", "x", 300)
+			}
+			d, _ := m.Plan("a", "b", 200)
+			out = append(out, d)
+		}
+		return out
+	}
+	clean, noisy := draw(false), draw(true)
+	for i := range clean {
+		if clean[i] != noisy[i] {
+			t.Fatalf("draw %d: %v with noise vs %v without — link streams are not independent", i, noisy[i], clean[i])
+		}
+	}
+}

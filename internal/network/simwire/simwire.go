@@ -6,6 +6,15 @@
 // Peers can be killed, which models the "fail" departure type: a killed
 // endpoint silently drops traffic, so callers observe timeouts exactly as
 // they would with a crashed peer.
+//
+// The link model is pluggable: a Conditions implementation decides every
+// message's one-way delay and loss. The default Model keeps one
+// deterministic RNG stream per directed link — all draws under one lock,
+// so it is race-free by construction — and supports per-link Profile
+// overrides (latency distribution, jitter, loss, bandwidth). On top of
+// that the Network can be Partitioned into groups that cannot exchange
+// messages until Heal, which is how the scenario engine scripts network
+// splits.
 package simwire
 
 import (
@@ -66,7 +75,8 @@ func (c Config) applyDefaults() Config {
 	return c
 }
 
-// Network owns the set of simulated endpoints and the shared link model.
+// Network owns the set of simulated endpoints, the pluggable link
+// conditions model, and the partition state.
 type Network struct {
 	k   *simnet.Kernel
 	cfg Config
@@ -76,14 +86,27 @@ type Network struct {
 	nextAddr  int
 	totalMsgs uint64
 	totalDrop uint64
+
+	cond  Conditions
+	model *Model // the default model when cond is ours, for SetProfile
+
+	// partition maps an address to its group; addresses in different
+	// groups cannot exchange messages. nil means no partition is active;
+	// addresses absent from an active partition are unconstrained.
+	partition map[network.Addr]int
 }
 
-// New builds a simulated network on kernel k.
+// New builds a simulated network on kernel k with the default
+// per-link conditions model.
 func New(k *simnet.Kernel, cfg Config) *Network {
+	cfg = cfg.applyDefaults()
+	m := NewModel(k.NewRand, cfg)
 	return &Network{
 		k:         k,
-		cfg:       cfg.applyDefaults(),
+		cfg:       cfg,
 		endpoints: make(map[network.Addr]*Endpoint),
+		cond:      m,
+		model:     m,
 	}
 }
 
@@ -95,6 +118,99 @@ func (n *Network) Env() network.Env { return Env(n.k) }
 
 // Config returns the active network model.
 func (n *Network) Config() Config { return n.cfg }
+
+// Model returns the default conditions model so callers can layer
+// per-link profiles onto it (SetProfile/ClearProfiles). It returns nil
+// after SetConditions replaced the model with a custom implementation.
+func (n *Network) Model() *Model {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.model
+}
+
+// SetConditions replaces the link conditions model wholesale. Passing a
+// custom implementation detaches the default Model (Model() returns nil
+// until another Model is installed). In-flight messages keep the delay
+// they were planned with.
+func (n *Network) SetConditions(c Conditions) {
+	if c == nil {
+		panic("simwire: nil Conditions")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cond = c
+	if m, ok := c.(*Model); ok {
+		n.model = m
+	} else {
+		n.model = nil
+	}
+}
+
+// conditions returns the active model under the lock.
+func (n *Network) conditions() Conditions {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cond
+}
+
+// Partition splits the network: each listed group can only exchange
+// messages within itself. Addresses not listed in any group (e.g. peers
+// attached after the split) are unconstrained and reach everyone —
+// model them explicitly if that matters. A new call replaces the
+// previous partition; Heal removes it.
+func (n *Network) Partition(groups ...[]network.Addr) {
+	p := make(map[network.Addr]int)
+	for gi, g := range groups {
+		for _, a := range g {
+			p[a] = gi
+		}
+	}
+	n.mu.Lock()
+	n.partition = p
+	n.mu.Unlock()
+}
+
+// JoinGroupOf assigns addr to ref's partition group: a peer that joins
+// the overlay during a split necessarily joined through a bootstrap on
+// one side, and must share that side's fate — otherwise every churn
+// replacement would bridge the partition. No-op when no partition is
+// active or ref is unconstrained.
+func (n *Network) JoinGroupOf(addr, ref network.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partition == nil {
+		return
+	}
+	if g, ok := n.partition[ref]; ok {
+		n.partition[addr] = g
+	}
+}
+
+// Heal removes the active partition; every pair of endpoints can
+// exchange messages again (link profiles are untouched).
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.partition = nil
+	n.mu.Unlock()
+}
+
+// Reachable reports whether the active partition permits messages from
+// a to b. It is true when no partition is active, when either address
+// is unconstrained, or when both sit in the same group.
+func (n *Network) Reachable(a, b network.Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reachableLocked(a, b)
+}
+
+func (n *Network) reachableLocked(a, b network.Addr) bool {
+	if n.partition == nil {
+		return true
+	}
+	ga, oka := n.partition[a]
+	gb, okb := n.partition[b]
+	return !oka || !okb || ga == gb
+}
 
 // TotalMessages returns the number of messages the network has carried.
 func (n *Network) TotalMessages() uint64 {
@@ -128,7 +244,6 @@ func (n *Network) NewEndpoint(name string) *Endpoint {
 		addr:     addr,
 		handlers: make(map[string]network.HandlerFunc),
 		alive:    true,
-		rng:      n.k.NewRand("wire:" + name),
 	}
 	n.endpoints[addr] = ep
 	return ep
@@ -154,25 +269,10 @@ func (n *Network) Alive(addr network.Addr) bool {
 	return ep != nil && ep.isAlive()
 }
 
-// delay samples the one-way delay for a message of the given size using
-// the sender's RNG stream (deterministic per sender).
-func (n *Network) delay(rng *rand.Rand, bytes int) time.Duration {
-	lat := n.cfg.LatencyMS.Sample(rng)
-	bw := n.cfg.BandwidthKbps.Sample(rng)
-	if bw <= 0 {
-		bw = 1
-	}
-	// bytes*8 is bits; bandwidth in kbit/s equals bits/ms, so the
-	// division yields transmission time in milliseconds directly.
-	transMS := float64(bytes*8) / bw
-	return time.Duration((lat + transMS) * float64(time.Millisecond))
-}
-
 // Endpoint is one simulated peer's network attachment.
 type Endpoint struct {
 	net  *Network
 	addr network.Addr
-	rng  *rand.Rand
 
 	mu       sync.Mutex
 	handlers map[string]network.HandlerFunc
@@ -244,36 +344,59 @@ func (ep *Endpoint) Invoke(ctx context.Context, to network.Addr, method string, 
 	n.countMsg()
 
 	reply := n.k.NewFuture()
-	n.k.After(n.delay(ep.rng, reqSize), func() {
-		n.mu.Lock()
-		dst := n.endpoints[to]
-		n.mu.Unlock()
-		if dst == nil || !dst.isAlive() {
-			n.countDrop()
-			return // silence; the caller times out
-		}
-		h := dst.handler(method)
-		if h == nil {
-			n.countDrop()
-			return
-		}
-		res, err := h(ep.addr, req)
-		// The reply travels back only if the destination survived
-		// serving the request.
-		if !dst.isAlive() {
-			n.countDrop()
-			return
-		}
-		code, msg := network.EncodeError(err)
-		respSize := network.DefaultWireSize
-		if err == nil {
-			respSize = network.SizeOf(res)
-		}
-		n.countMsg()
-		n.k.After(n.delay(dst.rng, respSize), func() {
-			reply.Resolve(simReply{body: res, code: code, msg: msg, size: respSize})
+	reqDelay, reqLost := n.conditions().Plan(ep.addr, to, reqSize)
+	if reqLost || !n.Reachable(ep.addr, to) {
+		// Lost in flight or blocked by a partition: silence, the caller
+		// times out — indistinguishable from a crashed destination.
+		n.countDrop()
+	} else {
+		n.k.After(reqDelay, func() {
+			// A partition that started while the message was in flight
+			// still blocks delivery: no cross-partition message is ever
+			// handed to a handler.
+			if !n.Reachable(ep.addr, to) {
+				n.countDrop()
+				return
+			}
+			n.mu.Lock()
+			dst := n.endpoints[to]
+			n.mu.Unlock()
+			if dst == nil || !dst.isAlive() {
+				n.countDrop()
+				return // silence; the caller times out
+			}
+			h := dst.handler(method)
+			if h == nil {
+				n.countDrop()
+				return
+			}
+			res, err := h(ep.addr, req)
+			// The reply travels back only if the destination survived
+			// serving the request and the partition still permits it.
+			if !dst.isAlive() {
+				n.countDrop()
+				return
+			}
+			code, msg := network.EncodeError(err)
+			respSize := network.DefaultWireSize
+			if err == nil {
+				respSize = network.SizeOf(res)
+			}
+			n.countMsg()
+			respDelay, respLost := n.conditions().Plan(to, ep.addr, respSize)
+			if respLost || !n.Reachable(to, ep.addr) {
+				n.countDrop()
+				return
+			}
+			n.k.After(respDelay, func() {
+				if !n.Reachable(to, ep.addr) {
+					n.countDrop()
+					return
+				}
+				reply.Resolve(simReply{body: res, code: code, msg: msg, size: respSize})
+			})
 		})
-	})
+	}
 
 	v, err := reply.Await(timeout)
 	if err != nil {

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Builtin scripts: the library of named scenarios the bench binary and
+// the docs' worked examples run. Each is parameterised by the window it
+// plays over, so the same shape scales from a quick test to a paper-
+// length experiment. Event times are fractions of the window.
+
+// The builtin script names.
+const (
+	// Calm plays no events — the control every comparison includes.
+	Calm = "calm"
+	// ChurnWave crashes a quarter of the peers in a burst, then
+	// back-fills with fresh joins: a correlated-failure flash crowd.
+	ChurnWave = "churn-wave"
+	// SplitHeal partitions the network 60/40 mid-run and heals it: the
+	// split-brain regime (independent timestamping on both sides).
+	SplitHeal = "split-heal"
+	// LossyWAN degrades every link to a congested WAN — doubled latency,
+	// heavy jitter, 5% message loss — for the middle of the run.
+	LossyWAN = "lossy-wan"
+	// MassCrash fails half the network at one instant with no
+	// replacement until late recovery joins.
+	MassCrash = "mass-crash"
+)
+
+// builtin constructs one named script over a window.
+var builtin = map[string]func(window time.Duration) Script{
+	Calm: func(time.Duration) Script {
+		return Script{Name: Calm}
+	},
+	ChurnWave: func(w time.Duration) Script {
+		return Script{Name: ChurnWave, Events: []Event{
+			{At: frac(w, 0.20), Kind: KindCrashWave, Frac: 0.25, Over: frac(w, 0.10)},
+			{At: frac(w, 0.40), Kind: KindJoinWave, Frac: 0.33, Over: frac(w, 0.10)},
+		}}
+	},
+	SplitHeal: func(w time.Duration) Script {
+		return Script{Name: SplitHeal, Events: []Event{
+			{At: frac(w, 0.25), Kind: KindPartition, Groups: []float64{0.6, 0.4}},
+			{At: frac(w, 0.60), Kind: KindHeal},
+		}}
+	},
+	LossyWAN: func(w time.Duration) Script {
+		return Script{Name: LossyWAN, Events: []Event{
+			{At: frac(w, 0.20), Kind: KindConditions, Profile: &Profile{
+				LatencyMeanMS: 400,
+				LatencyVarMS:  400,
+				JitterMS:      100,
+				Loss:          0.05,
+			}},
+			{At: frac(w, 0.80), Kind: KindClearConditions},
+		}}
+	},
+	MassCrash: func(w time.Duration) Script {
+		return Script{Name: MassCrash, Events: []Event{
+			{At: frac(w, 0.30), Kind: KindCrashWave, Frac: 0.5},
+			{At: frac(w, 0.60), Kind: KindJoinWave, Frac: 1.0, Over: frac(w, 0.15)},
+		}}
+	},
+}
+
+func frac(w time.Duration, f float64) time.Duration {
+	return time.Duration(float64(w) * f)
+}
+
+// BuiltinNames lists the builtin scripts in stable order.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtin))
+	for n := range builtin {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin returns the named builtin script shaped to play over window.
+func Builtin(name string, window time.Duration) (Script, error) {
+	mk, ok := builtin[name]
+	if !ok {
+		return Script{}, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, BuiltinNames())
+	}
+	if window <= 0 {
+		return Script{}, fmt.Errorf("scenario: builtin %q needs a positive window, got %s", name, window)
+	}
+	return mk(window), nil
+}

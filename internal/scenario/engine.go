@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/network"
+)
+
+// Target is the surface a deployment exposes to the engine. All methods
+// are called from environment activities (kernel processes under
+// simulation), one event at a time. Peers are named by address.
+type Target interface {
+	// LivePeers returns the live peers in a deterministic order.
+	LivePeers() []string
+	// Crash fails one peer: its state is lost and its traffic drops.
+	Crash(peer string)
+	// Leave departs one peer gracefully (key and counter handoff).
+	Leave(peer string)
+	// Join spawns and joins one fresh peer, returning its name, or ""
+	// when no bootstrap was reachable.
+	Join() string
+	// Partition splits the network so peers in different groups cannot
+	// exchange messages; a new call replaces the previous split.
+	Partition(groups [][]string)
+	// Heal removes the partition. The former groups are passed so the
+	// target can re-introduce the sides to each other (a stabilized
+	// overlay cannot re-merge disjoint rings on its own).
+	Heal(groups [][]string)
+	// SetLinkProfile applies p to the links from×to, both directions;
+	// nil slices select every peer.
+	SetLinkProfile(from, to []string, p Profile)
+	// ClearLinkProfiles removes every applied profile.
+	ClearLinkProfiles()
+}
+
+// Engine plays scripts against a target in environment time.
+type Engine struct {
+	env    network.Env
+	target Target
+	rng    *rand.Rand
+
+	mu      sync.Mutex
+	played  bool          // Play was called (scripts may be unnamed)
+	start   time.Duration // env time the script started playing
+	trace   Trace
+	groups  [][]string // membership of the most recent partition
+	pending int        // scheduled actions not yet applied
+}
+
+// NewEngine binds an engine to a target. The engine draws every random
+// decision (wave victims, partition membership) from the environment's
+// "scenario" stream, so playback is deterministic per seed.
+func NewEngine(env network.Env, target Target) *Engine {
+	return &Engine{env: env, target: target, rng: env.Rand("scenario")}
+}
+
+// Play validates s and schedules its events relative to now, returning
+// immediately; the events apply as the clock advances. Play may be
+// called once per engine.
+func (e *Engine) Play(s Script) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if e.played {
+		e.mu.Unlock()
+		return fmt.Errorf("scenario: engine already playing %q", e.trace.Script)
+	}
+	e.played = true
+	e.trace.Script = s.Name
+	e.start = e.env.Now()
+	events := sorted(s.Events)
+	e.pending = len(events)
+	e.mu.Unlock()
+	for _, ev := range events {
+		ev := ev
+		e.env.After(ev.At, func() {
+			defer e.done()
+			e.apply(ev)
+		})
+	}
+	return nil
+}
+
+// Trace snapshots the applied-event record.
+func (e *Engine) Trace() Trace {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := Trace{Script: e.trace.Script, Applied: make([]Applied, len(e.trace.Applied))}
+	copy(out.Applied, e.trace.Applied)
+	return out
+}
+
+// Done reports whether every scheduled action has applied.
+func (e *Engine) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.played && e.pending == 0
+}
+
+func (e *Engine) done() {
+	e.mu.Lock()
+	e.pending--
+	e.mu.Unlock()
+}
+
+// now returns the current scenario-relative time.
+func (e *Engine) now() time.Duration {
+	e.mu.Lock()
+	start := e.start
+	e.mu.Unlock()
+	return e.env.Now() - start
+}
+
+func (e *Engine) record(kind Kind, peers []string, note string) {
+	at := e.now()
+	e.mu.Lock()
+	e.trace.Applied = append(e.trace.Applied, Applied{At: at, Kind: kind, Peers: peers, Note: note})
+	e.mu.Unlock()
+}
+
+// apply performs one event now.
+func (e *Engine) apply(ev Event) {
+	switch ev.Kind {
+	case KindCrashWave, KindLeaveWave, KindJoinWave:
+		e.wave(ev)
+	case KindPartition:
+		e.partition(ev)
+	case KindHeal:
+		e.mu.Lock()
+		groups := e.groups
+		e.mu.Unlock()
+		e.target.Heal(groups)
+		e.record(KindHeal, nil, fmt.Sprintf("%d groups rejoined", len(groups)))
+	case KindConditions:
+		e.conditions(ev)
+	case KindClearConditions:
+		e.target.ClearLinkProfiles()
+		e.record(KindClearConditions, nil, "")
+	}
+}
+
+// wave resolves the affected count from the live population at fire
+// time, then applies the per-peer actions: all at once, or spread
+// evenly across the Over window.
+func (e *Engine) wave(ev Event) {
+	n := ev.Count
+	if n == 0 {
+		n = int(float64(len(e.target.LivePeers()))*ev.Frac + 0.5)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if ev.Over <= 0 || n == 1 {
+		for i := 0; i < n; i++ {
+			e.waveOne(ev.Kind)
+		}
+		return
+	}
+	spacing := ev.Over / time.Duration(n-1)
+	e.mu.Lock()
+	e.pending += n - 1 // the first fires inline below
+	e.mu.Unlock()
+	for i := 1; i < n; i++ {
+		i := i
+		e.env.After(time.Duration(i)*spacing, func() {
+			defer e.done()
+			e.waveOne(ev.Kind)
+		})
+	}
+	e.waveOne(ev.Kind)
+}
+
+// waveOne applies one wave action: crash or depart a victim drawn from
+// the live set, or join one fresh peer.
+func (e *Engine) waveOne(kind Kind) {
+	if kind == KindJoinWave {
+		name := e.target.Join()
+		if name == "" {
+			e.record(kind, nil, "join failed: no reachable bootstrap")
+			return
+		}
+		e.record(kind, []string{name}, "")
+		return
+	}
+	live := e.target.LivePeers()
+	if len(live) == 0 {
+		e.record(kind, nil, "no live peers")
+		return
+	}
+	victim := live[e.rng.Intn(len(live))]
+	if kind == KindCrashWave {
+		e.target.Crash(victim)
+	} else {
+		e.target.Leave(victim)
+	}
+	e.record(kind, []string{victim}, "")
+}
+
+// partition shuffles the live peers deterministically and splits them
+// into groups sized by the normalized fractions.
+func (e *Engine) partition(ev Event) {
+	live := e.target.LivePeers()
+	shuffled := make([]string, len(live))
+	copy(shuffled, live)
+	e.rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	var total float64
+	for _, g := range ev.Groups {
+		total += g
+	}
+	groups := make([][]string, len(ev.Groups))
+	next := 0
+	for gi, frac := range ev.Groups {
+		size := int(float64(len(shuffled))*frac/total + 0.5)
+		if gi == len(ev.Groups)-1 || next+size > len(shuffled) {
+			size = len(shuffled) - next
+		}
+		groups[gi] = shuffled[next : next+size]
+		next += size
+	}
+	e.mu.Lock()
+	e.groups = groups
+	e.mu.Unlock()
+	e.target.Partition(groups)
+	sizes := make([]int, len(groups))
+	for i, g := range groups {
+		sizes[i] = len(g)
+	}
+	e.record(KindPartition, nil, fmt.Sprintf("group sizes %v", sizes))
+}
+
+// conditions resolves the 1-based group indexes (0 = every peer) to
+// peer lists and applies the profile symmetrically.
+func (e *Engine) conditions(ev Event) {
+	resolve := func(g int) []string {
+		if g <= 0 {
+			return nil
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if g > len(e.groups) {
+			return nil
+		}
+		return e.groups[g-1]
+	}
+	from, to := resolve(ev.From), resolve(ev.To)
+	// A targeted group that resolved empty (clamped away on a tiny
+	// population) must apply to nothing — passed down, an empty list
+	// would read as the match-any wildcard and degrade every link.
+	if (ev.From > 0 && len(from) == 0) || (ev.To > 0 && len(to) == 0) {
+		e.record(KindConditions, nil,
+			fmt.Sprintf("skipped: links %s>%s target an empty group", groupName(ev.From), groupName(ev.To)))
+		return
+	}
+	e.target.SetLinkProfile(from, to, *ev.Profile)
+	note := fmt.Sprintf("links %s>%s: latency %g±%gms jitter %gms loss %g%%",
+		groupName(ev.From), groupName(ev.To),
+		ev.Profile.LatencyMeanMS, ev.Profile.LatencyVarMS,
+		ev.Profile.JitterMS, 100*ev.Profile.Loss)
+	e.record(KindConditions, nil, note)
+}
+
+func groupName(g int) string {
+	if g <= 0 {
+		return "all"
+	}
+	return fmt.Sprintf("group%d", g)
+}

@@ -1,0 +1,216 @@
+// Package scenario is the scripted fault-and-condition engine: it drives
+// a running deployment through a timed sequence of events — churn waves
+// (crash/leave/join, mass-crash), network partitions (split and heal
+// between peer groups), and link condition changes (latency
+// distribution, jitter, message loss, bandwidth) — replayable
+// bit-identically per seed.
+//
+// The paper validates UMS/KTS under a single failure model (uniform
+// fail-stop departure rates); this package opens the scenario axis:
+// correlated failures, split-brain partitions and degraded WANs, the
+// regimes related work (Leslie's reliable DHT storage, DistHash) stresses
+// replicated DHTs under.
+//
+// Determinism. A Script names no peers — events say "crash 25% of the
+// live peers", and the Engine resolves victims at fire time from the
+// target's deterministic live-peer order using one named RNG stream.
+// Under the simulation kernel every event fires at an exact virtual
+// time and processes are serialized, so the same (script, seed) pair
+// replays the identical event trace, message count and figure output,
+// bit for bit. The Trace records what actually happened for comparison.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind names one event type. The set is closed; Validate rejects
+// anything else.
+type Kind string
+
+// The event kinds.
+const (
+	// KindCrashWave crashes Count (or Frac of live) peers, spread evenly
+	// over the Over window (all at once when zero). Crashed peers lose
+	// their replicas and counters — the paper's "fail" departure.
+	KindCrashWave Kind = "crash-wave"
+	// KindLeaveWave departs peers gracefully (with key and counter
+	// handoff), same knobs as a crash wave.
+	KindLeaveWave Kind = "leave-wave"
+	// KindJoinWave joins Count (or Frac of live) fresh peers through
+	// random live bootstraps, spread over the Over window.
+	KindJoinWave Kind = "join-wave"
+	// KindPartition splits the live peers into len(Groups) groups sized
+	// by the Groups fractions (normalized). Peers in different groups
+	// cannot exchange messages; a peer that joins during the split is
+	// confined to its bootstrap's side (replacements never bridge the
+	// partition). A new partition replaces the previous one.
+	KindPartition Kind = "partition"
+	// KindHeal removes the active partition and re-introduces the sides
+	// to each other so the overlay can re-merge.
+	KindHeal Kind = "heal"
+	// KindConditions applies Profile to the links selected by From/To
+	// (1-based partition-group indexes; 0, the zero value, means every
+	// peer). Later conditions win where they overlap.
+	KindConditions Kind = "conditions"
+	// KindClearConditions removes every applied profile, restoring the
+	// network's base link model.
+	KindClearConditions Kind = "clear-conditions"
+)
+
+// Profile reshapes the links it is applied to. Latencies are one-way
+// milliseconds; the zero BandwidthKbps inherits the network's base
+// bandwidth model.
+type Profile struct {
+	// LatencyMeanMS and LatencyVarMS parameterise the normal one-way
+	// latency distribution (mean and variance, like the paper's Table
+	// 1). A zero mean inherits the base latency model entirely, so a
+	// loss- or jitter-only profile degrades exactly what it names.
+	LatencyMeanMS float64 `json:"latency_mean_ms"`
+	LatencyVarMS  float64 `json:"latency_var_ms,omitempty"`
+	// JitterMS adds a uniform draw from [0, JitterMS) per message.
+	JitterMS float64 `json:"jitter_ms,omitempty"`
+	// Loss is the i.i.d. message-loss probability in [0, 1].
+	Loss float64 `json:"loss,omitempty"`
+	// BandwidthKbps is the mean link bandwidth; zero inherits the base.
+	BandwidthKbps float64 `json:"bandwidth_kbps,omitempty"`
+}
+
+// Event is one scripted action at a point in scenario time.
+type Event struct {
+	// At is the event's offset from the moment the script starts
+	// playing (for experiment runs: after warmup and initial load).
+	At time.Duration `json:"at"`
+	// Kind selects the action; the remaining fields parameterise it.
+	Kind Kind `json:"kind"`
+
+	// Count is the absolute number of peers a wave affects. When zero,
+	// Frac of the live population (at fire time) is used instead.
+	Count int `json:"count,omitempty"`
+	// Frac is the fraction of live peers a wave affects, in (0, 1].
+	Frac float64 `json:"frac,omitempty"`
+	// Over spreads a wave's individual actions evenly across this
+	// window; zero applies them all at the event time.
+	Over time.Duration `json:"over,omitempty"`
+
+	// Groups sizes a partition's sides as fractions of the live
+	// population (normalized, so [6, 4] and [0.6, 0.4] agree).
+	Groups []float64 `json:"groups,omitempty"`
+
+	// From and To select the links a conditions profile applies to, as
+	// 1-based indexes into the most recent partition's groups; 0 — the
+	// zero value, so omitted fields are safe — selects every peer.
+	// Profiles apply symmetrically (both directions).
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Profile is the condition profile a KindConditions event applies.
+	Profile *Profile `json:"profile,omitempty"`
+}
+
+// Script is a named, ordered sequence of events.
+type Script struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+}
+
+// Validate checks the script: known kinds, wave sizes, partition group
+// fractions, conditions profiles and group references. It returns the
+// first problem found.
+func (s Script) Validate() error {
+	groupsDefined := -1 // size of the last partition's Groups, -1 = none yet
+	for i, ev := range sorted(s.Events) {
+		at := func(format string, args ...any) error {
+			return fmt.Errorf("scenario %q event %d (%s at %s): %s",
+				s.Name, i, ev.Kind, ev.At, fmt.Sprintf(format, args...))
+		}
+		if ev.At < 0 {
+			return at("negative event time")
+		}
+		switch ev.Kind {
+		case KindCrashWave, KindLeaveWave, KindJoinWave:
+			if ev.Count < 0 {
+				return at("negative Count")
+			}
+			if ev.Count == 0 && (ev.Frac <= 0 || ev.Frac > 1) {
+				return at("wave needs Count > 0 or Frac in (0, 1], got Count=%d Frac=%g", ev.Count, ev.Frac)
+			}
+			if ev.Over < 0 {
+				return at("negative Over window")
+			}
+		case KindPartition:
+			if len(ev.Groups) < 2 {
+				return at("partition needs at least two Groups")
+			}
+			for _, g := range ev.Groups {
+				if g <= 0 {
+					return at("partition group fractions must be positive, got %v", ev.Groups)
+				}
+			}
+			groupsDefined = len(ev.Groups)
+		case KindHeal:
+			if groupsDefined < 0 {
+				return at("heal without a preceding partition")
+			}
+		case KindConditions:
+			if ev.Profile == nil {
+				return at("conditions event needs a Profile")
+			}
+			if ev.Profile.Loss < 0 || ev.Profile.Loss > 1 {
+				return at("profile Loss %g outside [0, 1]", ev.Profile.Loss)
+			}
+			if ev.Profile.LatencyMeanMS < 0 || ev.Profile.LatencyVarMS < 0 ||
+				ev.Profile.JitterMS < 0 || ev.Profile.BandwidthKbps < 0 {
+				return at("negative profile parameter")
+			}
+			for _, g := range []int{ev.From, ev.To} {
+				if g < 0 {
+					return at("negative group index %d (0 means every peer, groups are 1-based)", g)
+				}
+				if g > 0 && groupsDefined < 0 {
+					return at("group-targeted conditions without a preceding partition")
+				}
+				if g > 0 && g > groupsDefined {
+					return at("group index %d outside the partition's %d groups", g, groupsDefined)
+				}
+			}
+		case KindClearConditions:
+			// no knobs
+		default:
+			return at("unknown kind")
+		}
+	}
+	return nil
+}
+
+// sorted returns the events ordered by At, ties kept in script order —
+// the order the engine applies them in.
+func sorted(events []Event) []Event {
+	out := make([]Event, len(events))
+	copy(out, events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Applied is one trace entry: an action the engine actually performed.
+type Applied struct {
+	// At is the virtual time the action fired, relative to when the
+	// script started playing.
+	At time.Duration `json:"at"`
+	// Kind is the event kind; waves record one entry per affected peer.
+	Kind Kind `json:"kind"`
+	// Peers lists the affected peers: a wave's victim or joiner, a
+	// partition's group sizes via Note instead.
+	Peers []string `json:"peers,omitempty"`
+	// Note carries human-readable detail (group sizes, profile target).
+	Note string `json:"note,omitempty"`
+}
+
+// Trace is the replayable record of one script playback. Two runs of
+// the same script on the same seed must produce identical traces — the
+// determinism tests compare them field by field.
+type Trace struct {
+	Script  string    `json:"script"`
+	Applied []Applied `json:"applied"`
+}

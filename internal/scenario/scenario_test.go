@@ -1,0 +1,317 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/network/simwire"
+	"repro/internal/simnet"
+)
+
+func TestValidateRejectsBadScripts(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Script
+		want string // substring of the error
+	}{
+		{"unknown kind", Script{Events: []Event{{Kind: "meteor"}}}, "unknown kind"},
+		{"negative time", Script{Events: []Event{{At: -time.Second, Kind: KindHeal}}}, "negative event time"},
+		{"wave without size", Script{Events: []Event{{Kind: KindCrashWave}}}, "Count > 0 or Frac"},
+		{"wave frac too big", Script{Events: []Event{{Kind: KindCrashWave, Frac: 1.5}}}, "Frac"},
+		{"partition one group", Script{Events: []Event{{Kind: KindPartition, Groups: []float64{1}}}}, "at least two"},
+		{"partition bad fraction", Script{Events: []Event{{Kind: KindPartition, Groups: []float64{1, 0}}}}, "positive"},
+		{"heal without partition", Script{Events: []Event{{Kind: KindHeal}}}, "without a preceding partition"},
+		{"conditions without profile", Script{Events: []Event{{Kind: KindConditions}}}, "needs a Profile"},
+		{"loss out of range", Script{Events: []Event{{Kind: KindConditions,
+			Profile: &Profile{Loss: 1.5}}}}, "Loss"},
+		{"negative group index", Script{Events: []Event{{Kind: KindConditions, From: -1,
+			Profile: &Profile{LatencyMeanMS: 10}}}}, "negative group index"},
+		{"group ref without partition", Script{Events: []Event{{Kind: KindConditions, From: 1,
+			Profile: &Profile{LatencyMeanMS: 10}}}}, "without a preceding partition"},
+		{"group ref out of range", Script{Events: []Event{
+			{Kind: KindPartition, Groups: []float64{1, 1}},
+			{At: time.Second, Kind: KindConditions, From: 3, Profile: &Profile{LatencyMeanMS: 10}},
+		}}, "outside the partition"},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the script", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Order independence: a heal scripted before (in slice order) but
+	// after (in time) its partition is fine.
+	ok := Script{Name: "ok", Events: []Event{
+		{At: 2 * time.Minute, Kind: KindHeal},
+		{At: time.Minute, Kind: KindPartition, Groups: []float64{0.6, 0.4}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("time-ordered heal rejected: %v", err)
+	}
+}
+
+func TestBuiltinsValidateAndScale(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		s, err := Builtin(name, 30*time.Minute)
+		if err != nil {
+			t.Fatalf("Builtin(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("Builtin(%q).Name = %q", name, s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+		for _, ev := range s.Events {
+			if ev.At > 30*time.Minute {
+				t.Errorf("builtin %q schedules past the window: %v", name, ev.At)
+			}
+		}
+	}
+	if _, err := Builtin("no-such", time.Hour); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+	if _, err := Builtin(ChurnWave, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+// fakeTarget records every call; peers are synthetic names.
+type fakeTarget struct {
+	mu    sync.Mutex
+	alive map[string]bool
+	next  int
+	log   []string
+
+	partitioned [][]string
+	healed      [][]string
+	profiles    []string
+	cleared     int
+}
+
+func newFakeTarget(n int) *fakeTarget {
+	t := &fakeTarget{alive: make(map[string]bool)}
+	for i := 0; i < n; i++ {
+		t.alive[fmt.Sprintf("p%03d", i)] = true
+		t.next = i + 1
+	}
+	return t
+}
+
+func (f *fakeTarget) LivePeers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.alive))
+	for i := 0; i < f.next; i++ {
+		name := fmt.Sprintf("p%03d", i)
+		if f.alive[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func (f *fakeTarget) logf(format string, args ...any) {
+	f.log = append(f.log, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeTarget) Crash(p string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.alive, p)
+	f.logf("crash %s", p)
+}
+
+func (f *fakeTarget) Leave(p string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.alive, p)
+	f.logf("leave %s", p)
+}
+
+func (f *fakeTarget) Join() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name := fmt.Sprintf("p%03d", f.next)
+	f.next++
+	f.alive[name] = true
+	f.logf("join %s", name)
+	return name
+}
+
+func (f *fakeTarget) Partition(groups [][]string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned = groups
+	f.logf("partition %d groups", len(groups))
+}
+
+func (f *fakeTarget) Heal(groups [][]string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.healed = groups
+	f.logf("heal")
+}
+
+func (f *fakeTarget) SetLinkProfile(from, to []string, p Profile) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.profiles = append(f.profiles, fmt.Sprintf("profile %d>%d loss=%g", len(from), len(to), p.Loss))
+	f.logf("profile")
+}
+
+func (f *fakeTarget) ClearLinkProfiles() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cleared++
+	f.logf("clear")
+}
+
+// playScript runs one script to completion on a fresh kernel + fake
+// target and returns the trace and the target.
+func playScript(t *testing.T, seed int64, peers int, s Script) (Trace, *fakeTarget) {
+	t.Helper()
+	k := simnet.New(seed)
+	ft := newFakeTarget(peers)
+	eng := NewEngine(simwire.Env(k), ft)
+	if err := eng.Play(s); err != nil {
+		t.Fatalf("Play: %v", err)
+	}
+	k.RunUntilIdle()
+	if !eng.Done() {
+		t.Fatal("engine not done after the queue drained")
+	}
+	return eng.Trace(), ft
+}
+
+func TestEngineAppliesScript(t *testing.T) {
+	s := Script{Name: "mixed", Events: []Event{
+		{At: time.Minute, Kind: KindCrashWave, Count: 5, Over: 30 * time.Second},
+		{At: 2 * time.Minute, Kind: KindPartition, Groups: []float64{0.5, 0.5}},
+		{At: 3 * time.Minute, Kind: KindConditions, From: 1, To: 2, Profile: &Profile{LatencyMeanMS: 300, Loss: 0.2}},
+		{At: 4 * time.Minute, Kind: KindHeal},
+		{At: 5 * time.Minute, Kind: KindJoinWave, Count: 3},
+		{At: 6 * time.Minute, Kind: KindClearConditions},
+	}}
+	tr, ft := playScript(t, 1, 40, s)
+
+	counts := map[Kind]int{}
+	for _, a := range tr.Applied {
+		counts[a.Kind]++
+		if a.At < 0 {
+			t.Fatalf("negative applied time: %+v", a)
+		}
+	}
+	want := map[Kind]int{
+		KindCrashWave: 5, KindPartition: 1, KindConditions: 1,
+		KindHeal: 1, KindJoinWave: 3, KindClearConditions: 1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("applied %s %d times, want %d (trace: %+v)", k, counts[k], n, tr.Applied)
+		}
+	}
+	if len(ft.LivePeers()) != 40-5+3 {
+		t.Fatalf("live peers = %d, want 38", len(ft.LivePeers()))
+	}
+	if len(ft.partitioned) != 2 {
+		t.Fatalf("partition groups = %d", len(ft.partitioned))
+	}
+	if got := len(ft.partitioned[0]) + len(ft.partitioned[1]); got != 35 {
+		t.Fatalf("partition covered %d peers, want all 35 live at the split", got)
+	}
+	if ft.healed == nil {
+		t.Fatal("heal never reached the target")
+	}
+	if ft.cleared != 1 {
+		t.Fatalf("cleared %d times", ft.cleared)
+	}
+	// The group-targeted profile resolved to real peer lists.
+	if len(ft.profiles) != 1 || !strings.Contains(ft.profiles[0], "loss=0.2") {
+		t.Fatalf("profiles = %v", ft.profiles)
+	}
+	// Crash wave spread: victims fire across [1m, 1m30s], not all at 1m.
+	var crashTimes []time.Duration
+	for _, a := range tr.Applied {
+		if a.Kind == KindCrashWave {
+			crashTimes = append(crashTimes, a.At)
+		}
+	}
+	if crashTimes[0] == crashTimes[len(crashTimes)-1] {
+		t.Fatalf("wave not spread over the window: %v", crashTimes)
+	}
+}
+
+func TestEngineTraceReplaysBitIdentical(t *testing.T) {
+	s := Script{Name: "replay", Events: []Event{
+		{At: 30 * time.Second, Kind: KindCrashWave, Frac: 0.2, Over: time.Minute},
+		{At: 2 * time.Minute, Kind: KindPartition, Groups: []float64{0.6, 0.4}},
+		{At: 3 * time.Minute, Kind: KindHeal},
+		{At: 4 * time.Minute, Kind: KindJoinWave, Frac: 0.25, Over: 30 * time.Second},
+	}}
+	tr1, ft1 := playScript(t, 7, 50, s)
+	tr2, ft2 := playScript(t, 7, 50, s)
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatalf("traces diverged:\n%+v\nvs\n%+v", tr1, tr2)
+	}
+	if !reflect.DeepEqual(ft1.log, ft2.log) {
+		t.Fatalf("target call logs diverged:\n%v\nvs\n%v", ft1.log, ft2.log)
+	}
+	// A different seed must pick different victims (overwhelmingly).
+	tr3, _ := playScript(t, 8, 50, s)
+	if reflect.DeepEqual(tr1, tr3) {
+		t.Fatal("different seeds replayed the identical trace")
+	}
+	if len(tr1.Applied) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestEnginePlayTwiceRejected(t *testing.T) {
+	k := simnet.New(1)
+	eng := NewEngine(simwire.Env(k), newFakeTarget(5))
+	// Unnamed scripts are legal (Validate does not require a name) and
+	// must still complete and guard re-entry.
+	if err := eng.Play(Script{Events: []Event{{Kind: KindJoinWave, Count: 1}}}); err != nil {
+		t.Fatalf("first Play: %v", err)
+	}
+	if err := eng.Play(Script{Name: "two"}); err == nil {
+		t.Fatal("second Play accepted")
+	}
+	k.RunUntilIdle()
+	if !eng.Done() {
+		t.Fatal("unnamed script never reports Done")
+	}
+}
+
+// TestConditionsOnEmptyGroupAppliesNothing pins the empty-group guard:
+// a partition over a tiny population can clamp a trailing group to zero
+// peers, and a conditions event targeting it must apply to nothing —
+// not collapse into the every-link wildcard.
+func TestConditionsOnEmptyGroupAppliesNothing(t *testing.T) {
+	s := Script{Name: "empty-group", Events: []Event{
+		{At: time.Second, Kind: KindPartition, Groups: []float64{0.9, 0.1}},
+		{At: 2 * time.Second, Kind: KindConditions, From: 2, Profile: &Profile{Loss: 0.5}},
+	}}
+	tr, ft := playScript(t, 1, 3, s) // 3 peers: group 2 clamps to empty
+	if len(ft.profiles) != 0 {
+		t.Fatalf("profile applied despite empty target group: %v", ft.profiles)
+	}
+	found := false
+	for _, a := range tr.Applied {
+		if a.Kind == KindConditions && strings.Contains(a.Note, "skipped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("skip not recorded in trace: %+v", tr.Applied)
+	}
+}

@@ -1,0 +1,102 @@
+package dcdht
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Scenario is a scripted fault-and-condition schedule: a named sequence
+// of timed events — churn waves, partitions and heals, link condition
+// changes — that plays against a simulated network as virtual time
+// advances. The same (scenario, seed) pair replays bit-identically:
+// identical event trace, identical message counts, identical figures.
+// Build one from events, or start from a builtin (BuiltinScenario).
+type Scenario = scenario.Script
+
+// Event is one scripted action at an offset from the moment the
+// scenario starts playing. See the Kind constants for the actions and
+// docs/SCENARIOS.md for the full schema.
+type Event = scenario.Event
+
+// EventKind names a scenario event type.
+type EventKind = scenario.Kind
+
+// The scenario event kinds.
+const (
+	// EventCrashWave crashes Count (or Frac of live) peers, spread over
+	// the Over window; crashed peers lose replicas and counters.
+	EventCrashWave = scenario.KindCrashWave
+	// EventLeaveWave departs peers gracefully (with handoff).
+	EventLeaveWave = scenario.KindLeaveWave
+	// EventJoinWave joins fresh peers through live bootstraps.
+	EventJoinWave = scenario.KindJoinWave
+	// EventPartition splits the live peers into groups (fractions in
+	// Groups) that cannot exchange messages.
+	EventPartition = scenario.KindPartition
+	// EventHeal removes the partition and re-introduces the sides so
+	// the ring re-merges.
+	EventHeal = scenario.KindHeal
+	// EventConditions applies a LinkProfile to the links selected by
+	// From/To (1-based partition group indexes; 0 = every peer).
+	EventConditions = scenario.KindConditions
+	// EventClearConditions restores the base link model everywhere.
+	EventClearConditions = scenario.KindClearConditions
+)
+
+// LinkProfile reshapes the links a conditions event targets: one-way
+// latency distribution (mean/variance, milliseconds), uniform jitter,
+// i.i.d. message loss, and bandwidth (zero inherits the base model).
+type LinkProfile = scenario.Profile
+
+// ScenarioTrace is the replayable record of one scenario playback:
+// every applied action with its virtual time and affected peers.
+type ScenarioTrace = scenario.Trace
+
+// ScenarioEvent is one applied action inside a ScenarioTrace.
+type ScenarioEvent = scenario.Applied
+
+// BuiltinScenarios lists the named scenarios shipped with the engine:
+// calm, churn-wave, split-heal, lossy-wan, mass-crash.
+func BuiltinScenarios() []string { return scenario.BuiltinNames() }
+
+// BuiltinScenario returns a builtin scenario shaped to play over
+// window: event times are fixed fractions of it, so the same shape
+// scales from a quick test to an hours-long experiment.
+func BuiltinScenario(name string, window time.Duration) (Scenario, error) {
+	return scenario.Builtin(name, window)
+}
+
+// PlayScenario validates sc and starts playing it: events are scheduled
+// in virtual time relative to now and apply as the simulation advances
+// (Advance, or any operation that drives the clock). One scenario plays
+// at a time; starting a second while one is mid-flight returns an
+// error. The applied events are available from ScenarioTrace.
+func (s *SimNetwork) PlayScenario(sc Scenario) error {
+	if s.eng != nil && !s.eng.Done() {
+		return fmt.Errorf("dcdht: scenario %q still playing", s.eng.Trace().Script)
+	}
+	eng, err := s.d.PlayScript(sc)
+	if err != nil {
+		return fmt.Errorf("dcdht: %w", err)
+	}
+	s.eng = eng
+	return nil
+}
+
+// ScenarioTrace returns the applied-event record of the most recent
+// PlayScenario (or SimConfig.Scenario) playback. The second result is
+// false when no scenario has been played.
+func (s *SimNetwork) ScenarioTrace() (ScenarioTrace, bool) {
+	if s.eng == nil {
+		return ScenarioTrace{}, false
+	}
+	return s.eng.Trace(), true
+}
+
+// ScenarioDone reports whether every event of the most recently played
+// scenario has applied; false when no scenario was ever started.
+func (s *SimNetwork) ScenarioDone() bool {
+	return s.eng != nil && s.eng.Done()
+}

@@ -5,7 +5,10 @@
 #   3. every exported identifier in the root dcdht package must carry a
 #      doc comment (grep-based: an exported top-level func/type/var/const
 #      declaration must be preceded by a comment line or live in a
-#      commented group).
+#      commented group);
+#   4. every relative markdown link in README.md and docs/*.md must
+#      resolve to an existing file (anchors stripped; external and
+#      absolute URLs skipped).
 # Run from the repository root: ./scripts/check_docs.sh
 set -eu
 
@@ -48,7 +51,32 @@ for f in *.go; do
     fi
 done
 
+# 4. relative links in README.md and docs/*.md resolve
+for f in README.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Extract every "](target)" link target, one per line. `|| true`
+    # keeps a link-free file from aborting the script under set -e;
+    # splitting on newlines only keeps targets with spaces intact.
+    targets=$(grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//') || true
+    oldIFS=$IFS
+    IFS='
+'
+    for target in $targets; do
+        case "$target" in
+        http://*|https://*|mailto:*|/*|\#*) continue ;;
+        esac
+        path=${target%%#*}          # strip the anchor
+        [ -n "$path" ] || continue  # pure-anchor link
+        if [ ! -e "$dir/$path" ]; then
+            echo "$f: broken relative link -> $target" >&2
+            fail=1
+        fi
+    done
+    IFS=$oldIFS
+done
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "docs check clean: gofmt, examples, exported doc comments"
+echo "docs check clean: gofmt, examples, exported doc comments, relative links"
