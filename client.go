@@ -2,6 +2,12 @@ package dcdht
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
 )
 
 // Client is the deployment-agnostic interface to a replicated DHT with
@@ -25,6 +31,18 @@ import (
 // UMS-Direct / UMS-Indirect axis is a deployment property (counter
 // initialization strategy) and is chosen with SimConfig.Mode or
 // NodeConfig.Mode.
+//
+// Retrieves additionally take a consistency level
+// (WithConsistency): Current — the default — proves currency against
+// KTS, Bounded(d) accepts a replica within a staleness bound, Eventual
+// takes the first reachable replica. Result.Currency reports what the
+// operation could actually claim. NewSession opens a Session whose
+// reads are guaranteed at least as fresh as the session's own writes
+// and prior reads (read-your-writes, monotonic reads).
+//
+// An operation issued with invalid options (a negative issuer index, a
+// negative staleness bound, an issuer pin on a TCP node) fails with an
+// error wrapping ErrBadOption instead of silently ignoring the option.
 type Client interface {
 	// Put stores data under key with a fresh timestamp and replicates
 	// it at the peers responsible under every replication hash function.
@@ -32,11 +50,18 @@ type Client interface {
 	// Get returns the current replica of key. When no provably current
 	// replica is reachable, the most recent available one is returned
 	// together with an error wrapping ErrNoCurrentReplica (classify
-	// with IsNoCurrent).
+	// with IsNoCurrent). WithConsistency relaxes what "current" must
+	// mean for this read.
 	Get(ctx context.Context, key Key, opts ...OpOption) (Result, error)
 	// LastTS asks KTS for the last timestamp generated for key (zero
-	// when the key was never stamped).
-	LastTS(ctx context.Context, key Key) (Timestamp, error)
+	// when the key was never stamped). WithIssuer selects the asking
+	// peer under simulation; WithConsistency(Bounded(d)) or
+	// WithConsistency(Eventual) may serve the answer from the issuing
+	// peer's cache instead of a KTS round trip.
+	LastTS(ctx context.Context, key Key, opts ...OpOption) (Timestamp, error)
+	// NewSession opens a session over this client: per-key timestamp
+	// floors provide read-your-writes and monotonic reads cheaply.
+	NewSession(defaults ...OpOption) *Session
 	// PutMulti stores a batch, fanning the writes out concurrently.
 	// Per-key outcomes are isolated in the returned slice (index i
 	// matches items[i]); the batch-level error is non-nil only when the
@@ -73,10 +98,22 @@ func (a Algorithm) String() string {
 	return "UMS"
 }
 
+// ErrBadOption marks an operation issued with an invalid option
+// combination — a negative issuer index, a negative staleness bound, an
+// issuer pin on a TCP Node. The operation fails instead of silently
+// dropping the option; classify with errors.Is(err, ErrBadOption).
+var ErrBadOption = errors.New("invalid operation option")
+
 // opConfig is the resolved per-operation configuration.
 type opConfig struct {
-	alg  Algorithm
-	peer int // issuing peer index for SimNetwork; -1 picks a random live peer
+	alg       Algorithm
+	peer      int  // issuing peer index for SimNetwork; -1 picks a random live peer
+	issuerSet bool // WithIssuer was given (Nodes must reject it)
+	level     dht.Level
+	levelSet  bool // WithConsistency was given explicitly
+	bound     time.Duration
+	floor     core.Timestamp // session floor (set by Session reads only)
+	err       error          // first invalid option seen
 }
 
 // OpOption customises one operation.
@@ -89,22 +126,80 @@ func WithAlgorithm(a Algorithm) OpOption {
 
 // WithIssuer pins the operation to the i-th live peer (modulo the live
 // population) instead of a random one. Only meaningful on SimNetwork,
-// where the facade chooses the issuing peer; a Node always issues from
-// itself and ignores it.
+// where the facade chooses the issuing peer; an operation on a Node —
+// which always issues from itself — fails with ErrBadOption, as does a
+// negative index.
 func WithIssuer(i int) OpOption {
 	return func(c *opConfig) {
-		if i >= 0 {
-			c.peer = i
+		c.issuerSet = true
+		if i < 0 {
+			c.fail(fmt.Errorf("issuer index %d is negative: %w", i, ErrBadOption))
+			return
+		}
+		c.peer = i
+	}
+}
+
+// WithConsistency selects the consistency level for this operation's
+// reads: Current (the default), Bounded(d) or Eventual. A malformed
+// level — Bounded with a negative bound — fails the operation with
+// ErrBadOption.
+func WithConsistency(l Consistency) OpOption {
+	return func(c *opConfig) {
+		c.levelSet = true
+		c.level, c.bound = l.level, l.bound
+		if l.level == dht.LevelBounded && l.bound < 0 {
+			c.fail(fmt.Errorf("bounded consistency with negative bound %v: %w", l.bound, ErrBadOption))
 		}
 	}
 }
 
-func resolveOpts(opts []OpOption) opConfig {
+// withFloor carries a session's per-key floor into the operation. Kept
+// unexported: floors are session bookkeeping, not a caller knob.
+func withFloor(f Timestamp) OpOption {
+	return func(c *opConfig) { c.floor = f }
+}
+
+// fail records the first invalid option; later ones keep the original
+// diagnosis.
+func (c *opConfig) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// readPolicy translates the resolved options into the UMS acceptance
+// predicate. A session floor with no explicit consistency level selects
+// the floor-first fast path (satisfy the read from the floor before
+// proving currency).
+func (c opConfig) readPolicy() dht.ReadPolicy {
+	p := dht.ReadPolicy{Level: c.level, Bound: c.bound, Floor: c.floor}
+	if !c.levelSet && !c.floor.IsZero() {
+		p.FloorFirst = true
+	}
+	return p
+}
+
+// resolveOpts folds the options into one configuration, reporting the
+// first invalid option (or combination — checked after folding, so the
+// outcome is independent of option order) as an error wrapping
+// ErrBadOption.
+func resolveOpts(opts []OpOption) (opConfig, error) {
 	c := opConfig{peer: -1}
 	for _, o := range opts {
 		o(&c)
 	}
-	return c
+	// The BRK baseline has no currency proof to relax and no floors to
+	// enforce: combining it with a consistency level or a session read
+	// must fail loudly, not silently drop the guarantee.
+	if c.err == nil && c.alg == AlgBRK {
+		if c.levelSet {
+			c.fail(fmt.Errorf("BRK cannot honor a consistency level: %w", ErrBadOption))
+		} else if !c.floor.IsZero() {
+			c.fail(fmt.Errorf("session reads are not supported on BRK (no floor enforcement): %w", ErrBadOption))
+		}
+	}
+	return c, c.err
 }
 
 // KV is one key/data pair of a PutMulti batch.

@@ -13,12 +13,17 @@
 //	dcdht-bench -figure repair -repair-json BENCH_repair.json
 //	dcdht-bench -figure workload -workload zipf -ratio 0.9 -seed 1
 //	dcdht-bench -figure scenario -scenario split-heal,lossy-wan
+//	dcdht-bench -figure consistency -levels all -bound 5m
 //
 // The workload figure drives YCSB-style load (see docs/BENCHMARKS.md)
 // and writes BENCH_workload.json by default. The scenario figure plays
 // the scripted fault scenarios of docs/SCENARIOS.md — churn waves,
 // partitions with heal, degraded links — with replica maintenance off
-// and on, and writes BENCH_scenario.json by default.
+// and on, and writes BENCH_scenario.json by default. The consistency
+// figure measures retrieval cost vs observed currency per consistency
+// level (Current / Bounded / Eventual, see docs/CONSISTENCY.md), with
+// replica maintenance off and on, and writes BENCH_consistency.json by
+// default.
 package main
 
 import (
@@ -69,6 +74,14 @@ func main() {
 	scenarioNames := flag.String("scenario", "all", "comma-separated scripted scenarios: calm|churn-wave|split-heal|lossy-wan|mass-crash|all")
 	scenarioPeers := flag.Int("scenario-peers", 0, "deployment size for the scenario figure; 0 selects the default (400 quick, base full)")
 	scenarioJSON := flag.String("scenario-json", "BENCH_scenario.json", "path for the machine-readable scenario results (written when the scenario figure runs; empty disables)")
+
+	// Consistency-figure knobs (-figure consistency).
+	levels := flag.String("levels", "all", "comma-separated consistency levels for the consistency figure: current|bounded|eventual|all")
+	bound := flag.Duration("bound", 5*time.Minute, "staleness bound for bounded-consistency reads, in simulated time")
+	consistencyPeers := flag.Int("consistency-peers", 0, "deployment size for the consistency figure; 0 selects the default (120 quick, 1000 full)")
+	consistencyQueries := flag.Int("consistency-queries", 0, "measured retrieves per consistency point; 0 selects the default (60 quick, 200 full)")
+	consistencyWindow := flag.Duration("consistency-duration", 0, "measured window of simulated time per consistency point; 0 selects the default (12m quick, 1h full)")
+	consistencyJSON := flag.String("consistency-json", "BENCH_consistency.json", "path for the machine-readable consistency results (written when the consistency figure runs; empty disables)")
 	flag.Parse()
 
 	opts := exp.Options{Full: *full, Seed: *seed}
@@ -182,6 +195,30 @@ func main() {
 		emit(t)
 		scenarioPoints = points
 	}
+	var consistencyPoints []exp.ConsistencyPoint
+	if wanted("consistency") {
+		names := []string{}
+		if *levels != "all" {
+			for _, n := range strings.Split(*levels, ",") {
+				if n = strings.TrimSpace(n); n != "" && n != "all" {
+					names = append(names, n)
+				}
+			}
+		}
+		t, points, err := exp.FigureConsistency(opts, exp.ConsistencyOptions{
+			Levels:   names,
+			Bound:    *bound,
+			Peers:    *consistencyPeers,
+			Queries:  *consistencyQueries,
+			Duration: *consistencyWindow,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consistency figure: %v\n", err)
+			os.Exit(2)
+		}
+		emit(t)
+		consistencyPoints = points
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -214,5 +251,8 @@ func main() {
 	}
 	if scenarioPoints != nil && *scenarioJSON != "" {
 		writeJSON("scenario", *scenarioJSON, scenarioPoints)
+	}
+	if consistencyPoints != nil && *consistencyJSON != "" {
+		writeJSON("consistency", *consistencyJSON, consistencyPoints)
 	}
 }

@@ -162,7 +162,7 @@ func client(op string, args []string) {
 			os.Exit(1)
 		}
 		status := "CURRENT"
-		if !r.Current {
+		if !r.Current() {
 			status = "most recent available (currency not provable)"
 		}
 		fmt.Printf("%s\n  status: %s, %v, probed %d replicas, %d msgs, %s\n",

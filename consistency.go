@@ -1,0 +1,77 @@
+package dcdht
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dht"
+)
+
+// Consistency selects how current a read must be — the data-currency /
+// retrieval-cost axis that is the paper's central tradeoff, exposed as
+// a per-operation knob. Pass one to WithConsistency:
+//
+//	c.Get(ctx, key)                                        // Current: provably current (default)
+//	c.Get(ctx, key, dcdht.WithConsistency(dcdht.Bounded(time.Minute)))
+//	c.Get(ctx, key, dcdht.WithConsistency(dcdht.Eventual)) // first reachable replica
+//
+// Current pays a KTS last_ts round trip to prove the returned replica
+// carries the last generated timestamp. Bounded(d) accepts a replica
+// at or past a cached last_ts observed at most d ago, skipping the KTS
+// round trip whenever the issuing peer's cache is fresh enough.
+// Eventual returns the first reachable replica with no KTS contact at
+// all. Result.Currency reports the claim the read actually earned.
+// The zero value is Current.
+type Consistency struct {
+	level dht.Level
+	bound time.Duration
+}
+
+// Current is the paper's provably-current retrieve: ask KTS for the
+// key's last timestamp, probe replica positions until one carries it.
+// The default for every read.
+var Current = Consistency{level: dht.LevelCurrent}
+
+// Eventual accepts the first reachable replica with no KTS round trip
+// at all — the cheapest read, with no currency claim.
+var Eventual = Consistency{level: dht.LevelEventual}
+
+// Bounded accepts a replica that is at most d stale: when the issuing
+// peer holds a cached last_ts observed no more than d ago, the read
+// accepts the first replica at or past that floor with no KTS round
+// trip; otherwise it falls back to the authoritative path (refreshing
+// the cache for the next bounded read). A negative d is invalid and
+// fails the operation with ErrBadOption.
+func Bounded(d time.Duration) Consistency {
+	return Consistency{level: dht.LevelBounded, bound: d}
+}
+
+// String renders "current", "bounded(1m0s)" or "eventual".
+func (c Consistency) String() string {
+	if c.level == dht.LevelBounded {
+		return fmt.Sprintf("bounded(%v)", c.bound)
+	}
+	return c.level.String()
+}
+
+// Currency is the freshness verdict attached to every read Result: the
+// claim the operation could actually prove about the returned replica,
+// with Result.Floor / Result.FloorAge as evidence. It replaces the old
+// lone `Current bool` — Result.Current() derives from it.
+type Currency = dht.Currency
+
+// The currency verdicts, from weakest to strongest claim.
+const (
+	// CurrencyUnknown makes no freshness claim (eventual reads, BRK,
+	// and most-recent-available fallbacks).
+	CurrencyUnknown = dht.CurrencyUnknown
+	// CurrencySessionFloor: at least as fresh as the session's per-key
+	// floor — read-your-writes and monotonic reads hold.
+	CurrencySessionFloor = dht.CurrencySessionFloor
+	// CurrencyWithinBound: at or past a cached last_ts younger than the
+	// requested staleness bound.
+	CurrencyWithinBound = dht.CurrencyWithinBound
+	// CurrencyProven: carries the last timestamp KTS generated — the
+	// paper's provable currency.
+	CurrencyProven = dht.CurrencyProven
+)

@@ -205,7 +205,10 @@ func (s *SimNetwork) Advance(d time.Duration) { s.d.RunFor(d) }
 // timestamp, issued from a random (or pinned, see WithIssuer) live
 // peer. The context's deadline is honored across every simulated RPC.
 func (s *SimNetwork) Put(ctx context.Context, key Key, data []byte, opts ...OpOption) (Result, error) {
-	oc := resolveOpts(opts)
+	oc, err := resolveOpts(opts)
+	if err != nil {
+		return Result{}, fmt.Errorf("dcdht: put(%q): %w", key, err)
+	}
 	return s.op(ctx, oc, func(ctx context.Context, p *exp.Peer) (Result, error) {
 		if oc.alg == AlgBRK {
 			return p.BRK.Insert(ctx, key, data)
@@ -215,36 +218,68 @@ func (s *SimNetwork) Put(ctx context.Context, key Key, data []byte, opts ...OpOp
 }
 
 // Get implements Client: it returns the current replica of key, issued
-// from a random (or pinned) live peer.
+// from a random (or pinned) live peer, at the requested consistency
+// level (WithConsistency; provably current by default).
 func (s *SimNetwork) Get(ctx context.Context, key Key, opts ...OpOption) (Result, error) {
-	oc := resolveOpts(opts)
+	oc, err := resolveOpts(opts)
+	if err != nil {
+		return Result{}, fmt.Errorf("dcdht: get(%q): %w", key, err)
+	}
 	return s.op(ctx, oc, func(ctx context.Context, p *exp.Peer) (Result, error) {
 		if oc.alg == AlgBRK {
 			return p.BRK.Retrieve(ctx, key)
 		}
-		return p.UMS.Retrieve(ctx, key)
+		return p.UMS.RetrieveWith(ctx, key, oc.readPolicy())
 	})
 }
 
 // LastTS implements Client: it asks KTS for the last timestamp
-// generated for key.
-func (s *SimNetwork) LastTS(ctx context.Context, key Key) (Timestamp, error) {
-	var ts Timestamp
-	res, err := s.op(ctx, resolveOpts(nil), func(ctx context.Context, p *exp.Peer) (Result, error) {
+// generated for key. WithIssuer selects the asking peer; with
+// WithConsistency(Bounded(d)) a cached answer observed at most d ago is
+// served without a network hop (and Eventual serves any cached answer).
+func (s *SimNetwork) LastTS(ctx context.Context, key Key, opts ...OpOption) (Timestamp, error) {
+	oc, err := resolveOpts(opts)
+	if err != nil {
+		return Timestamp{}, fmt.Errorf("dcdht: last_ts(%q): %w", key, err)
+	}
+	res, err := s.op(ctx, oc, func(ctx context.Context, p *exp.Peer) (Result, error) {
+		if ts, ok := cachedLastTS(p.KTS, key, oc); ok {
+			return Result{TS: ts}, nil
+		}
 		t, lerr := p.KTS.LastTS(ctx, key)
 		return Result{TS: t}, lerr
 	})
 	if err != nil {
-		return ts, err
+		return Timestamp{}, err
 	}
 	return res.TS, nil
+}
+
+// cachedLastTS consults a peer's last-ts cache for the relaxed
+// consistency levels: Bounded(d) serves an entry no older than d,
+// Eventual serves any entry. Current (the default) never uses it.
+func cachedLastTS(svc *kts.Service, key Key, oc opConfig) (Timestamp, bool) {
+	if !oc.levelSet || oc.level == dht.LevelCurrent {
+		return Timestamp{}, false
+	}
+	ts, age, ok := svc.Cached(key)
+	if !ok {
+		return Timestamp{}, false
+	}
+	if oc.level == dht.LevelBounded && age > oc.bound {
+		return Timestamp{}, false
+	}
+	return ts, true
 }
 
 // PutMulti implements Client: the writes fan out concurrently inside
 // the simulation, each issued from its own (random or pinned) live
 // peer, with per-key error isolation.
 func (s *SimNetwork) PutMulti(ctx context.Context, items []KV, opts ...OpOption) ([]MultiResult, error) {
-	oc := resolveOpts(opts)
+	oc, err := resolveOpts(opts)
+	if err != nil {
+		return nil, fmt.Errorf("dcdht: put multi: %w", err)
+	}
 	keys := make([]Key, len(items))
 	for i, it := range items {
 		keys[i] = it.Key
@@ -258,14 +293,18 @@ func (s *SimNetwork) PutMulti(ctx context.Context, items []KV, opts ...OpOption)
 }
 
 // GetMulti implements Client: the reads fan out concurrently inside the
-// simulation, with per-key error isolation.
+// simulation, with per-key error isolation, each at the requested
+// consistency level.
 func (s *SimNetwork) GetMulti(ctx context.Context, keys []Key, opts ...OpOption) ([]MultiResult, error) {
-	oc := resolveOpts(opts)
+	oc, err := resolveOpts(opts)
+	if err != nil {
+		return nil, fmt.Errorf("dcdht: get multi: %w", err)
+	}
 	return s.multi(ctx, keys, func(ctx context.Context, i int, p *exp.Peer) (Result, error) {
 		if oc.alg == AlgBRK {
 			return p.BRK.Retrieve(ctx, keys[i])
 		}
-		return p.UMS.Retrieve(ctx, keys[i])
+		return p.UMS.RetrieveWith(ctx, keys[i], oc.readPolicy())
 	}, oc)
 }
 

@@ -22,8 +22,8 @@ func TestSimNetworkInsertRetrieve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(r.Data) != "hello world" || !r.Current {
-		t.Fatalf("got %q current=%v", r.Data, r.Current)
+	if string(r.Data) != "hello world" || !r.Current() {
+		t.Fatalf("got %q current=%v", r.Data, r.Current())
 	}
 	if r.Elapsed <= 0 || r.Msgs <= 0 {
 		t.Fatalf("metrics missing: %+v", r)
@@ -71,7 +71,7 @@ func TestSimNetworkSurvivesChurn(t *testing.T) {
 		if string(r.Data) != fmt.Sprintf("v%d", i) {
 			t.Errorf("k%d = %q", i, r.Data)
 		}
-		if r.Current {
+		if r.Current() {
 			current++
 		}
 	}
@@ -177,8 +177,8 @@ func TestTCPRingEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("retrieve: %v", err)
 	}
-	if string(r.Data) != "over the wire" || !r.Current {
-		t.Fatalf("got %q current=%v", r.Data, r.Current)
+	if string(r.Data) != "over the wire" || !r.Current() {
+		t.Fatalf("got %q current=%v", r.Data, r.Current())
 	}
 
 	// Update through another node; everyone must see the new value.

@@ -17,6 +17,15 @@
 // hot-key-update and scan-of-recent patterns with per-op latency
 // histograms — see WorkloadSpec).
 //
+// Reads are tunable along the paper's currency/cost axis: every Get
+// takes a Consistency level (WithConsistency) — Current proves
+// currency against KTS, Bounded(d) accepts a cached floor within a
+// staleness bound, Eventual takes the first reachable replica — and
+// Result.Currency reports the claim the read earned. NewSession opens
+// a Session with read-your-writes and monotonic-reads guarantees
+// enforced cheaply from per-key timestamp floors. See
+// docs/CONSISTENCY.md.
+//
 // The evaluation harness that regenerates the paper's figures lives in
 // internal/exp and is exposed through cmd/dcdht-bench and the root
 // benchmarks in bench_test.go. docs/ARCHITECTURE.md maps the packages;

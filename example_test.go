@@ -24,7 +24,7 @@ func Example() {
 		fmt.Println("error:", err)
 		return
 	}
-	fmt.Printf("%s current=%v ts=%v probed=%d\n", r.Data, r.Current, r.TS, r.Probed)
+	fmt.Printf("%s current=%v ts=%v probed=%d\n", r.Data, r.Current(), r.TS, r.Probed)
 	// Output: v2 current=true ts=ts(2) probed=1
 }
 
@@ -53,13 +53,13 @@ func ExampleClient() {
 		return
 	}
 	ts, _ := c.LastTS(ctx, "greeting")
-	fmt.Printf("%s current=%v audit=%v\n", r.Data, r.Current, ts == r.TS)
+	fmt.Printf("%s current=%v audit=%v\n", r.Data, r.Current(), ts == r.TS)
 
 	// The BRICKS baseline runs through the same code path: the
 	// algorithm is an option, not another method set.
 	c.Put(ctx, "greeting-brk", []byte("hi"), dcdht.WithAlgorithm(dcdht.AlgBRK))
 	brk, _ := c.Get(ctx, "greeting-brk", dcdht.WithAlgorithm(dcdht.AlgBRK))
-	fmt.Printf("baseline probed %d replicas, provable currency: %v\n", brk.Probed, brk.Current)
+	fmt.Printf("baseline probed %d replicas, provable currency: %v\n", brk.Probed, brk.Current())
 	// Output:
 	// hello current=true audit=true
 	// baseline probed 5 replicas, provable currency: false
@@ -90,6 +90,53 @@ func ExampleClient_getMulti() {
 	// a = alpha
 	// missing not found
 	// b = beta
+}
+
+// ExampleWithConsistency shows the consistency spectrum on one key: a
+// provably-current read (the default), an Eventual read that takes the
+// first reachable replica with no KTS round trip, and a Bounded read
+// served from the writer's cached last-ts floor. The relaxed levels
+// cost strictly fewer messages; Result.Currency says what each read
+// could actually claim.
+func ExampleWithConsistency() {
+	net := dcdht.NewSimNetwork(32, dcdht.SimConfig{Replicas: 5, Seed: 7})
+	defer net.Close()
+	ctx := context.Background()
+
+	net.Put(ctx, "motd", []byte("v1"), dcdht.WithIssuer(1))
+
+	cur, _ := net.Get(ctx, "motd")
+	ev, _ := net.Get(ctx, "motd", dcdht.WithConsistency(dcdht.Eventual))
+	bd, _ := net.Get(ctx, "motd", dcdht.WithIssuer(1), dcdht.WithConsistency(dcdht.Bounded(time.Minute)))
+
+	fmt.Printf("current : %s %v\n", cur.Data, cur.Currency)
+	fmt.Printf("eventual: %s %v cheaper=%v\n", ev.Data, ev.Currency, ev.Msgs < cur.Msgs)
+	fmt.Printf("bounded : %s %v cheaper=%v\n", bd.Data, bd.Currency, bd.Msgs < cur.Msgs)
+	// Output:
+	// current : v1 proven
+	// eventual: v1 unknown cheaper=true
+	// bounded : v1 within-bound cheaper=true
+}
+
+// ExampleSession shows session guarantees: after the session's own
+// write, its reads are guaranteed at least as fresh (read-your-writes)
+// and never travel backwards (monotonic reads), satisfied directly from
+// the session's per-key floor — no KTS round trip.
+func ExampleSession() {
+	net := dcdht.NewSimNetwork(32, dcdht.SimConfig{Replicas: 5, Seed: 7})
+	defer net.Close()
+	ctx := context.Background()
+
+	s := net.NewSession()
+	w, _ := s.Put(ctx, "cart", []byte("3 items"))
+	r, _ := s.Get(ctx, "cart")
+
+	floor, _ := s.Floor("cart")
+	fmt.Printf("%s %v\n", r.Data, r.Currency)
+	fmt.Printf("read-your-writes=%v floor=%v\n", !r.TS.Less(w.TS), floor == w.TS)
+	// Output:
+	// 3 items session-floor
+	// read-your-writes=true floor=true
 }
 
 // ExampleExpectedRetrievals reproduces the paper's §3.3 example: with
@@ -136,7 +183,7 @@ func ExampleSimNetwork_RepairStats() {
 	r, err := net.Get(ctx, "doc")
 	st := net.RepairStats()
 	fmt.Printf("data=%s err=%v current=%v rounds>0=%v\n",
-		r.Data, err, r.Current, st.Rounds > 0)
+		r.Data, err, r.Current(), st.Rounds > 0)
 	// Output: data=v1 err=<nil> current=true rounds>0=true
 }
 

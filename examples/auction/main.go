@@ -45,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("read winning bid: %v", err)
 	}
-	fmt.Printf("\nwinning entry: %q (ts=%v, provably current=%v)\n", got.Data, got.TS, got.Current)
+	fmt.Printf("\nwinning entry: %q (ts=%v, provably current=%v)\n", got.Data, got.TS, got.Current())
 	if string(got.Data) != "bid: 150 (hugo)" {
 		log.Fatalf("wrong winner: %q", got.Data)
 	}

@@ -54,7 +54,35 @@ func main() {
 	}
 	fmt.Printf("retrieve: %q\n", got.Data)
 	fmt.Printf("          current=%v ts=%v probed=%d of 10 replicas, %d msgs, %s\n\n",
-		got.Current, got.TS, got.Probed, got.Msgs, got.Elapsed.Round(time.Millisecond))
+		got.Current(), got.TS, got.Probed, got.Msgs, got.Elapsed.Round(time.Millisecond))
+
+	// Consistency is a per-read knob: an Eventual read takes the first
+	// reachable replica and skips the KTS round trip entirely — the
+	// cheapest read there is, for traffic that tolerates a little
+	// staleness. Result.Currency reports what the read could claim.
+	fast, err := net.Get(ctx, "motd", dcdht.WithConsistency(dcdht.Eventual))
+	if err != nil {
+		log.Fatalf("eventual retrieve: %v", err)
+	}
+	fmt.Printf("eventual: %q\n", fast.Data)
+	fmt.Printf("          currency=%v, %d msgs vs %d for the proven read, %s vs %s\n\n",
+		fast.Currency, fast.Msgs, got.Msgs,
+		fast.Elapsed.Round(time.Millisecond), got.Elapsed.Round(time.Millisecond))
+
+	// A Session gives read-your-writes and monotonic reads cheaply: it
+	// tracks a per-key floor (the session's own writes and reads) and
+	// satisfies reads from the first replica meeting it — typically one
+	// probe and zero KTS messages.
+	session := net.NewSession()
+	if _, err := session.Put(ctx, "profile", []byte("theme=dark")); err != nil {
+		log.Fatalf("session put: %v", err)
+	}
+	mine, err := session.Get(ctx, "profile")
+	if err != nil {
+		log.Fatalf("session get: %v", err)
+	}
+	fmt.Printf("session : %q currency=%v (guaranteed at least as fresh as our write, %d msgs)\n\n",
+		mine.Data, mine.Currency, mine.Msgs)
 
 	// The BRICKS baseline must fetch every replica and pick the highest
 	// version — and still cannot PROVE the result is current. Same code
@@ -67,7 +95,7 @@ func main() {
 		log.Fatalf("brk retrieve: %v", err)
 	}
 	fmt.Printf("baseline: BRK probed %d replicas, %d msgs, %s — currency provable: %v\n",
-		brk.Probed, brk.Msgs, brk.Elapsed.Round(time.Millisecond), brk.Current)
+		brk.Probed, brk.Msgs, brk.Elapsed.Round(time.Millisecond), brk.Current())
 
 	fmt.Printf("\nUMS answered with %d probes and %d msgs; BRK needed %d probes and %d msgs.\n",
 		got.Probed, got.Msgs, brk.Probed, brk.Msgs)

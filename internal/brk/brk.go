@@ -120,6 +120,7 @@ func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, e
 		return res, fmt.Errorf("brk: retrieve(%q): no replica available: %w", k, core.ErrNotFound)
 	}
 	res.Data, res.TS = best, bestVersion
-	// BRK cannot prove currency; Current stays false by construction.
+	// BRK cannot prove currency; the verdict stays Unknown by
+	// construction (OpResult.Current() is therefore always false).
 	return res, nil
 }

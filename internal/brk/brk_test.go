@@ -68,7 +68,7 @@ func TestRetrieveAlwaysProbesAllReplicas(t *testing.T) {
 		if r.Probed != 5 {
 			t.Errorf("probed %d, BRK must always probe |Hr|=5", r.Probed)
 		}
-		if r.Current {
+		if r.Current() {
 			t.Error("BRK must never prove currency")
 		}
 	})

@@ -15,11 +15,21 @@ type OpResult struct {
 	Data []byte
 	// TS is the timestamp/version attached to the operation's replica.
 	TS core.Timestamp
-	// Current reports whether the returned replica was provably current
-	// (carried the last generated timestamp). BRK can never prove
-	// currency; it reports Current when all replicas agreed on a single
-	// maximum version.
-	Current bool
+	// Currency is the freshness verdict for the returned replica
+	// (retrieves only): Proven when it carried KTS's last_ts,
+	// WithinBound when it met a cached floor within the requested
+	// staleness bound, SessionFloor when it met a session's per-key
+	// floor, Unknown otherwise. BRK can never prove currency, so its
+	// retrieves always report Unknown.
+	Currency Currency
+	// Floor is the timestamp evidence Currency was judged against: the
+	// (possibly cached) last_ts for Proven/WithinBound, the session
+	// floor for SessionFloor, zero for Unknown.
+	Floor core.Timestamp
+	// FloorAge is how old the Floor evidence was when the acceptance
+	// decision used it: zero for a fresh KTS answer or a session floor,
+	// the cache entry's age for WithinBound.
+	FloorAge time.Duration
 	// Probed counts geth calls issued (the paper's nums for UMS; always
 	// |Hr| for BRK).
 	Probed int
@@ -35,3 +45,9 @@ type OpResult struct {
 	// Elapsed is the operation's response time.
 	Elapsed time.Duration
 }
+
+// Current reports whether the returned replica was provably current —
+// it carried (at least) the last timestamp KTS generated for the key.
+// Kept as the compatibility accessor for the old `Current bool` field;
+// Currency is the source of truth.
+func (r OpResult) Current() bool { return r.Currency == CurrencyProven }

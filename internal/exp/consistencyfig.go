@@ -1,0 +1,401 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/repair"
+	"repro/internal/stats"
+	"repro/internal/ums"
+)
+
+// The consistency figure: the paper's response-time-vs-currency
+// tradeoff generalized to the consistency-level spectrum. The same
+// churny UMS-Direct deployment serves retrieves at each level —
+// Current (provably current, the paper's Figure 2), Bounded (a cached
+// last-ts floor within a staleness bound, usually no KTS round trip)
+// and Eventual (first reachable replica, never a KTS round trip) —
+// with replica maintenance off and on, measuring per level what the
+// level buys (messages and latency saved) and what it costs (observed
+// staleness against the harness's ground-truth update log).
+
+// ConsistencyLevels lists the compared levels in plotting order.
+var ConsistencyLevels = []string{"current", "bounded", "eventual"}
+
+// ConsistencyOptions parameterizes the consistency figure beyond the
+// shared exp.Options. The zero value runs every level at the quick
+// scale.
+type ConsistencyOptions struct {
+	// Levels restricts the figure to a subset of ConsistencyLevels;
+	// empty runs all three.
+	Levels []string
+	// Bound is the staleness bound for the bounded level. Default 5
+	// minutes of simulated time.
+	Bound time.Duration
+	// Peers overrides the deployment size (default 120 quick / 1000
+	// full).
+	Peers int
+	// Clients is the issuing client-pool size: queries and updates are
+	// issued round-robin from this many designated peers, the way
+	// application servers front a DHT — which is what lets bounded
+	// reads find a warm last-ts cache. Default 4.
+	Clients int
+	// Queries is the number of measured retrieves per point (default
+	// 60 quick / 200 full).
+	Queries int
+	// Duration is the measured window in simulated time (default 12m
+	// quick / 1h full).
+	Duration time.Duration
+}
+
+// resolve fills the option defaults against the shared options' scale.
+func (co ConsistencyOptions) resolve(o Options) (ConsistencyOptions, error) {
+	if len(co.Levels) == 0 {
+		co.Levels = ConsistencyLevels
+	}
+	for _, l := range co.Levels {
+		if _, err := parseLevel(l); err != nil {
+			return co, err
+		}
+	}
+	if co.Bound <= 0 {
+		co.Bound = 5 * time.Minute
+	}
+	if co.Peers <= 0 {
+		co.Peers = 120
+		if o.Full {
+			co.Peers = 1000
+		}
+	}
+	if co.Clients <= 0 {
+		co.Clients = 4
+	}
+	if co.Queries <= 0 {
+		co.Queries = 60
+		if o.Full {
+			co.Queries = 200
+		}
+	}
+	if co.Duration <= 0 {
+		co.Duration = 12 * time.Minute
+		if o.Full {
+			co.Duration = time.Hour
+		}
+	}
+	return co, nil
+}
+
+// parseLevel maps a level name to the UMS read level.
+func parseLevel(name string) (dht.Level, error) {
+	switch name {
+	case "current":
+		return dht.LevelCurrent, nil
+	case "bounded":
+		return dht.LevelBounded, nil
+	case "eventual":
+		return dht.LevelEventual, nil
+	default:
+		return 0, fmt.Errorf("exp: unknown consistency level %q (want current, bounded or eventual)", name)
+	}
+}
+
+// ConsistencyPoint is one (level, repair) cell's outcome in
+// machine-readable form; cmd/dcdht-bench serializes the set as
+// BENCH_consistency.json (schema in docs/BENCHMARKS.md).
+type ConsistencyPoint struct {
+	Level    string  `json:"level"`
+	Repair   bool    `json:"repair"`
+	Peers    int     `json:"peers"`
+	Clients  int     `json:"clients"`
+	BoundSec float64 `json:"bound_sec,omitempty"`
+
+	QueriesRun    int `json:"queries_run"`
+	FailedQueries int `json:"failed_queries"`
+
+	// Cost per retrieve.
+	MsgsPerRetrieve   float64 `json:"msgs_per_retrieve"`
+	RespTimeSec       float64 `json:"resp_time_sec"`
+	ProbesPerRetrieve float64 `json:"probes_per_retrieve"`
+
+	// Currency verdicts over the successful retrieves.
+	Proven       int     `json:"proven"`
+	WithinBound  int     `json:"within_bound"`
+	SessionFloor int     `json:"session_floor"`
+	Unknown      int     `json:"unknown"`
+	ProvenRate   float64 `json:"proven_rate"`
+	StaleReturns int     `json:"stale_returns"`
+
+	// Observed staleness against the harness's ground truth: the
+	// fraction of retrieves that returned data older than the last
+	// successfully inserted timestamp, and how many versions behind
+	// they were on average.
+	ObservedStaleRate float64 `json:"observed_stale_rate"`
+	VersionLagMean    float64 `json:"version_lag_mean"`
+
+	// KTSCacheHits counts last-ts cache consults that found an entry
+	// across the client pool (the mechanism behind bounded's savings).
+	KTSCacheHits uint64 `json:"kts_cache_hits"`
+	// ReplicasHealed is the maintenance subsystem's work (repair runs).
+	ReplicasHealed uint64 `json:"replicas_healed"`
+}
+
+// consistencyRun measures one (level, repair) cell on a fresh
+// deployment built from the shared seed; every random choice comes off
+// named kernel streams, so the same options replay the identical point.
+func consistencyRun(o Options, co ConsistencyOptions, levelName string, withRepair bool) ConsistencyPoint {
+	level, err := parseLevel(levelName)
+	if err != nil {
+		panic(err) // resolve validated the names already
+	}
+	sc := Table1Scenario(AlgUMSDirect, co.Peers, o.seed())
+	cfg := DeployConfig{
+		Peers:          co.Peers,
+		Replicas:       sc.Replicas,
+		Seed:           o.seed(),
+		Net:            sc.Net,
+		Chord:          sc.Chord,
+		PaperDataModel: true,
+	}
+	if withRepair {
+		cfg.Repair = repair.Config{Every: 2 * time.Minute, PerRound: 8, ReadRepair: true}
+	}
+	d := NewDeployment(cfg)
+	defer d.K.Stop()
+	d.RunFor(sc.Warmup)
+
+	point := ConsistencyPoint{
+		Level:   levelName,
+		Repair:  withRepair,
+		Peers:   co.Peers,
+		Clients: co.Clients,
+	}
+	if level == dht.LevelBounded {
+		point.BoundSec = co.Bound.Seconds()
+	}
+
+	// The client pool: the first Clients peers of the deployment front
+	// all traffic (queries and updates), like application servers in
+	// front of a storage tier. A pool peer lost to churn falls through
+	// to the next live one.
+	pool := make([]*Peer, co.Clients)
+	copy(pool, d.Peers[:min(co.Clients, len(d.Peers))])
+	poolRng := d.K.NewRand("consistency-pool")
+	clientPeer := func(i int) *Peer {
+		for probe := 0; probe < len(pool); probe++ {
+			if p := pool[(i+probe)%len(pool)]; p != nil && p.Alive() {
+				return p
+			}
+		}
+		return d.RandomLivePeer(poolRng)
+	}
+
+	// Ground truth: the last timestamp each key was successfully
+	// inserted with. Mutated only inside kernel processes, which the
+	// kernel serializes deterministically.
+	keys := make([]core.Key, sc.Keys)
+	lastTS := make(map[core.Key]core.Timestamp, sc.Keys)
+	for i := range keys {
+		keys[i] = core.Key(fmt.Sprintf("cons-%03d", i))
+	}
+	payload := func(k core.Key, gen int) []byte {
+		b := make([]byte, sc.DataSize)
+		copy(b, fmt.Sprintf("%s#%d", k, gen))
+		return b
+	}
+	if ok := d.Do(func() {
+		for i, k := range keys {
+			if r, err := clientPeer(i).UMS.Insert(context.Background(), k, payload(k, 0)); err == nil {
+				lastTS[k] = r.TS
+			}
+		}
+	}); !ok {
+		panic("exp: consistency figure: initial load did not complete")
+	}
+
+	endAt := d.K.Now() + co.Duration
+
+	// Churn: Poisson departures with a high failure share, so replica
+	// loss — the condition that separates the levels — actually occurs
+	// within the window. Join-per-departure keeps the population.
+	churnRng := d.K.NewRand("consistency-churn")
+	churn := &stats.PoissonProcess{Rate: 0.05, Rng: d.K.NewRand("consistency-churn-times")}
+	d.K.Go(func() {
+		for {
+			if err := d.Net.Env().Sleep(churn.Next()); err != nil {
+				return
+			}
+			if d.K.Now() >= endAt {
+				return
+			}
+			victim := d.RandomLivePeer(churnRng)
+			if victim == nil {
+				return
+			}
+			d.Depart(victim, stats.Bernoulli(churnRng, 0.3))
+			d.SpawnJoin(churnRng)
+		}
+	})
+
+	// Updates: one Poisson stream per key, issued from the pool (which
+	// is what keeps the pool's last-ts caches warm, exactly as an
+	// application tier's writes would).
+	for i, k := range keys {
+		i, k := i, k
+		gen := 1
+		updRng := d.K.NewRand(fmt.Sprintf("consistency-upd-%d", i))
+		proc := &stats.PoissonProcess{Rate: 1.0 / 600, Rng: updRng}
+		d.K.Go(func() {
+			for {
+				if err := d.Net.Env().Sleep(proc.Next()); err != nil {
+					return
+				}
+				if d.K.Now() >= endAt {
+					return
+				}
+				p := clientPeer(i + gen)
+				if r, err := p.UMS.Insert(context.Background(), k, payload(k, gen)); err == nil {
+					if lastTS[k].Less(r.TS) {
+						lastTS[k] = r.TS
+					}
+				}
+				gen++
+			}
+		})
+	}
+
+	// Queries at uniformly random times, round-robin over the pool, at
+	// the cell's consistency level.
+	var respTime, msgs, probes, lag stats.Summary
+	staleObserved := 0
+	qRng := d.K.NewRand("consistency-queries")
+	queriesDone := 0
+	for q := 0; q < co.Queries; q++ {
+		q := q
+		at := stats.UniformDuration(qRng, co.Duration)
+		key := keys[qRng.Intn(len(keys))]
+		d.K.After(at, func() {
+			defer func() { queriesDone++ }()
+			p := clientPeer(q)
+			if p == nil {
+				// No live peer to issue from: the query still ran (and
+				// failed), keeping the verdict accounting exhaustive.
+				point.QueriesRun++
+				point.FailedQueries++
+				return
+			}
+			pol := dht.ReadPolicy{Level: level, Bound: co.Bound}
+			r, err := p.UMS.RetrieveWith(context.Background(), key, pol)
+			point.QueriesRun++
+			respTime.AddDuration(r.Elapsed)
+			msgs.Add(float64(r.Msgs))
+			probes.Add(float64(r.Probed))
+			returned := false
+			switch {
+			case err == nil:
+				returned = true
+				switch r.Currency {
+				case dht.CurrencyProven:
+					point.Proven++
+				case dht.CurrencyWithinBound:
+					point.WithinBound++
+				case dht.CurrencySessionFloor:
+					point.SessionFloor++
+				default:
+					point.Unknown++
+				}
+			case ums.IsNoCurrent(err):
+				point.StaleReturns++
+				returned = true
+			default:
+				point.FailedQueries++
+			}
+			if returned {
+				truth := lastTS[key]
+				if r.TS.Less(truth) {
+					staleObserved++
+					if truth.Hi == r.TS.Hi {
+						lag.Add(float64(truth.Lo - r.TS.Lo))
+					}
+				} else {
+					lag.Add(0)
+				}
+			}
+		})
+	}
+
+	// Drive the window plus slack for stragglers.
+	d.K.Run(endAt + 2*time.Minute)
+	for i := 0; i < 100 && queriesDone < co.Queries; i++ {
+		d.K.Run(d.K.Now() + 10*time.Second)
+	}
+
+	point.MsgsPerRetrieve = msgs.Mean()
+	point.RespTimeSec = respTime.Mean()
+	point.ProbesPerRetrieve = probes.Mean()
+	point.VersionLagMean = lag.Mean()
+	if returned := point.QueriesRun - point.FailedQueries; returned > 0 {
+		point.ObservedStaleRate = float64(staleObserved) / float64(returned)
+	}
+	if point.QueriesRun > 0 {
+		point.ProvenRate = float64(point.Proven) / float64(point.QueriesRun)
+	}
+	for _, p := range pool {
+		if p != nil {
+			point.KTSCacheHits += p.KTS.CacheHits()
+		}
+	}
+	point.ReplicasHealed = d.RepairStats().Healed
+	return point
+}
+
+// ConsistencyComparison measures every requested level with replica
+// maintenance off and on, each cell on a fresh same-seed deployment.
+func ConsistencyComparison(o Options, co ConsistencyOptions) ([]ConsistencyPoint, error) {
+	co, err := co.resolve(o)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ConsistencyPoint, 0, 2*len(co.Levels))
+	for _, withRepair := range []bool{false, true} {
+		for _, level := range co.Levels {
+			p := consistencyRun(o, co, level, withRepair)
+			points = append(points, p)
+			o.progress("consistency-%-8s repair=%-5v msgs=%5.1f resp=%6.2fs proven=%3.0f%% stale=%3.0f%% lag=%.2f",
+				level, withRepair, p.MsgsPerRetrieve, p.RespTimeSec,
+				100*p.ProvenRate, 100*p.ObservedStaleRate, p.VersionLagMean)
+		}
+	}
+	return points, nil
+}
+
+// FigureConsistency tabulates the comparison: per-retrieve cost and
+// observed currency per level, with maintenance off and on.
+func FigureConsistency(o Options, co ConsistencyOptions) (*Table, []ConsistencyPoint, error) {
+	points, err := ConsistencyComparison(o, co)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := NewTable("Consistency: retrieval cost vs observed currency by level (UMS-Direct)",
+		"level", "cost / currency",
+		[]string{"msgs", "resp (s)", "E(X) probes", "proven %", "stale %", "version lag"})
+	for _, p := range points {
+		row := p.Level
+		if p.Repair {
+			row += "+repair"
+		}
+		t.Set(row, "msgs", p.MsgsPerRetrieve)
+		t.Set(row, "resp (s)", p.RespTimeSec)
+		t.Set(row, "E(X) probes", p.ProbesPerRetrieve)
+		t.Set(row, "proven %", 100*p.ProvenRate)
+		t.Set(row, "stale %", 100*p.ObservedStaleRate)
+		t.Set(row, "version lag", p.VersionLagMean)
+	}
+	t.Notes = append(t.Notes,
+		"current proves currency against KTS last_ts; bounded accepts a cached floor within the bound (no KTS round trip on a warm cache);",
+		"eventual takes the first reachable replica with no KTS contact — stale % and version lag are measured against the harness's ground-truth update log;",
+		"queries and updates are issued round-robin from a small client pool, which is what keeps bounded's last-ts caches warm")
+	return t, points, nil
+}

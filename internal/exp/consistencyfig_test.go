@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// tinyConsistency is the toy scale the determinism and acceptance
+// assertions run at: 6 deployments in well under a second.
+func tinyConsistency() (Options, ConsistencyOptions) {
+	return Options{Seed: 42},
+		ConsistencyOptions{Peers: 40, Queries: 24, Duration: 8 * time.Minute, Clients: 3}
+}
+
+// TestConsistencyFigureDeterminism replays the figure twice on the same
+// seed and requires the serialized points to match bit for bit — the
+// BENCH_consistency.json a CI run writes is exactly reproducible.
+func TestConsistencyFigureDeterminism(t *testing.T) {
+	run := func() []byte {
+		o, co := tinyConsistency()
+		points, err := ConsistencyComparison(o, co)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different figure JSON:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestConsistencyLevelsOrdering is the acceptance criterion in vivo: on
+// the same seed, Eventual and Bounded retrieves cost strictly fewer
+// messages and strictly less response time than Current, in both repair
+// modes, while Current reports Proven for every retrieve that found a
+// current replica at all (everything that neither fell back stale nor
+// failed).
+func TestConsistencyLevelsOrdering(t *testing.T) {
+	o, co := tinyConsistency()
+	points, err := ConsistencyComparison(o, co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]ConsistencyPoint{}
+	for _, p := range points {
+		key := p.Level
+		if p.Repair {
+			key += "+repair"
+		}
+		byKey[key] = p
+	}
+	for _, suffix := range []string{"", "+repair"} {
+		cur, ok1 := byKey["current"+suffix]
+		bnd, ok2 := byKey["bounded"+suffix]
+		ev, ok3 := byKey["eventual"+suffix]
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("missing level points in %v", byKey)
+		}
+		for _, p := range []ConsistencyPoint{cur, bnd, ev} {
+			if p.QueriesRun == 0 {
+				t.Fatalf("%s%s ran no queries", p.Level, suffix)
+			}
+		}
+		if !(ev.MsgsPerRetrieve < cur.MsgsPerRetrieve) || !(bnd.MsgsPerRetrieve < cur.MsgsPerRetrieve) {
+			t.Errorf("messages%s: eventual %.2f / bounded %.2f not strictly below current %.2f",
+				suffix, ev.MsgsPerRetrieve, bnd.MsgsPerRetrieve, cur.MsgsPerRetrieve)
+		}
+		if !(ev.RespTimeSec < cur.RespTimeSec) || !(bnd.RespTimeSec < cur.RespTimeSec) {
+			t.Errorf("latency%s: eventual %.3fs / bounded %.3fs not strictly below current %.3fs",
+				suffix, ev.RespTimeSec, bnd.RespTimeSec, cur.RespTimeSec)
+		}
+		// Current proves currency whenever a current replica was
+		// reachable: every run is either Proven, an explicit stale
+		// fallback, or a failure — never an unproven success.
+		if cur.Proven+cur.StaleReturns+cur.FailedQueries != cur.QueriesRun {
+			t.Errorf("current%s: proven %d + stale %d + failed %d != run %d",
+				suffix, cur.Proven, cur.StaleReturns, cur.FailedQueries, cur.QueriesRun)
+		}
+		if cur.WithinBound+cur.SessionFloor+cur.Unknown != 0 {
+			t.Errorf("current%s: weaker verdicts on the provably-current level: %+v", suffix, cur)
+		}
+		// Bounded must actually have exercised the cache fast path.
+		if bnd.WithinBound == 0 {
+			t.Errorf("bounded%s: no within-bound verdicts — the cache never satisfied a read", suffix)
+		}
+		if ev.Proven+ev.WithinBound+ev.SessionFloor != 0 {
+			t.Errorf("eventual%s: claimed currency it cannot have: %+v", suffix, ev)
+		}
+	}
+}

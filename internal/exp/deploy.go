@@ -257,6 +257,17 @@ func (c workloadClient) Get(ctx context.Context, key core.Key) (dht.OpResult, er
 	return p.UMS.Retrieve(ctx, key)
 }
 
+// GetWith implements workload.LevelClient: a read at an explicit
+// consistency level, so workload specs with a consistency mix exercise
+// the UMS acceptance predicate end to end.
+func (c workloadClient) GetWith(ctx context.Context, key core.Key, pol dht.ReadPolicy) (dht.OpResult, error) {
+	p := c.d.RandomLivePeer(c.rng)
+	if p == nil {
+		return dht.OpResult{}, fmt.Errorf("exp: no live peer: %w", core.ErrUnreachable)
+	}
+	return p.UMS.RetrieveWith(ctx, key, pol)
+}
+
 // RunWorkload drives a workload spec against the deployment as a
 // simulation process: the generator's operation stream, the issuing
 // peers and every latency sample all run in virtual time, so the same

@@ -277,7 +277,7 @@ func Run(sc Scenario) *Result {
 			res.Probed.Add(float64(r.Probed))
 			switch {
 			case err == nil:
-				if r.Current {
+				if r.Current() {
 					currentReturns++
 				}
 			case ums.IsNoCurrent(err):

@@ -173,10 +173,17 @@ type Service struct {
 	client *dht.Client // reads the replica namespace for indirect init
 	cfg    Config
 
-	// mu guards vcs and the statistics (required on the TCP transport;
-	// under simulation execution is already serialized).
+	// mu guards vcs, cache and the statistics (required on the TCP
+	// transport; under simulation execution is already serialized).
 	mu  sync.Mutex
 	vcs *VCS
+
+	// cache holds the last-ts answers this peer has observed as a
+	// client (from its own gen_ts and last_ts calls), each with the
+	// environment time it was observed at. It powers bounded-staleness
+	// reads: a retrieve may accept a replica at or past a cached floor
+	// whose age is within its bound, with no KTS round trip.
+	cache map[core.Key]cacheEntry
 
 	onRepair RepairFunc
 
@@ -184,7 +191,19 @@ type Service struct {
 	generated      uint64
 	indirectInits  uint64
 	directArrivals uint64
+	cacheHits      uint64
 }
+
+// cacheEntry is one observed last-ts with its observation time.
+type cacheEntry struct {
+	ts core.Timestamp
+	at time.Duration
+}
+
+// cacheCap bounds the last-ts cache. Eviction order is arbitrary, so
+// the cap is set far above any simulated working set — determinism is
+// only at risk for clients tracking more than 64k hot keys per peer.
+const cacheCap = 1 << 16
 
 // New attaches a KTS service to a peer. replicaNS names the namespace in
 // which UMS stores stamped replicas (indirect initialization reads it).
@@ -229,6 +248,58 @@ func (s *Service) Stats() (generated, indirectInits, directArrivals uint64) {
 	return s.generated, s.indirectInits, s.directArrivals
 }
 
+// Cached returns the freshest last-ts this peer has observed for k as a
+// client, together with the observation's age. ok is false when the
+// peer has never seen a timestamp for k. The caller decides whether the
+// age is acceptable (bounded-staleness reads compare it to their
+// bound); a successful consult counts as a cache hit.
+func (s *Service) Cached(k core.Key) (ts core.Timestamp, age time.Duration, ok bool) {
+	now := s.ring.Env().Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache[k]
+	if !ok {
+		return core.TSZero, 0, false
+	}
+	s.cacheHits++
+	return e.ts, now - e.at, true
+}
+
+// CacheHits reports how many Cached consults found an entry.
+func (s *Service) CacheHits() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheHits
+}
+
+// noteLastTS records an observed last-ts for k at the current
+// environment time. Newer observations win; an equal timestamp
+// refreshes the entry's age (the authority re-confirmed it).
+func (s *Service) noteLastTS(k core.Key, ts core.Timestamp) {
+	if ts.IsZero() {
+		return
+	}
+	now := s.ring.Env().Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		s.cache = make(map[core.Key]cacheEntry)
+	}
+	if e, ok := s.cache[k]; ok {
+		if ts.Less(e.ts) {
+			return
+		}
+	} else if len(s.cache) >= cacheCap {
+		// Only a genuinely new key can grow the cache past the cap;
+		// overwriting an existing entry never evicts a warm floor.
+		for victim := range s.cache {
+			delete(s.cache, victim)
+			break
+		}
+	}
+	s.cache[k] = cacheEntry{ts: ts, at: now}
+}
+
 // ---- client-side operations -------------------------------------------
 
 // GenTS generates the next timestamp for k: it locates rsp(k, hts) and
@@ -241,6 +312,10 @@ func (s *Service) GenTS(ctx context.Context, k core.Key) (core.Timestamp, error)
 	}
 	r := resp.(GenTSResp)
 	network.MeterFrom(ctx).Merge(r.Cost)
+	// A freshly generated timestamp IS the key's last_ts at this
+	// moment: cache it so the writer's subsequent bounded reads (and
+	// read-your-writes through a session) skip the KTS round trip.
+	s.noteLastTS(k, r.TS)
 	return r.TS, nil
 }
 
@@ -253,6 +328,7 @@ func (s *Service) LastTS(ctx context.Context, k core.Key) (core.Timestamp, error
 	}
 	r := resp.(LastTSResp)
 	network.MeterFrom(ctx).Merge(r.Cost)
+	s.noteLastTS(k, r.TS)
 	return r.TS, nil
 }
 

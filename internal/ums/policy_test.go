@@ -1,0 +1,177 @@
+package ums_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/ums"
+)
+
+// TestRetrieveEventualSkipsKTS: an eventual retrieve contacts no KTS
+// responsible — it accepts the first reachable replica, costs strictly
+// fewer messages than the provably-current path, and claims nothing.
+func TestRetrieveEventualSkipsKTS(t *testing.T) {
+	d := deploy(t, 11)
+	key := core.Key("ev")
+	d.Do(func() {
+		if _, err := d.Peers[0].UMS.Insert(context.Background(), key, []byte("v1")); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	d.Do(func() {
+		cur, err := d.Peers[3].UMS.Retrieve(context.Background(), key)
+		if err != nil {
+			t.Errorf("current retrieve: %v", err)
+			return
+		}
+		ev, err := d.Peers[3].UMS.RetrieveWith(context.Background(), key, dht.ReadPolicy{Level: dht.LevelEventual})
+		if err != nil {
+			t.Errorf("eventual retrieve: %v", err)
+			return
+		}
+		if string(ev.Data) != "v1" {
+			t.Errorf("eventual data = %q", ev.Data)
+		}
+		if ev.Currency != dht.CurrencyUnknown || ev.Current() {
+			t.Errorf("eventual verdict = %v, want unknown", ev.Currency)
+		}
+		if cur.Currency != dht.CurrencyProven || !cur.Current() {
+			t.Errorf("current verdict = %v, want proven", cur.Currency)
+		}
+		if ev.Msgs >= cur.Msgs {
+			t.Errorf("eventual cost %d msgs, current %d — the KTS round trip was not skipped", ev.Msgs, cur.Msgs)
+		}
+		if ev.Probed != 1 {
+			t.Errorf("eventual probed %d, want 1", ev.Probed)
+		}
+	})
+}
+
+// TestRetrieveBoundedUsesWarmCache: after this peer wrote the key (its
+// gen_ts warmed the last-ts cache), a bounded retrieve accepts the
+// first replica at the cached floor with no KTS round trip and the
+// WithinBound verdict; a cold peer falls back to the authoritative
+// path and reports Proven.
+func TestRetrieveBoundedUsesWarmCache(t *testing.T) {
+	d := deploy(t, 12)
+	key := core.Key("bd")
+	writer, cold := d.Peers[0], d.Peers[9]
+	d.Do(func() {
+		if _, err := writer.UMS.Insert(context.Background(), key, []byte("v1")); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	pol := dht.ReadPolicy{Level: dht.LevelBounded, Bound: 10 * time.Minute}
+	d.Do(func() {
+		cur, err := cold.UMS.Retrieve(context.Background(), key)
+		if err != nil {
+			t.Errorf("current retrieve: %v", err)
+			return
+		}
+		warm, err := writer.UMS.RetrieveWith(context.Background(), key, pol)
+		if err != nil {
+			t.Errorf("warm bounded retrieve: %v", err)
+			return
+		}
+		if warm.Currency != dht.CurrencyWithinBound {
+			t.Errorf("warm verdict = %v, want within-bound", warm.Currency)
+		}
+		if warm.Msgs >= cur.Msgs {
+			t.Errorf("warm bounded cost %d msgs, current %d — the cache did not save the round trip", warm.Msgs, cur.Msgs)
+		}
+		if warm.Floor.IsZero() || warm.FloorAge < 0 {
+			t.Errorf("warm evidence floor=%v age=%v", warm.Floor, warm.FloorAge)
+		}
+	})
+	d.Do(func() {
+		// A peer that never observed the key has no cached floor: the
+		// bounded read pays the authoritative path and earns Proven.
+		coldRes, err := d.Peers[5].UMS.RetrieveWith(context.Background(), key, pol)
+		if err != nil {
+			t.Errorf("cold bounded retrieve: %v", err)
+			return
+		}
+		if coldRes.Currency != dht.CurrencyProven {
+			t.Errorf("cold verdict = %v, want proven (authoritative fallback)", coldRes.Currency)
+		}
+	})
+}
+
+// TestRetrieveBoundedRespectsAge: a cache entry older than the bound
+// does not satisfy a bounded read — the authoritative path runs.
+func TestRetrieveBoundedRespectsAge(t *testing.T) {
+	d := deploy(t, 13)
+	key := core.Key("aged")
+	d.Do(func() {
+		if _, err := d.Peers[0].UMS.Insert(context.Background(), key, []byte("v1")); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	d.RunFor(5 * time.Minute) // let the writer's cache entry age out
+	d.Do(func() {
+		r, err := d.Peers[0].UMS.RetrieveWith(context.Background(), key,
+			dht.ReadPolicy{Level: dht.LevelBounded, Bound: time.Minute})
+		if err != nil {
+			t.Errorf("bounded retrieve: %v", err)
+			return
+		}
+		if r.Currency != dht.CurrencyProven {
+			t.Errorf("verdict = %v, want proven: a %v-old cache entry must not satisfy a 1m bound", r.Currency, 5*time.Minute)
+		}
+	})
+}
+
+// TestRetrieveFloorEnforced: a session floor bounds every level from
+// below — an eventual read whose replicas are all behind the floor
+// falls back to most-recent-available with an error instead of
+// returning a floor-violating success.
+func TestRetrieveFloorEnforced(t *testing.T) {
+	d := deploy(t, 14)
+	key := core.Key("fl")
+	var ts core.Timestamp
+	d.Do(func() {
+		r, err := d.Peers[0].UMS.Insert(context.Background(), key, []byte("v1"))
+		if err != nil {
+			t.Errorf("insert: %v", err)
+			return
+		}
+		ts = r.TS
+	})
+	d.Do(func() {
+		// Floor above anything stored: no level may return success.
+		high := ts.Add(7)
+		for _, pol := range []dht.ReadPolicy{
+			{Level: dht.LevelEventual, Floor: high},
+			{Level: dht.LevelCurrent, Floor: high, FloorFirst: true},
+		} {
+			r, err := d.Peers[6].UMS.RetrieveWith(context.Background(), key, pol)
+			if !ums.IsNoCurrent(err) {
+				t.Errorf("policy %+v: err = %v, want ErrNoCurrentReplica", pol, err)
+				continue
+			}
+			if string(r.Data) != "v1" {
+				t.Errorf("policy %+v: fallback data = %q", pol, r.Data)
+			}
+			if r.Currency != dht.CurrencyUnknown {
+				t.Errorf("policy %+v: verdict = %v on a floor violation", pol, r.Currency)
+			}
+		}
+		// Floor at the stored timestamp: the session fast path accepts
+		// the first replica with zero KTS messages.
+		r, err := d.Peers[6].UMS.RetrieveWith(context.Background(), key,
+			dht.ReadPolicy{Floor: ts, FloorFirst: true})
+		if err != nil {
+			t.Errorf("floor-first retrieve: %v", err)
+			return
+		}
+		if r.Currency != dht.CurrencySessionFloor {
+			t.Errorf("floor-first verdict = %v, want session-floor", r.Currency)
+		}
+		if r.TS.Less(ts) {
+			t.Errorf("floor violated: returned %v < floor %v", r.TS, ts)
+		}
+	})
+}

@@ -103,8 +103,36 @@ func (s *Service) Insert(ctx context.Context, k core.Key, data []byte) (res dht.
 // Retrieve implements Figure 2's retrieve(k): fetch the last timestamp
 // ts1 from KTS, then probe rsp(k, h) for each h ∈ Hr until a replica
 // stamped ts1 appears. If none is reachable, the most recent available
-// replica is returned together with core.ErrNoCurrentReplica.
-func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, err error) {
+// replica is returned together with core.ErrNoCurrentReplica. This is
+// RetrieveWith at the default provably-current level.
+func (s *Service) Retrieve(ctx context.Context, k core.Key) (dht.OpResult, error) {
+	return s.RetrieveWith(ctx, k, dht.ReadPolicy{})
+}
+
+// RetrieveWith is retrieve(k) generalized over an acceptance predicate:
+// instead of always requiring KTS's last_ts, probing stops at the first
+// replica satisfying the requested consistency level —
+//
+//   - LevelCurrent: the authoritative last_ts, fetched from KTS first
+//     (the paper's Figure 2; verdict Proven);
+//   - LevelBounded: a cached last_ts no older than pol.Bound, when this
+//     peer holds one, with no KTS round trip (verdict WithinBound);
+//     otherwise the authoritative path runs and the answer refreshes
+//     the cache;
+//   - LevelEventual: the first reachable replica, no KTS round trip
+//     (verdict Unknown).
+//
+// A non-zero pol.Floor (a session's per-key floor) is enforced at every
+// level: no successful retrieve returns a replica older than it. With
+// pol.FloorFirst the floor itself is the acceptance target — the
+// session fast path: one probe typically, zero KTS messages, verdict
+// SessionFloor.
+//
+// When no probed replica satisfies the predicate, the most recent
+// available one is returned together with core.ErrNoCurrentReplica
+// (Figure 2's data_mr path), and the probed set is handed to
+// read-repair.
+func (s *Service) RetrieveWith(ctx context.Context, k core.Key, pol dht.ReadPolicy) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
 	ctx = network.WithMeter(ctx, meter)
 	start := s.ring.Env().Now()
@@ -113,32 +141,63 @@ func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, e
 		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
 	}()
 
-	ts1, err := s.ts.LastTS(ctx, k)
-	if err != nil {
-		return res, fmt.Errorf("ums: retrieve(%q): %w", k, err)
-	}
-	if ts1.IsZero() {
-		return res, fmt.Errorf("ums: retrieve(%q): never inserted: %w", k, core.ErrNotFound)
+	// Resolve the acceptance target: the timestamp a replica must reach
+	// and the currency verdict an accepting replica earns.
+	target := core.TSZero
+	verdict := dht.CurrencyUnknown
+	switch {
+	case pol.FloorFirst && !pol.Floor.IsZero():
+		// Session fast path: the floor is the bar; no KTS round trip.
+		// If no reachable replica meets the floor the probe loop has
+		// read every position, so an authoritative last_ts could not
+		// surface a fresher replica either — fall through to data_mr.
+		target, verdict = pol.Floor, dht.CurrencySessionFloor
+		res.Floor = pol.Floor
+	case pol.Level == dht.LevelEventual:
+		// First reachable replica; a session floor still bounds below.
+		target = pol.Floor
+		if !pol.Floor.IsZero() {
+			verdict = dht.CurrencySessionFloor
+		}
+		res.Floor = pol.Floor
+	case pol.Level == dht.LevelBounded && s.cachedTarget(k, pol, &res):
+		target, verdict = res.Floor, dht.CurrencyWithinBound
+	default:
+		// LevelCurrent, or LevelBounded without a fresh enough cached
+		// floor: the authoritative path (which also refreshes the
+		// issuing peer's cache for the next bounded read).
+		ts1, lerr := s.ts.LastTS(ctx, k)
+		if lerr != nil {
+			return res, fmt.Errorf("ums: retrieve(%q): %w", k, lerr)
+		}
+		if ts1.IsZero() {
+			return res, fmt.Errorf("ums: retrieve(%q): never inserted: %w", k, core.ErrNotFound)
+		}
+		target = ts1.Max(pol.Floor)
+		verdict = dht.CurrencyProven
+		res.Floor = target
 	}
 
 	var dataMR []byte // most recent replica seen so far (Figure 2's data_mr)
 	tsMR := core.TSZero
-	var obs []observation // probed positions that did not carry ts1
+	var obs []observation // probed positions that did not meet the target
 	for _, h := range s.set.Hr {
 		if cerr := network.CtxError(ctx); cerr != nil {
 			return res, fmt.Errorf("ums: retrieve(%q): %w", k, cerr)
 		}
 		res.Probed++
-		val, err := s.client.GetH(ctx, k, h)
-		if err != nil {
+		val, gerr := s.client.GetH(ctx, k, h)
+		if gerr != nil {
 			obs = append(obs, observation{h: h, missing: true})
 			continue // replica unavailable (peer down, data lost, stale lookup)
 		}
 		res.Retrieved++
-		if val.TS == ts1 {
-			// One current replica found: return it immediately, handing
-			// the stale positions seen on the way to read-repair.
-			res.Data, res.TS, res.Current = val.Data, val.TS, true
+		if !val.TS.Less(target) {
+			// One acceptable replica found: return it immediately,
+			// handing the stale positions seen on the way to
+			// read-repair. A zero target (plain eventual) accepts the
+			// first fetched replica.
+			res.Data, res.TS, res.Currency = val.Data, val.TS, verdict
 			s.readRepair(k, val, obs)
 			return res, nil
 		}
@@ -150,12 +209,25 @@ func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, e
 	if dataMR == nil {
 		return res, fmt.Errorf("ums: retrieve(%q): no replica available: %w", k, core.ErrNotFound)
 	}
-	// No provably current replica: still refresh the probed set with the
+	// No replica met the predicate: still refresh the probed set with the
 	// most recent available value — PutIfNewer only restores availability,
 	// it can never push a replica backwards.
 	s.readRepair(k, core.Value{Data: dataMR, TS: tsMR}, obs)
 	res.Data, res.TS = dataMR, tsMR
 	return res, fmt.Errorf("ums: retrieve(%q): returning most recent available: %w", k, core.ErrNoCurrentReplica)
+}
+
+// cachedTarget consults the issuing peer's last-ts cache for a bounded
+// read. On a hit within the bound it loads the acceptance floor and its
+// age into res and reports true; the retrieve then runs with no KTS
+// round trip.
+func (s *Service) cachedTarget(k core.Key, pol dht.ReadPolicy, res *dht.OpResult) bool {
+	cts, age, ok := s.ts.Cached(k)
+	if !ok || age > pol.Bound {
+		return false
+	}
+	res.Floor, res.FloorAge = cts.Max(pol.Floor), age
+	return true
 }
 
 // observation records one probed replica position that did not carry the

@@ -46,7 +46,7 @@ func TestInsertThenRetrieveIsCurrent(t *testing.T) {
 			t.Errorf("retrieve: %v", err)
 			return
 		}
-		if !r.Current {
+		if !r.Current() {
 			t.Error("retrieve did not prove currency")
 		}
 		if string(r.Data) != "v1" {
@@ -78,8 +78,8 @@ func TestUpdateWinsOverStaleReplica(t *testing.T) {
 			t.Errorf("retrieve: %v", err)
 			return
 		}
-		if string(r.Data) != "v2" || !r.Current {
-			t.Errorf("got %q current=%v, want current v2", r.Data, r.Current)
+		if string(r.Data) != "v2" || !r.Current() {
+			t.Errorf("got %q current=%v, want current v2", r.Data, r.Current())
 		}
 		if r.TS != core.TS(2) {
 			t.Errorf("ts = %v", r.TS)
@@ -144,8 +144,8 @@ func TestConcurrentInsertsSingleWinner(t *testing.T) {
 			t.Errorf("retrieve: %v", err)
 			return
 		}
-		if !r.Current || r.TS != latest {
-			t.Errorf("retrieve returned ts=%v current=%v, want latest %v", r.TS, r.Current, latest)
+		if !r.Current() || r.TS != latest {
+			t.Errorf("retrieve returned ts=%v current=%v, want latest %v", r.TS, r.Current(), latest)
 		}
 	})
 }
@@ -177,7 +177,7 @@ func TestRetrieveFallsBackToMostRecent(t *testing.T) {
 		if string(r.Data) != "old" {
 			t.Errorf("fallback data = %q", r.Data)
 		}
-		if r.Current {
+		if r.Current() {
 			t.Error("fallback must not claim currency")
 		}
 		if r.Probed != 5 {

@@ -20,6 +20,16 @@ type Client interface {
 	Get(ctx context.Context, key core.Key) (dht.OpResult, error)
 }
 
+// LevelClient is optionally implemented by clients whose reads honor a
+// per-operation consistency level. When a spec asks for a consistency
+// mix and the client implements it, every read runs through GetWith at
+// the level the generator assigned; otherwise reads fall back to the
+// plain provably-current Get.
+type LevelClient interface {
+	Client
+	GetWith(ctx context.Context, key core.Key, pol dht.ReadPolicy) (dht.OpResult, error)
+}
+
 // joinPoll is how often the drivers poll for worker completion — the
 // fan-out/join shape portable across both environments (see
 // network.GoJoin).
@@ -45,6 +55,7 @@ func Run(ctx context.Context, env network.Env, c Client, spec Spec) (*Report, er
 		}
 	}
 	rec := newRecorder()
+	_, rec.honorLevels = c.(LevelClient)
 	start := env.Now()
 	var err error
 	if spec.Rate > 0 {
@@ -110,9 +121,9 @@ func runClosed(ctx context.Context, env network.Env, c Client, gen *Generator, r
 				rec.trace = append(rec.trace, op)
 			}
 			mu.Unlock()
-			kind, lat, oc := execute(ctx, env, c, gen, op)
+			lat, oc := execute(ctx, env, c, gen, op)
 			mu.Lock()
-			rec.record(kind, lat, oc)
+			rec.record(op, lat, oc)
 			mu.Unlock()
 		}
 	})
@@ -146,9 +157,9 @@ func runOpen(ctx context.Context, env network.Env, c Client, gen *Generator, rec
 			rec.trace = append(rec.trace, op)
 		}
 		env.Go(func() {
-			kind, lat, oc := execute(ctx, env, c, gen, op)
+			lat, oc := execute(ctx, env, c, gen, op)
 			mu.Lock()
-			rec.record(kind, lat, oc)
+			rec.record(op, lat, oc)
 			done++
 			mu.Unlock()
 		})
@@ -172,23 +183,29 @@ func runOpen(ctx context.Context, env network.Env, c Client, gen *Generator, rec
 
 // execute performs one operation, timing it in environment time, and
 // classifies the outcome.
-func execute(ctx context.Context, env network.Env, c Client, gen *Generator, op Op) (OpKind, time.Duration, outcome) {
+func execute(ctx context.Context, env network.Env, c Client, gen *Generator, op Op) (time.Duration, outcome) {
+	spec := gen.Spec()
 	t0 := env.Now()
 	var err error
-	if op.Kind == OpPut {
+	switch {
+	case op.Kind == OpPut:
 		_, err = c.Put(ctx, op.Key, gen.Payload(op))
-	} else {
-		_, err = c.Get(ctx, op.Key)
+	default:
+		if lc, ok := c.(LevelClient); ok && spec.mixed() {
+			_, err = lc.GetWith(ctx, op.Key, dht.ReadPolicy{Level: op.Level, Bound: spec.Bound})
+		} else {
+			_, err = c.Get(ctx, op.Key)
+		}
 	}
 	lat := env.Now() - t0
 	switch {
 	case err == nil:
-		return op.Kind, lat, outcomeOK
+		return lat, outcomeOK
 	case errors.Is(err, core.ErrNoCurrentReplica):
-		return op.Kind, lat, outcomeStale
+		return lat, outcomeStale
 	case errors.Is(err, core.ErrNotFound):
-		return op.Kind, lat, outcomeNotFound
+		return lat, outcomeNotFound
 	default:
-		return op.Kind, lat, outcomeError
+		return lat, outcomeError
 	}
 }

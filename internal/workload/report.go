@@ -3,6 +3,7 @@ package workload
 import (
 	"time"
 
+	"repro/internal/dht"
 	"repro/internal/stats"
 )
 
@@ -57,6 +58,16 @@ type Report struct {
 	ElapsedSec float64 `json:"elapsed_sec"`
 	Ops        int     `json:"ops"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// EventualFrac/BoundedFrac echo a requested read-consistency mix;
+	// ReadsEventual/ReadsBounded/ReadsCurrent count the completed reads
+	// issued at each level (all zero for a mix-free spec, whose reads
+	// are all provably current and counted by Reads alone).
+	EventualFrac  float64 `json:"eventual_frac,omitempty"`
+	BoundedFrac   float64 `json:"bounded_frac,omitempty"`
+	BoundSec      float64 `json:"bound_sec,omitempty"`
+	ReadsEventual int     `json:"reads_eventual,omitempty"`
+	ReadsBounded  int     `json:"reads_bounded,omitempty"`
+	ReadsCurrent  int     `json:"reads_current,omitempty"`
 	// Reads and Writes split every counter and quantile by op kind.
 	Reads  OpStats `json:"reads"`
 	Writes OpStats `json:"writes"`
@@ -78,7 +89,13 @@ type recorder struct {
 	errs     [2]int
 	stale    [2]int
 	notFound [2]int
-	trace    []Op
+	levels   [3]int // completed reads by dht.Level (mixed specs only)
+	// honorLevels is set when the client actually routes reads through
+	// LevelClient.GetWith: a plain client falls back to provably-current
+	// Gets, which must be counted as such regardless of the generated
+	// level, or the report would claim relaxed reads that never ran.
+	honorLevels bool
+	trace       []Op
 }
 
 func newRecorder() *recorder {
@@ -96,8 +113,18 @@ const (
 )
 
 // record adds one completed operation.
-func (r *recorder) record(kind OpKind, lat time.Duration, oc outcome) {
+func (r *recorder) record(op Op, lat time.Duration, oc outcome) {
+	kind := op.Kind
 	r.hist[kind].Record(lat)
+	if kind == OpGet {
+		lvl := op.Level
+		if !r.honorLevels {
+			lvl = dht.LevelCurrent // fallback path: every read ran provably current
+		}
+		if int(lvl) < len(r.levels) {
+			r.levels[lvl]++
+		}
+	}
 	switch oc {
 	case outcomeOK:
 		r.ok[kind]++
@@ -125,6 +152,14 @@ func (r *recorder) report(spec Spec, elapsed time.Duration) *Report {
 	}
 	if spec.Pattern == Zipf {
 		rep.ZipfS = spec.ZipfS
+	}
+	if spec.mixed() {
+		rep.EventualFrac = spec.EventualFrac
+		rep.BoundedFrac = spec.BoundedFrac
+		rep.BoundSec = spec.Bound.Seconds()
+		rep.ReadsEventual = r.levels[dht.LevelEventual]
+		rep.ReadsBounded = r.levels[dht.LevelBounded]
+		rep.ReadsCurrent = r.levels[dht.LevelCurrent]
 	}
 	if spec.Rate > 0 {
 		rep.TargetRate = spec.Rate

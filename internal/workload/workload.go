@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dht"
 )
 
 // Pattern names a key-popularity pattern.
@@ -95,6 +96,17 @@ type Spec struct {
 	// the run); when both are zero, Ops defaults to 500.
 	Ops      int
 	Duration time.Duration
+	// EventualFrac and BoundedFrac shape the read consistency mix: the
+	// fraction of reads issued at Eventual and Bounded consistency
+	// respectively; the remainder runs provably current. Negative
+	// values are clamped to 0; fractions summing past 1 are scaled
+	// down proportionally. A 90%-eventual / 10%-current hot-read mix is
+	// {EventualFrac: 0.9}.
+	EventualFrac float64
+	BoundedFrac  float64
+	// Bound is the staleness bound for Bounded-consistency reads.
+	// Default 5 minutes of environment time.
+	Bound time.Duration
 	// SkipPreload skips the initial untimed insert of every key. By
 	// default the keyspace is preloaded so reads never miss on an empty
 	// store.
@@ -146,8 +158,25 @@ func (s Spec) resolve() Spec {
 	if s.Ops <= 0 && s.Duration <= 0 {
 		s.Ops = 500
 	}
+	if s.EventualFrac < 0 {
+		s.EventualFrac = 0
+	}
+	if s.BoundedFrac < 0 {
+		s.BoundedFrac = 0
+	}
+	if sum := s.EventualFrac + s.BoundedFrac; sum > 1 {
+		s.EventualFrac /= sum
+		s.BoundedFrac /= sum
+	}
+	if s.Bound == 0 {
+		s.Bound = 5 * time.Minute
+	}
 	return s
 }
+
+// mixed reports whether the spec asks for a non-default read
+// consistency mix.
+func (s Spec) mixed() bool { return s.EventualFrac > 0 || s.BoundedFrac > 0 }
 
 // readRatio returns the resolved read fraction.
 func (s Spec) readRatio() float64 { return *s.ReadRatio }
@@ -169,13 +198,16 @@ func (k OpKind) String() string {
 	return "get"
 }
 
-// Op is one generated operation: its position in the stream, its kind
-// and its key. Payloads are derived deterministically from (Key, Seq)
-// by the driver, so an Op sequence fully determines a run's inputs.
+// Op is one generated operation: its position in the stream, its kind,
+// its key and — for reads under a consistency mix — the consistency
+// level it is issued at. Payloads are derived deterministically from
+// (Key, Seq) by the driver, so an Op sequence fully determines a run's
+// inputs.
 type Op struct {
-	Seq  int
-	Kind OpKind
-	Key  core.Key
+	Seq   int
+	Kind  OpKind
+	Key   core.Key
+	Level dht.Level
 }
 
 // recentWindow bounds how far back the ScanRecent read bias looks.
@@ -230,11 +262,30 @@ func (g *Generator) Next() Op {
 	if g.rng.Float64() < g.spec.readRatio() {
 		op.Kind = OpGet
 		op.Key = g.key(g.readIndex())
+		op.Level = g.readLevel()
 		return op
 	}
 	op.Kind = OpPut
 	op.Key = g.key(g.writeIndex())
 	return op
+}
+
+// readLevel draws the consistency level for a read per the spec's mix.
+// A mix-free spec consumes no randomness here, so legacy specs keep
+// their exact historical operation streams.
+func (g *Generator) readLevel() dht.Level {
+	if !g.spec.mixed() {
+		return dht.LevelCurrent
+	}
+	draw := g.rng.Float64()
+	switch {
+	case draw < g.spec.EventualFrac:
+		return dht.LevelEventual
+	case draw < g.spec.EventualFrac+g.spec.BoundedFrac:
+		return dht.LevelBounded
+	default:
+		return dht.LevelCurrent
+	}
 }
 
 // readIndex draws the key index for a read.

@@ -177,7 +177,7 @@ func (f *fakeClient) Get(ctx context.Context, key core.Key) (dht.OpResult, error
 	if !ok {
 		return dht.OpResult{}, core.ErrNotFound
 	}
-	return dht.OpResult{Data: d, Current: true}, nil
+	return dht.OpResult{Data: d, Currency: dht.CurrencyProven}, nil
 }
 
 func TestRunClosedLoop(t *testing.T) {

@@ -149,33 +149,70 @@ func (n *Node) RepairStats() RepairStats {
 	return n.repair.Stats()
 }
 
+// nodeOpts resolves and validates options for an operation issued from
+// this node: on top of the generic validation, an issuer pin is
+// rejected with ErrBadOption — a Node always issues from itself.
+func nodeOpts(what string, key Key, opts []OpOption) (opConfig, error) {
+	oc, err := resolveOpts(opts)
+	if err == nil && oc.issuerSet {
+		err = fmt.Errorf("WithIssuer on a TCP node (a node always issues from itself): %w", ErrBadOption)
+	}
+	if err != nil {
+		return oc, fmt.Errorf("dcdht: %s(%q): %w", what, key, err)
+	}
+	return oc, nil
+}
+
 // Put implements Client: it stores data under key with a fresh
 // timestamp, issued from this node. The context's deadline and
 // cancellation are honored natively by the TCP transport.
 func (n *Node) Put(ctx context.Context, key Key, data []byte, opts ...OpOption) (Result, error) {
-	if resolveOpts(opts).alg == AlgBRK {
+	oc, err := nodeOpts("put", key, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if oc.alg == AlgBRK {
 		return n.brk.Insert(ctx, key, data)
 	}
 	return n.ums.Insert(ctx, key, data)
 }
 
-// Get implements Client: it returns the current replica of key.
+// Get implements Client: it returns the current replica of key, at the
+// requested consistency level (WithConsistency; provably current by
+// default).
 func (n *Node) Get(ctx context.Context, key Key, opts ...OpOption) (Result, error) {
-	if resolveOpts(opts).alg == AlgBRK {
+	oc, err := nodeOpts("get", key, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if oc.alg == AlgBRK {
 		return n.brk.Retrieve(ctx, key)
 	}
-	return n.ums.Retrieve(ctx, key)
+	return n.ums.RetrieveWith(ctx, key, oc.readPolicy())
 }
 
 // LastTS implements Client: it asks KTS for the last timestamp
-// generated for key.
-func (n *Node) LastTS(ctx context.Context, key Key) (Timestamp, error) {
+// generated for key. With WithConsistency(Bounded(d)) a cached answer
+// observed at most d ago is served without a network hop (and Eventual
+// serves any cached answer).
+func (n *Node) LastTS(ctx context.Context, key Key, opts ...OpOption) (Timestamp, error) {
+	oc, err := nodeOpts("last_ts", key, opts)
+	if err != nil {
+		return Timestamp{}, err
+	}
+	if ts, ok := cachedLastTS(n.kts, key, oc); ok {
+		return ts, nil
+	}
 	return n.kts.LastTS(ctx, key)
 }
 
 // PutMulti implements Client: the writes fan out on concurrent
-// goroutines with per-key error isolation.
+// goroutines with per-key error isolation. Invalid options fail the
+// batch as a whole.
 func (n *Node) PutMulti(ctx context.Context, items []KV, opts ...OpOption) ([]MultiResult, error) {
+	if _, err := nodeOpts("put multi", "", opts); err != nil {
+		return nil, err
+	}
 	return nodeMulti(ctx, len(items), func(i int) (Key, Result, error) {
 		r, err := n.Put(ctx, items[i].Key, items[i].Data, opts...)
 		return items[i].Key, r, err
@@ -183,8 +220,12 @@ func (n *Node) PutMulti(ctx context.Context, items []KV, opts ...OpOption) ([]Mu
 }
 
 // GetMulti implements Client: the reads fan out on concurrent
-// goroutines with per-key error isolation.
+// goroutines with per-key error isolation. Invalid options fail the
+// batch as a whole.
 func (n *Node) GetMulti(ctx context.Context, keys []Key, opts ...OpOption) ([]MultiResult, error) {
+	if _, err := nodeOpts("get multi", "", opts); err != nil {
+		return nil, err
+	}
 	return nodeMulti(ctx, len(keys), func(i int) (Key, Result, error) {
 		r, err := n.Get(ctx, keys[i], opts...)
 		return keys[i], r, err

@@ -71,7 +71,7 @@ func runChurnWorkload(t *testing.T, cfg SimConfig) churnOutcome {
 		last, lerr := n.LastTS(ctx, k)
 		r, err := n.Get(ctx, k)
 		switch {
-		case err == nil && r.Current:
+		case err == nil && r.Current():
 			out.current++
 			if string(r.Data) != string(payload(i, 1)) {
 				out.mismatch++

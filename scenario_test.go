@@ -91,9 +91,9 @@ func TestScenarioSplitHealKTSMonotone(t *testing.T) {
 			if err != nil {
 				t.Fatalf("post-heal get %d (probe %d): %v", i, probe, err)
 			}
-			if !g.Current || string(g.Data) != string(payload) {
+			if !g.Current() || string(g.Data) != string(payload) {
 				t.Fatalf("post-heal get %d (probe %d): current=%v data=%q, want current %q",
-					i, probe, g.Current, g.Data, payload)
+					i, probe, g.Current(), g.Data, payload)
 			}
 		}
 	}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# check_bench.sh — the bench smoke gate run by CI: regenerate the
+# consistency figure at toy scale and validate the emitted
+# BENCH_consistency.json against the documented schema and acceptance
+# invariants (scripts/validate_bench). A schema drift, a broken figure,
+# or a consistency level that stopped being cheaper than Current all
+# fail this gate.
+# Run from the repository root: ./scripts/check_bench.sh
+set -eu
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+go run ./cmd/dcdht-bench \
+    -figure consistency \
+    -consistency-peers 32 -consistency-queries 12 -consistency-duration 6m \
+    -quiet \
+    -consistency-json "$out/BENCH_consistency.json" > "$out/table.txt"
+
+grep -q "Consistency: retrieval cost vs observed currency" "$out/table.txt" || {
+    echo "check_bench: consistency table missing from bench output" >&2
+    exit 1
+}
+
+go run ./scripts/validate_bench "$out/BENCH_consistency.json"
+echo "bench check clean: consistency figure regenerates and validates at toy scale"

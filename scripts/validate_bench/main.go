@@ -1,0 +1,94 @@
+// Command validate_bench checks a BENCH_consistency.json emitted by
+// `dcdht-bench -figure consistency` against the documented schema
+// (docs/BENCHMARKS.md) and the acceptance invariants of the
+// consistency-level API:
+//
+//   - every (level, repair) cell ran queries and reports sane costs;
+//   - per repair mode, Eventual and Bounded retrieves cost strictly
+//     fewer messages and strictly less response time than Current;
+//   - Current reports Currency == Proven for every retrieve that found
+//     a current replica at all (proven + stale + failed == run), and
+//     never a weaker verdict;
+//   - Eventual never claims currency.
+//
+// Usage: validate_bench BENCH_consistency.json
+// Exit status 0 when the file conforms; 1 with diagnostics otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validate_bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: validate_bench BENCH_consistency.json")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var points []exp.ConsistencyPoint
+	if err := json.Unmarshal(data, &points); err != nil {
+		fail("not a consistency point array: %v", err)
+	}
+	if len(points) == 0 {
+		fail("empty point set")
+	}
+
+	type cell = exp.ConsistencyPoint
+	byKey := map[string]cell{}
+	for i, p := range points {
+		if p.Level != "current" && p.Level != "bounded" && p.Level != "eventual" {
+			fail("point %d: unknown level %q", i, p.Level)
+		}
+		if p.QueriesRun <= 0 {
+			fail("point %d (%s repair=%v): no queries ran", i, p.Level, p.Repair)
+		}
+		if p.Peers <= 0 || p.Clients <= 0 {
+			fail("point %d (%s): missing deployment shape: peers=%d clients=%d", i, p.Level, p.Peers, p.Clients)
+		}
+		if p.MsgsPerRetrieve <= 0 || p.RespTimeSec <= 0 || p.ProbesPerRetrieve <= 0 {
+			fail("point %d (%s): non-positive costs: msgs=%v resp=%v probes=%v",
+				i, p.Level, p.MsgsPerRetrieve, p.RespTimeSec, p.ProbesPerRetrieve)
+		}
+		if got := p.Proven + p.WithinBound + p.SessionFloor + p.Unknown + p.StaleReturns + p.FailedQueries; got != p.QueriesRun {
+			fail("point %d (%s repair=%v): verdicts %d do not account for %d queries", i, p.Level, p.Repair, got, p.QueriesRun)
+		}
+		byKey[fmt.Sprintf("%s/%v", p.Level, p.Repair)] = p
+	}
+
+	for _, repaired := range []bool{false, true} {
+		cur, ok1 := byKey[fmt.Sprintf("current/%v", repaired)]
+		bnd, ok2 := byKey[fmt.Sprintf("bounded/%v", repaired)]
+		ev, ok3 := byKey[fmt.Sprintf("eventual/%v", repaired)]
+		if !ok1 || !ok2 || !ok3 {
+			// A restricted -levels run: only validate the cells present.
+			continue
+		}
+		if !(ev.MsgsPerRetrieve < cur.MsgsPerRetrieve) || !(bnd.MsgsPerRetrieve < cur.MsgsPerRetrieve) {
+			fail("repair=%v: messages not strictly ordered: eventual %.2f / bounded %.2f vs current %.2f",
+				repaired, ev.MsgsPerRetrieve, bnd.MsgsPerRetrieve, cur.MsgsPerRetrieve)
+		}
+		if !(ev.RespTimeSec < cur.RespTimeSec) || !(bnd.RespTimeSec < cur.RespTimeSec) {
+			fail("repair=%v: latency not strictly ordered: eventual %.3f / bounded %.3f vs current %.3f",
+				repaired, ev.RespTimeSec, bnd.RespTimeSec, cur.RespTimeSec)
+		}
+		if cur.Proven+cur.StaleReturns+cur.FailedQueries != cur.QueriesRun ||
+			cur.WithinBound+cur.SessionFloor+cur.Unknown != 0 {
+			fail("repair=%v: current must prove currency whenever a current replica is reachable: %+v", repaired, cur)
+		}
+		if ev.Proven+ev.WithinBound+ev.SessionFloor != 0 {
+			fail("repair=%v: eventual claims currency: %+v", repaired, ev)
+		}
+	}
+	fmt.Printf("validate_bench: %s conforms (%d points)\n", os.Args[1], len(points))
+}

@@ -1,0 +1,131 @@
+package dcdht
+
+import (
+	"context"
+	"sync"
+)
+
+// Session provides session guarantees over any Client: read-your-writes
+// and monotonic reads, tracked as a per-key timestamp floor — the
+// highest timestamp the session has written or observed for each key.
+// Guarantees are enforced cheaply: a session read is satisfied by the
+// first probed replica at or past the floor (verdict
+// CurrencySessionFloor), skipping the KTS last_ts round trip entirely;
+// only a key the session has never touched pays the full
+// provably-current path.
+//
+// An explicit WithConsistency (in the session defaults or per call)
+// overrides the fast path while the floor keeps bounding below: even
+// WithConsistency(Eventual) never successfully returns a replica older
+// than the session floor (the read falls back to the
+// most-recent-available error instead, like any failed currency check).
+//
+// A Session is safe for concurrent use. It holds no connection state —
+// it is bookkeeping over the underlying Client, which may be shared.
+//
+// Sessions guarantee floors only for UMS reads: once the session holds
+// a floor for a key, a read of it with WithAlgorithm(AlgBRK) — which
+// has no floor enforcement — fails with ErrBadOption.
+type Session struct {
+	c        Client
+	defaults []OpOption
+
+	mu    sync.Mutex
+	floor map[Key]Timestamp
+}
+
+// NewSession opens a session over c. The defaults are prepended to
+// every operation's options — pin an issuer, select an algorithm, or
+// fix a consistency level for the whole session:
+//
+//	s := dcdht.NewSession(net, dcdht.WithIssuer(3))
+//	s.Put(ctx, "doc", v1)     // raises the session floor for "doc"
+//	s.Get(ctx, "doc")         // sees v1 or newer, usually in one probe
+//
+// Both deployment styles also expose it as client.NewSession().
+func NewSession(c Client, defaults ...OpOption) *Session {
+	return &Session{c: c, defaults: defaults, floor: make(map[Key]Timestamp)}
+}
+
+// Client returns the underlying client the session operates over.
+func (s *Session) Client() Client { return s.c }
+
+// Floor reports the session's timestamp floor for key — the highest
+// timestamp it has written or observed — and whether the session has
+// touched the key at all.
+func (s *Session) Floor(key Key) (Timestamp, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.floor[key]
+	return ts, ok
+}
+
+// observe raises the floor for key to ts (floors never move backwards,
+// which is exactly the monotonic-reads guarantee).
+func (s *Session) observe(key Key, ts Timestamp) {
+	if ts.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.floor[key]; !ok || cur.Less(ts) {
+		s.floor[key] = ts
+	}
+}
+
+// merge builds one option list: session defaults, then per-call
+// options, then the session's internal floor option (so callers cannot
+// accidentally override the floor).
+func (s *Session) merge(opts []OpOption, extra ...OpOption) []OpOption {
+	out := make([]OpOption, 0, len(s.defaults)+len(opts)+len(extra))
+	out = append(out, s.defaults...)
+	out = append(out, opts...)
+	return append(out, extra...)
+}
+
+// Put stores data under key through the session: on success the
+// session floor for key rises to the write's timestamp, so every later
+// session read of key is guaranteed at least this fresh
+// (read-your-writes).
+func (s *Session) Put(ctx context.Context, key Key, data []byte, opts ...OpOption) (Result, error) {
+	r, err := s.c.Put(ctx, key, data, s.merge(opts)...)
+	if err == nil {
+		s.observe(key, r.TS)
+	}
+	return r, err
+}
+
+// Get reads key through the session: a successful result is never
+// older than the session floor, and the floor then rises to the
+// returned timestamp (monotonic reads). With no explicit consistency
+// level the read is satisfied directly from the floor — typically one
+// replica probe and zero KTS messages.
+func (s *Session) Get(ctx context.Context, key Key, opts ...OpOption) (Result, error) {
+	f, _ := s.Floor(key)
+	r, err := s.c.Get(ctx, key, s.merge(opts, withFloor(f))...)
+	if err == nil {
+		s.observe(key, r.TS)
+	}
+	return r, err
+}
+
+// LastTS asks for the last timestamp generated for key, through the
+// session's defaults. The answer raises the session floor: a later
+// session read is at least as fresh as what LastTS reported.
+func (s *Session) LastTS(ctx context.Context, key Key, opts ...OpOption) (Timestamp, error) {
+	ts, err := s.c.LastTS(ctx, key, s.merge(opts)...)
+	if err == nil {
+		s.observe(key, ts)
+	}
+	return ts, err
+}
+
+// NewSession implements Client: sessions over a simulated network.
+func (s *SimNetwork) NewSession(defaults ...OpOption) *Session {
+	return NewSession(s, defaults...)
+}
+
+// NewSession implements Client: sessions over a TCP node.
+func (n *Node) NewSession(defaults ...OpOption) *Session {
+	return NewSession(n, defaults...)
+}

@@ -1,0 +1,104 @@
+package dcdht
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSessionGuaranteesUnderChurn is the session acceptance test: a
+// scripted churn wave followed by a partition with heal plays against
+// the network while sessions at every consistency level keep writing
+// and reading. Through the whole script, every successful session read
+// must satisfy read-your-writes (at least as fresh as the session's
+// last write of that key) and monotonic reads (session reads of a key
+// never travel backwards) — including reads issued at Eventual
+// consistency, which must never violate the session floor. Reads and
+// writes are allowed to fail mid-fault (partitions make peers
+// unreachable); they are never allowed to succeed with stale data.
+func TestSessionGuaranteesUnderChurn(t *testing.T) {
+	levels := []struct {
+		name     string
+		defaults []OpOption
+	}{
+		{"default", nil}, // the session's floor-first fast path
+		{"current", []OpOption{WithConsistency(Current)}},
+		{"bounded", []OpOption{WithConsistency(Bounded(2 * time.Minute))}},
+		{"eventual", []OpOption{WithConsistency(Eventual)}},
+	}
+	for _, lv := range levels {
+		lv := lv
+		t.Run(lv.name, func(t *testing.T) {
+			net := NewSimNetwork(32, SimConfig{Replicas: 5, Seed: 31, FailureRate: Float(0.5)})
+			defer net.Close()
+			script := Scenario{Name: "session-" + lv.name, Events: []Event{
+				{At: 30 * time.Second, Kind: EventCrashWave, Frac: 0.2, Over: 90 * time.Second},
+				{At: 30 * time.Second, Kind: EventJoinWave, Frac: 0.2, Over: 90 * time.Second},
+				{At: 3 * time.Minute, Kind: EventPartition, Groups: []float64{0.7, 0.3}},
+				{At: 5 * time.Minute, Kind: EventHeal},
+			}}
+			if err := net.PlayScenario(script); err != nil {
+				t.Fatalf("PlayScenario: %v", err)
+			}
+
+			ctx := context.Background()
+			// Pin the session to an issuing peer, like a client holding a
+			// connection to one application server.
+			session := net.NewSession(append([]OpOption{WithIssuer(5)}, lv.defaults...)...)
+			const key = Key("account")
+
+			var lastWrite, lastRead Timestamp
+			writes, reads, failedOps := 0, 0, 0
+			step := func(i int) {
+				if w, err := session.Put(ctx, key, []byte(fmt.Sprintf("balance-%d", i))); err == nil {
+					writes++
+					lastWrite = w.TS
+				} else {
+					failedOps++
+				}
+				for j := 0; j < 2; j++ {
+					r, err := session.Get(ctx, key)
+					if err != nil {
+						failedOps++
+						continue
+					}
+					reads++
+					if r.TS.Less(lastWrite) {
+						t.Fatalf("step %d: read-your-writes violated at %s: read ts=%v behind write ts=%v",
+							i, lv.name, r.TS, lastWrite)
+					}
+					if r.TS.Less(lastRead) {
+						t.Fatalf("step %d: monotonic reads violated at %s: read ts=%v behind previous read ts=%v",
+							i, lv.name, r.TS, lastRead)
+					}
+					if f, ok := session.Floor(key); ok && r.TS.Less(f) {
+						t.Fatalf("step %d: session floor violated at %s: read ts=%v below floor %v",
+							i, lv.name, r.TS, f)
+					}
+					lastRead = r.TS
+				}
+			}
+
+			// Drive operations through the whole script: the churn wave,
+			// the split (where failures are expected and tolerated), and
+			// past the heal.
+			for i := 0; i < 12; i++ {
+				step(i)
+				net.Advance(35 * time.Second)
+			}
+			if !net.ScenarioDone() {
+				t.Fatal("scenario events did not all apply")
+			}
+			// Let the overlay re-merge and stabilize, then the guarantees
+			// must hold on a working network again.
+			net.Advance(8 * time.Minute)
+			step(100)
+			if writes == 0 || reads == 0 {
+				t.Fatalf("no successful traffic at %s: %d writes, %d reads (%d failures)",
+					lv.name, writes, reads, failedOps)
+			}
+			t.Logf("%s: %d writes, %d reads ok, %d op failures under faults", lv.name, writes, reads, failedOps)
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/dht"
 	"repro/internal/network"
 	"repro/internal/workload"
 )
@@ -73,7 +74,9 @@ func RunWorkload(ctx context.Context, c Client, spec WorkloadSpec) (*WorkloadRep
 	return workload.Run(ctx, env, genericWorkloadClient{c}, spec)
 }
 
-// genericWorkloadClient adapts a plain Client for the workload engine.
+// genericWorkloadClient adapts a plain Client for the workload engine,
+// translating the engine's read policies back into WithConsistency
+// options so consistency-mix specs work against any Client.
 type genericWorkloadClient struct{ c Client }
 
 func (a genericWorkloadClient) Put(ctx context.Context, key Key, data []byte) (Result, error) {
@@ -82,6 +85,17 @@ func (a genericWorkloadClient) Put(ctx context.Context, key Key, data []byte) (R
 
 func (a genericWorkloadClient) Get(ctx context.Context, key Key) (Result, error) {
 	return a.c.Get(ctx, key)
+}
+
+func (a genericWorkloadClient) GetWith(ctx context.Context, key Key, pol dht.ReadPolicy) (Result, error) {
+	switch pol.Level {
+	case dht.LevelEventual:
+		return a.c.Get(ctx, key, WithConsistency(Eventual))
+	case dht.LevelBounded:
+		return a.c.Get(ctx, key, WithConsistency(Bounded(pol.Bound)))
+	default:
+		return a.c.Get(ctx, key)
+	}
 }
 
 // RunWorkload implements WorkloadRunner: the generator, the issuing
