@@ -14,6 +14,7 @@
 //	dcdht-bench -figure workload -workload zipf -ratio 0.9 -seed 1
 //	dcdht-bench -figure scenario -scenario split-heal,lossy-wan
 //	dcdht-bench -figure consistency -levels all -bound 5m
+//	dcdht-bench -figure recovery -recovery-peers 120
 //
 // The workload figure drives YCSB-style load (see docs/BENCHMARKS.md)
 // and writes BENCH_workload.json by default. The scenario figure plays
@@ -23,7 +24,10 @@
 // figure measures retrieval cost vs observed currency per consistency
 // level (Current / Bounded / Eventual, see docs/CONSISTENCY.md), with
 // replica maintenance off and on, and writes BENCH_consistency.json by
-// default.
+// default. The recovery figure plays identical kill-and-restart waves
+// with volatile (crash-and-forget) and durable (internal/store) peers
+// on the same seed and writes BENCH_recovery.json by default (see
+// docs/STORAGE.md).
 package main
 
 import (
@@ -56,7 +60,7 @@ func writeJSON(what, path string, v any) {
 func main() {
 	full := flag.Bool("full", false, "paper-scale axes: 10,000 peers, 3-hour simulated windows (slow; default is quick mode)")
 	seed := flag.Int64("seed", 42, "simulation seed; every figure replays bit-identically per seed")
-	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario")
+	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario,consistency,recovery")
 	csvDir := flag.String("csv", "", "directory to also write one CSV file per figure (empty disables)")
 	repairJSON := flag.String("repair-json", "", "path for the machine-readable repair comparison, e.g. BENCH_repair.json (written when the repair figure runs; empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines on stderr")
@@ -82,6 +86,12 @@ func main() {
 	consistencyQueries := flag.Int("consistency-queries", 0, "measured retrieves per consistency point; 0 selects the default (60 quick, 200 full)")
 	consistencyWindow := flag.Duration("consistency-duration", 0, "measured window of simulated time per consistency point; 0 selects the default (12m quick, 1h full)")
 	consistencyJSON := flag.String("consistency-json", "BENCH_consistency.json", "path for the machine-readable consistency results (written when the consistency figure runs; empty disables)")
+
+	// Recovery-figure knobs (-figure recovery).
+	recoveryPeers := flag.Int("recovery-peers", 0, "deployment size for the recovery figure; 0 selects the default (120 quick, base full)")
+	recoveryQueries := flag.Int("recovery-queries", 0, "measured retrieves per recovery mode; 0 selects the default (60)")
+	recoveryWindow := flag.Duration("recovery-duration", 0, "measured window of simulated time per recovery mode; 0 selects the shared figure default")
+	recoveryJSON := flag.String("recovery-json", "BENCH_recovery.json", "path for the machine-readable recovery results (written when the recovery figure runs; empty disables)")
 	flag.Parse()
 
 	opts := exp.Options{Full: *full, Seed: *seed}
@@ -219,6 +229,20 @@ func main() {
 		emit(t)
 		consistencyPoints = points
 	}
+	var recoveryPoints []exp.RecoveryPoint
+	if wanted("recovery") {
+		t, points, err := exp.FigureRecovery(opts, exp.RecoveryOptions{
+			Peers:    *recoveryPeers,
+			Queries:  *recoveryQueries,
+			Duration: *recoveryWindow,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recovery figure: %v\n", err)
+			os.Exit(2)
+		}
+		emit(t)
+		recoveryPoints = points
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -254,5 +278,8 @@ func main() {
 	}
 	if consistencyPoints != nil && *consistencyJSON != "" {
 		writeJSON("consistency", *consistencyJSON, consistencyPoints)
+	}
+	if recoveryPoints != nil && *recoveryJSON != "" {
+		writeJSON("recovery", *recoveryJSON, recoveryPoints)
 	}
 }

@@ -7,6 +7,7 @@
 //	dcdht-node serve -listen 127.0.0.1:4000                  # first node
 //	dcdht-node serve -listen 127.0.0.1:4001 -join 127.0.0.1:4000
 //	dcdht-node serve -join 127.0.0.1:4000 -repair 30s -read-repair -inspect 1m
+//	dcdht-node serve -listen 127.0.0.1:4000 -data-dir /var/lib/dcdht -fsync batch
 //	dcdht-node put  -via 127.0.0.1:4000 agenda:mon "standup 9am"
 //	dcdht-node get  -via 127.0.0.1:4000 agenda:mon
 //	dcdht-node last -via 127.0.0.1:4000 agenda:mon           # KTS last_ts
@@ -14,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,8 +57,15 @@ func serve(args []string) {
 	readRepair := fs.Bool("read-repair", false, "refresh stale/missing replicas observed by retrieves")
 	inspect := fs.Duration("inspect", 0, "KTS periodic inspection period as a duration, e.g. 1m (0 disables)")
 	inspectBudget := fs.Int("inspect-budget", 0, "counters re-read per inspection round (0 selects the default, 4)")
+	dataDir := fs.String("data-dir", "", "directory for the write-ahead log; replicas and counters survive restarts (empty = volatile)")
+	fsync := fs.String("fsync", "os", "log durability: always (fsync per append), batch (periodic flush) or os (page cache)")
 	fs.Parse(args)
 
+	policy, err := dcdht.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -fsync: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := dcdht.NodeConfig{
 		Replicas:        *replicas,
 		Seed:            *seed,
@@ -65,14 +74,32 @@ func serve(args []string) {
 		ReadRepair:      *readRepair,
 		Inspect:         *inspect,
 		InspectPerRound: *inspectBudget,
+		DataDir:         *dataDir,
+		Fsync:           policy,
 	}
 	if *indirect {
 		cfg.Mode = dcdht.ModeIndirect
 	}
 	node, err := dcdht.StartNode(*listen, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "start: %v\n", err)
+		switch {
+		case errors.Is(err, dcdht.ErrCorruptLog):
+			fmt.Fprintf(os.Stderr, "start: data directory %s holds a corrupt log — recovery refuses to replay it; move it aside or restore a backup\n  %v\n", *dataDir, err)
+		case errors.Is(err, dcdht.ErrStorage):
+			fmt.Fprintf(os.Stderr, "start: data directory %s is unusable: %v\n", *dataDir, err)
+		default:
+			fmt.Fprintf(os.Stderr, "start: %v\n", err)
+		}
 		os.Exit(1)
+	}
+	if *dataDir != "" {
+		rec := node.Recovered()
+		suffix := ""
+		if rec.TornTail {
+			suffix = " (torn final record truncated — normal crash residue)"
+		}
+		fmt.Printf("durable store %s (fsync=%s): recovered %d replicas, %d counters%s\n",
+			*dataDir, policy, rec.Items, rec.Counters, suffix)
 	}
 	if *join == "" {
 		node.CreateRing()

@@ -278,12 +278,13 @@ func (n *Node) CreateSpace() {
 	n.zones = []Zone{FullZone()}
 }
 
-// Crash models a failure: no handoff, state lost.
+// Crash models a failure: no handoff, the storage backing fails (for the
+// CAN substrate's default volatile backing, state is lost).
 func (n *Node) Crash() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.alive = false
-	n.store.Clear()
+	n.store.Crash()
 }
 
 // distanceTo returns the distance from the node's closest zone to p;

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/network"
+	"repro/internal/store"
 )
 
 // M is the identifier width in bits: the ring has 2^64 positions.
@@ -64,6 +65,12 @@ type Config struct {
 	// availability below 1. The evaluation harness enables this flag;
 	// library deployments keep handoff on by default.
 	NoDataHandoff bool
+	// Store, when non-nil, backs the node's replica store (and, if the
+	// deployment shares the unit, its KTS counters). Nil keeps the
+	// volatile default: a crash loses everything, the paper's fail-stop
+	// model. A durable backing (store.WAL, the sim depot) instead
+	// survives into the §4.2.2 restart path.
+	Store store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -114,8 +121,12 @@ func New(env network.Env, ep network.Endpoint, id core.ID, cfg Config) *Node {
 		ep:    ep,
 		cfg:   cfg.withDefaults(),
 		self:  dht.NodeRef{ID: id, Addr: ep.Addr()},
-		store: dht.NewLocalStore(),
 		alive: true,
+	}
+	if cfg.Store != nil {
+		n.store = dht.NewLocalStoreOn(cfg.Store)
+	} else {
+		n.store = dht.NewLocalStore()
 	}
 	n.succs = []dht.NodeRef{n.self}
 	n.registerHandlers()
@@ -235,13 +246,15 @@ func (n *Node) setSuccessorsLocked(refs []dht.NodeRef) {
 }
 
 // Crash models a failure: the node vanishes without any handoff and its
-// store and counters are lost. The caller is responsible for also
-// killing the transport endpoint (the simulated network's Kill).
+// storage backing fails as under SIGKILL — a volatile backing loses the
+// store and counters, a durable one keeps whatever its sync policy made
+// stable. The caller is responsible for also killing the transport
+// endpoint (the simulated network's Kill).
 func (n *Node) Crash() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.alive = false
-	n.store.Clear()
+	n.store.Crash()
 }
 
 // call invokes a protocol RPC with the node's per-hop patience; the

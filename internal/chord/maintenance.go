@@ -17,27 +17,24 @@ import (
 // predecessor so the ring converges without waiting for stabilization.
 func (n *Node) Join(bootstrap network.Addr) error {
 	ctx := context.Background()
-	// Resolve our successor through the bootstrap peer.
-	raw, err := n.call(ctx, bootstrap, methodFindStep, FindStepReq{Target: n.self.ID})
-	if err != nil {
-		return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
-	}
-	step := raw.(FindStepResp)
-	cur := step.Next
-	for !step.Done {
-		raw, err = n.call(ctx, cur.Addr, methodFindStep, FindStepReq{Target: n.self.ID})
-		if err != nil {
-			return fmt.Errorf("chord: join routing via %s: %w", cur.Addr, err)
-		}
-		step = raw.(FindStepResp)
-		if step.Next.IsZero() || (!step.Done && step.Next.ID == cur.ID) {
+	// Resolve our successor through the bootstrap peer, restarting with
+	// an exclusion set when the walk runs into dead peers — the same
+	// route-around Lookup does. A join during churn (or a restarted node
+	// rejoining its own crashed neighborhood) would otherwise be steered
+	// into the same stale finger on every attempt.
+	exclude := map[core.ID]bool{}
+	var succ dht.NodeRef
+	var err error
+	for attempt := 0; ; attempt++ {
+		succ, err = n.joinWalk(ctx, bootstrap, exclude)
+		if err == nil {
 			break
 		}
-		cur = step.Next
-	}
-	succ := step.Next
-	if succ.IsZero() {
-		return fmt.Errorf("chord: join found no successor: %w", core.ErrUnreachable)
+		dead := errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrStopped) ||
+			errors.Is(err, core.ErrUnreachable)
+		if !dead || attempt >= n.cfg.LookupRetries {
+			return err
+		}
 	}
 	if succ.ID == n.self.ID {
 		// ID collision: with 64-bit hashed IDs this is effectively
@@ -46,7 +43,7 @@ func (n *Node) Join(bootstrap network.Addr) error {
 	}
 
 	// Pull our arc from the successor (replicas + service state).
-	raw, err = n.call(ctx, succ.Addr, methodTransfer, TransferReq{NewNode: n.self})
+	raw, err := n.call(ctx, succ.Addr, methodTransfer, TransferReq{NewNode: n.self})
 	if err != nil {
 		return fmt.Errorf("chord: join transfer from %s: %w", succ.Addr, err)
 	}
@@ -72,6 +69,45 @@ func (n *Node) Join(bootstrap network.Addr) error {
 		})
 	}
 	return nil
+}
+
+// joinWalk routes one successor resolution for this node's own ID from
+// the bootstrap, honoring exclude. A hop that times out is added to
+// exclude so the caller's retry routes around it; a repeated hop means
+// the walk is cycling through stale state and aborts.
+func (n *Node) joinWalk(ctx context.Context, bootstrap network.Addr, exclude map[core.ID]bool) (dht.NodeRef, error) {
+	raw, err := n.call(ctx, bootstrap, methodFindStep,
+		FindStepReq{Target: n.self.ID, Exclude: setToList(exclude)})
+	if err != nil {
+		return dht.NodeRef{}, fmt.Errorf("chord: join via %s: %w", bootstrap, err)
+	}
+	step := raw.(FindStepResp)
+	cur := step.Next
+	visited := map[core.ID]bool{}
+	for !step.Done {
+		if visited[cur.ID] {
+			return dht.NodeRef{}, fmt.Errorf("chord: join routing loop at %s: %w", cur.ID, core.ErrUnreachable)
+		}
+		visited[cur.ID] = true
+		raw, err = n.call(ctx, cur.Addr, methodFindStep,
+			FindStepReq{Target: n.self.ID, Exclude: setToList(exclude)})
+		if err != nil {
+			if errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrStopped) ||
+				errors.Is(err, core.ErrUnreachable) {
+				exclude[cur.ID] = true
+			}
+			return dht.NodeRef{}, fmt.Errorf("chord: join routing via %s: %w", cur.Addr, err)
+		}
+		step = raw.(FindStepResp)
+		if step.Next.IsZero() || (!step.Done && step.Next.ID == cur.ID) {
+			break
+		}
+		cur = step.Next
+	}
+	if step.Next.IsZero() {
+		return dht.NodeRef{}, fmt.Errorf("chord: join found no successor: %w", core.ErrUnreachable)
+	}
+	return step.Next, nil
 }
 
 // Nudge re-introduces this node to the ring reachable through bootstrap

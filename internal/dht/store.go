@@ -6,34 +6,55 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/store"
 )
 
 // LocalStore is the replica store a peer hosts: (ring position,
 // qualifier) → stamped value. Both DHT substrates embed one and move its
-// contents during responsibility handovers. A peer that crashes simply
-// discards its store, which is what makes replicas unavailable and
-// drives the paper's probability of currency and availability below 1.
+// contents during responsibility handovers.
+//
+// Since the durability subsystem landed, LocalStore is a thin
+// concurrency and handover layer over a pluggable store.Store backing:
+// its own mutex makes the read-modify-write of conditional puts and the
+// collect-and-remove of handovers atomic, while where the bytes live —
+// volatile map, write-ahead log, simulated depot — is the backing's
+// business. A peer that crashes crashes its backing; with the default
+// volatile Mem that discards every replica, which is what makes replicas
+// unavailable and drives the paper's probability of currency and
+// availability below 1. A durable backing instead survives into the
+// §4.2.2 restart path.
 type LocalStore struct {
-	mu    sync.Mutex
-	items map[core.ID]map[string]core.Value
+	mu      sync.Mutex
+	backing store.Store
 }
 
-// NewLocalStore returns an empty store.
+// NewLocalStore returns an empty store on volatile memory — the
+// pre-durability behaviour, and still the right default for peers whose
+// death should lose everything.
 func NewLocalStore() *LocalStore {
-	return &LocalStore{items: make(map[core.ID]map[string]core.Value)}
+	return NewLocalStoreOn(store.NewMem())
+}
+
+// NewLocalStoreOn returns a store over the given backing. The backing
+// may be shared with the peer's KTS service (replica items and counters
+// form one recoverable unit), so it must be internally synchronized —
+// every store.Store implementation is.
+func NewLocalStoreOn(s store.Store) *LocalStore {
+	return &LocalStore{backing: s}
+}
+
+// Backing exposes the storage layer, so a node can flush it on graceful
+// shutdown or hand the same unit to its counter service.
+func (s *LocalStore) Backing() store.Store {
+	return s.backing
 }
 
 // Put stores val under (rid, qual) subject to mode. It reports whether
-// the value was stored.
+// the value was stored; a backing write failure counts as not stored.
 func (s *LocalStore) Put(rid core.ID, qual string, val core.Value, mode PutMode) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := s.items[rid]
-	if m == nil {
-		m = make(map[string]core.Value)
-		s.items[rid] = m
-	}
-	old, exists := m[qual]
+	old, exists := s.backing.GetItem(rid, qual)
 	switch mode {
 	case PutIfNewer:
 		if exists && !old.TS.Less(val.TS) {
@@ -44,19 +65,15 @@ func (s *LocalStore) Put(rid core.ID, qual string, val core.Value, mode PutMode)
 			return false
 		}
 	}
-	m[qual] = val.Clone()
-	return true
+	err := s.backing.PutItem(store.Item{RingID: rid, Qual: qual, Val: val.Clone()})
+	return err == nil
 }
 
 // Get returns the value stored under (rid, qual).
 func (s *LocalStore) Get(rid core.ID, qual string) (core.Value, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m, ok := s.items[rid]
-	if !ok {
-		return core.Value{}, false
-	}
-	v, ok := m[qual]
+	v, ok := s.backing.GetItem(rid, qual)
 	if !ok {
 		return core.Value{}, false
 	}
@@ -70,15 +87,15 @@ func (s *LocalStore) CollectIf(pred func(core.ID) bool, remove bool) []Item {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []Item
-	for rid, m := range s.items {
-		if !pred(rid) {
-			continue
+	s.backing.EachItem(func(it store.Item) bool {
+		if pred(it.RingID) {
+			out = append(out, Item{RingID: it.RingID, Qual: it.Qual, Val: it.Val.Clone()})
 		}
-		for qual, val := range m {
-			out = append(out, Item{RingID: rid, Qual: qual, Val: val.Clone()})
-		}
-		if remove {
-			delete(s.items, rid)
+		return true
+	})
+	if remove {
+		for _, it := range out {
+			s.backing.DeleteItem(it.RingID, it.Qual)
 		}
 	}
 	return out
@@ -104,18 +121,31 @@ func (s *LocalStore) Absorb(items []Item) {
 func (s *LocalStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, m := range s.items {
-		n += len(m)
-	}
-	return n
+	return s.backing.ItemCount()
 }
 
-// Clear discards everything (crash semantics).
+// Clear removes every replica but leaves the backing (and any counters
+// sharing it) alive. Tests use it to simulate replica loss in place.
 func (s *LocalStore) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.items = make(map[core.ID]map[string]core.Value)
+	var drop []store.Item
+	s.backing.EachItem(func(it store.Item) bool {
+		drop = append(drop, it)
+		return true
+	})
+	for _, it := range drop {
+		s.backing.DeleteItem(it.RingID, it.Qual)
+	}
+}
+
+// Crash fails the backing the way SIGKILL would: a volatile backing
+// loses everything, a durable one keeps whatever its sync policy had
+// made stable.
+func (s *LocalStore) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backing.Crash()
 }
 
 // RegisterStore wires the put/get protocol for store onto ep. owns guards

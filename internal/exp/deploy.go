@@ -19,6 +19,7 @@ import (
 	"repro/internal/network/simwire"
 	"repro/internal/repair"
 	"repro/internal/simnet"
+	"repro/internal/store"
 	"repro/internal/ums"
 	"repro/internal/workload"
 )
@@ -81,6 +82,13 @@ type DeployConfig struct {
 	// sweep + read-repair). The zero value keeps it off, preserving the
 	// paper's dynamics; the repair figures and scenarios switch it on.
 	Repair repair.Config
+	// Durable backs every peer with a retained depot slot keyed by peer
+	// name — the simulation analogue of a real node's -data-dir, kept
+	// deterministically in memory so replays stay bit-identical. A crash
+	// keeps the slot, and RestartWithState resumes from it: recovered
+	// replicas and counters feed the §4.2.2 restart path. Without it a
+	// restarted peer comes back blank (crash-and-forget).
+	Durable bool
 }
 
 func (c DeployConfig) ktsTimeout() time.Duration {
@@ -99,7 +107,8 @@ type Deployment struct {
 	K     *simnet.Kernel
 	Net   *simwire.Network
 	Set   hashing.Set
-	Peers []*Peer // all peers ever created; filter with Alive
+	Peers []*Peer      // all peers ever created; filter with Alive
+	Depot *store.Depot // nil unless Cfg.Durable
 
 	nextName int
 }
@@ -116,6 +125,9 @@ func NewDeployment(cfg DeployConfig) *Deployment {
 		Net: simwire.New(k, cfg.Net),
 		Set: hashing.NewSet(cfg.Replicas),
 	}
+	if cfg.Durable {
+		d.Depot = store.NewDepot()
+	}
 	nodes := make([]*chord.Node, 0, cfg.Peers)
 	for i := 0; i < cfg.Peers; i++ {
 		p := d.newPeer()
@@ -129,19 +141,40 @@ func NewDeployment(cfg DeployConfig) *Deployment {
 	return d
 }
 
-// newPeer creates a peer with all services attached (not joined).
+// newPeer creates a peer under the next fresh name (not joined).
 func (d *Deployment) newPeer() *Peer {
 	name := fmt.Sprintf("peer%d", d.nextName)
 	d.nextName++
+	return d.newPeerNamed(name)
+}
+
+// newPeerNamed creates a peer with all services attached (not joined).
+// Under Durable the peer's storage is its depot slot — re-using a dead
+// peer's name resumes that peer's retained state.
+func (d *Deployment) newPeerNamed(name string) *Peer {
 	ep := d.Net.NewEndpoint(name)
-	node := chord.New(d.Net.Env(), ep, hashing.NodeID(name), d.Cfg.Chord)
-	ktsSvc := kts.New(node, d.Set, ums.Namespace, kts.Config{
+	chordCfg := d.Cfg.Chord
+	ktsCfg := kts.Config{
 		Mode:         d.Cfg.KTSMode,
 		GraceDelay:   d.Cfg.GraceDelay,
 		InspectEvery: d.Cfg.InspectEvery,
 		RPCTimeout:   d.Cfg.ktsTimeout(),
 		RLU:          d.Cfg.RLU,
-	})
+	}
+	if d.Depot != nil {
+		backing := d.Depot.Open(name)
+		chordCfg.Store = backing
+		ktsCfg.Persist = backing
+	}
+	node := chord.New(d.Net.Env(), ep, hashing.NodeID(name), chordCfg)
+	ktsSvc := kts.New(node, d.Set, ums.Namespace, ktsCfg)
+	if d.Depot != nil {
+		// Seed the counter service with what the slot retained, so a
+		// restarted responsible continues above every pre-crash grant.
+		for _, c := range chordCfg.Store.Counters() {
+			ktsSvc.SeedCounters([]kts.CounterEntry{{Key: c.Key, TS: c.TS}})
+		}
+	}
 	p := &Peer{
 		Name: name,
 		EP:   ep,
@@ -218,6 +251,83 @@ func (d *Deployment) SpawnJoin(rng interface{ Intn(int) int }) *Peer {
 		return p
 	}
 	return nil
+}
+
+// RestartablePeers lists the names of peers that are down but could be
+// restarted (dead, and not already superseded by a newer incarnation of
+// the same name).
+func (d *Deployment) RestartablePeers() []string {
+	latest := make(map[string]*Peer, len(d.Peers))
+	var order []string
+	for _, p := range d.Peers {
+		if _, seen := latest[p.Name]; !seen {
+			order = append(order, p.Name)
+		}
+		latest[p.Name] = p
+	}
+	var out []string
+	for _, name := range order {
+		if !latest[name].Alive() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// RestartWithState restarts a dead peer under its original name: the
+// old endpoint is detached, a new incarnation attaches at the same
+// address (hence the same ring position), joins through a live
+// bootstrap and — under Durable — resumes from the retained depot slot,
+// then runs the §4.2.2 recovery strategy so counters that moved on get
+// corrected. Without Durable the peer comes back blank: restart-as-new,
+// the crash-and-forget baseline. Must run inside a kernel process.
+// Returns nil when the peer is unknown, still alive, or no bootstrap is
+// reachable.
+func (d *Deployment) RestartWithState(name string, rng interface{ Intn(int) int }) *Peer {
+	var old *Peer
+	for _, p := range d.Peers {
+		if p.Name == name {
+			old = p
+		}
+	}
+	if old == nil || old.Alive() {
+		return nil
+	}
+	d.Net.Remove(old.EP.Addr())
+	// Like SpawnJoin, a join can route through a peer that is itself
+	// still down (stale fingers survive a while), so a few bootstraps
+	// are tried; a failed incarnation is torn down to free the name.
+	var p *Peer
+	for attempt := 0; attempt < 3; attempt++ {
+		boot := d.RandomLivePeer(rng)
+		if boot == nil {
+			return nil
+		}
+		cand := d.newPeerNamed(name)
+		d.Net.JoinGroupOf(cand.EP.Addr(), boot.EP.Addr())
+		if err := cand.Node.Join(boot.Node.Self().Addr); err != nil {
+			cand.Node.Crash()
+			d.Net.Kill(cand.EP.Addr())
+			d.Net.Remove(cand.EP.Addr())
+			continue
+		}
+		p = cand
+		break
+	}
+	if p == nil {
+		return nil
+	}
+	p.Node.Start()
+	d.Peers = append(d.Peers, p)
+	if d.Depot != nil {
+		// Recovery strategy: ship the recovered counters to whoever is
+		// responsible now. Bounded so a half-partitioned ring cannot
+		// wedge the restart.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		p.KTS.RecoverTo(ctx)
+		cancel()
+	}
+	return p
 }
 
 // RepairStats aggregates the maintenance counters over every peer ever

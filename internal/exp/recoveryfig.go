@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// The recovery figure: kill-and-restart waves played twice on the same
+// seed — once with volatile peers (a restarted peer comes back blank,
+// the paper's fail-stop "crash-and-forget" model) and once with durable
+// stores (a restarted peer resumes its retained replicas and counters
+// and runs the §4.2.2 recovery strategy). The paper's model only ever
+// replaces a failed peer with an empty newcomer; this figure measures
+// what a real deployment's write-ahead log wins back: queries that find
+// their pre-crash replicas, timestamps that continue instead of
+// re-initializing, and the stale/failed retrieves that disappear.
+
+// RecoveryModes are the storage modes every recovery scenario runs
+// under, in plotting order.
+var RecoveryModes = []string{"crash-forget", "durable"}
+
+// RecoveryOptions parameterises the recovery comparison beyond the
+// shared exp.Options. The zero value runs the quick-mode scale.
+type RecoveryOptions struct {
+	// Peers overrides the deployment size (default: quick 120, full
+	// basePeers).
+	Peers int
+	// Duration overrides the measured window per run.
+	Duration time.Duration
+	// Queries overrides the retrieves measured per run.
+	Queries int
+}
+
+// RecoveryScriptName names the kill-and-restart script the figure plays.
+const RecoveryScriptName = "kill-restart-waves"
+
+// RecoveryScript builds the figure's script over a window: two
+// crash waves, each followed by a restart wave that revives every
+// downed peer. Between a crash and its restart the affected arcs are
+// simply gone (no replacements join), so the window in between measures
+// loss and the window after measures what restart brought back.
+func RecoveryScript(w time.Duration) scenario.Script {
+	f := func(frac float64) time.Duration { return time.Duration(float64(w) * frac) }
+	return scenario.Script{Name: RecoveryScriptName, Events: []scenario.Event{
+		{At: f(0.15), Kind: scenario.KindCrashWave, Frac: 0.35, Over: f(0.05)},
+		{At: f(0.30), Kind: scenario.KindRestartWave, Frac: 1.0, Over: f(0.05)},
+		{At: f(0.55), Kind: scenario.KindCrashWave, Frac: 0.35, Over: f(0.05)},
+		{At: f(0.70), Kind: scenario.KindRestartWave, Frac: 1.0, Over: f(0.05)},
+	}}
+}
+
+// RecoveryPoint is one (mode) outcome in machine-readable form;
+// cmd/dcdht-bench serializes the pair as BENCH_recovery.json (schema in
+// docs/BENCHMARKS.md).
+type RecoveryPoint struct {
+	Mode              string  `json:"mode"` // crash-forget | durable
+	Peers             int     `json:"peers"`
+	Seed              int64   `json:"seed"`
+	DurationSec       float64 `json:"duration_sec"`
+	EventsApplied     int     `json:"events_applied"`
+	Crashes           int     `json:"crashes"`
+	Restarts          int     `json:"restarts"`
+	FailedRestarts    int     `json:"failed_restarts"`
+	QueriesRun        int     `json:"queries_run"`
+	CurrentRate       float64 `json:"current_rate"`
+	ProbesPerRetrieve float64 `json:"probes_per_retrieve"` // observed E(X)
+	RespTimeSec       float64 `json:"resp_time_sec"`
+	MsgsPerRetrieve   float64 `json:"msgs_per_retrieve"`
+	StaleReturns      int     `json:"stale_returns"`
+	FailedQueries     int     `json:"failed_queries"`
+	UpdatesFailed     int     `json:"updates_failed"`
+}
+
+// recoveryBase is the configuration both modes start from: UMS-Direct
+// with background churn off, so the scripted kill-and-restart waves are
+// the only failures and the mode contrast is pure storage.
+func recoveryBase(o Options, ro RecoveryOptions) Scenario {
+	peers := ro.Peers
+	if peers <= 0 {
+		peers = 120
+		if o.Full {
+			peers = o.basePeers()
+		}
+	}
+	sc := Table1Scenario(AlgUMSDirect, peers, o.seed())
+	sc.Duration = o.duration()
+	if ro.Duration > 0 {
+		sc.Duration = ro.Duration
+	}
+	sc.ChurnRate = 0
+	sc.UpdateRate *= o.compress()
+	// Sparse replication puts the figure in the loss regime: a 35% wave
+	// has a real chance of taking out every replica of some key, which
+	// is exactly the case where the storage mode decides the outcome.
+	sc.Replicas = 3
+	// Brisk ring maintenance: restart waves rejoin into arcs whose
+	// neighbors just died, so stale fingers must heal inside the window.
+	sc.Chord.StabilizeEvery = 5 * time.Second
+	sc.Chord.FixFingersEvery = 5 * time.Second
+	sc.Chord.CheckPredEvery = 5 * time.Second
+	sc.Queries = 60
+	if ro.Queries > 0 {
+		sc.Queries = ro.Queries
+	}
+	return sc
+}
+
+// RecoveryComparison plays the identical kill-and-restart script on the
+// same seed in both storage modes and returns one point per mode.
+func RecoveryComparison(o Options, ro RecoveryOptions) ([]RecoveryPoint, error) {
+	points := make([]RecoveryPoint, 0, len(RecoveryModes))
+	for _, mode := range RecoveryModes {
+		sc := recoveryBase(o, ro)
+		sc.Name = fmt.Sprintf("recovery/%s", mode)
+		sc.Durable = mode == "durable"
+		script := RecoveryScript(sc.Duration)
+		sc.Script = &script
+		r := Run(sc)
+		p := RecoveryPoint{
+			Mode:              mode,
+			Peers:             sc.Peers,
+			Seed:              sc.Seed,
+			DurationSec:       sc.Duration.Seconds(),
+			QueriesRun:        r.QueriesRun,
+			CurrentRate:       r.CurrentRate,
+			ProbesPerRetrieve: r.Probed.Mean(),
+			RespTimeSec:       r.RespTime.Mean(),
+			MsgsPerRetrieve:   r.Msgs.Mean(),
+			StaleReturns:      r.StaleReturns,
+			FailedQueries:     r.QueriesFailed,
+			UpdatesFailed:     r.UpdatesFailed,
+		}
+		if r.Trace != nil {
+			p.EventsApplied = len(r.Trace.Applied)
+			for _, a := range r.Trace.Applied {
+				switch a.Kind {
+				case scenario.KindCrashWave:
+					p.Crashes++
+				case scenario.KindRestartWave:
+					if a.Note == "" {
+						p.Restarts++
+					} else {
+						p.FailedRestarts++
+					}
+				}
+			}
+		}
+		points = append(points, p)
+		o.progress("%-24s crashes=%2d restarts=%2d current=%3.0f%% stale=%d failed=%d",
+			sc.Name, p.Crashes, p.Restarts, 100*p.CurrentRate, p.StaleReturns, p.FailedQueries)
+	}
+	return points, nil
+}
+
+// FigureRecovery tabulates the comparison: currency, E(X), response
+// time and loss per storage mode under identical kill-and-restart waves.
+func FigureRecovery(o Options, ro RecoveryOptions) (*Table, []RecoveryPoint, error) {
+	points, err := RecoveryComparison(o, ro)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := NewTable("Recovery: crash-and-forget vs durable restart (UMS-Direct, kill-and-restart waves)",
+		"mode", "effect",
+		[]string{"current %", "E(X) probes", "resp (s)", "stale", "failed", "crashes", "restarts"})
+	for _, p := range points {
+		t.Set(p.Mode, "current %", 100*p.CurrentRate)
+		t.Set(p.Mode, "E(X) probes", p.ProbesPerRetrieve)
+		t.Set(p.Mode, "resp (s)", p.RespTimeSec)
+		t.Set(p.Mode, "stale", float64(p.StaleReturns))
+		t.Set(p.Mode, "failed", float64(p.FailedQueries))
+		t.Set(p.Mode, "crashes", float64(p.Crashes))
+		t.Set(p.Mode, "restarts", float64(p.Restarts))
+	}
+	t.Notes = append(t.Notes,
+		"both modes play the identical kill-and-restart script on the same seed;",
+		"crash-forget = the paper's model: a restarted peer returns blank (volatile store);",
+		"durable = restarted peers resume retained replicas + KTS counters (internal/store),",
+		"then run the §4.2.2 recovery strategy, so pre-crash data answers post-restart queries")
+	return t, points, nil
+}

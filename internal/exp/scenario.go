@@ -51,6 +51,10 @@ type Scenario struct {
 	// Repair configures the replica-maintenance subsystem; the zero
 	// value keeps it off (the paper's dynamics).
 	Repair repair.Config
+	// Durable backs every peer with a retained in-memory depot slot, so
+	// scripted restart waves resume pre-crash replicas and counters
+	// (the recovery figure's durable mode). Off = crash-and-forget.
+	Durable bool
 	// Script plays a scripted fault-and-condition scenario
 	// (internal/scenario) over the measured window: event times are
 	// relative to the end of warmup and initial load. Nil plays nothing.
@@ -149,6 +153,7 @@ func Run(sc Scenario) *Result {
 		RLU:            sc.RLU,
 		PaperDataModel: !sc.DataHandoff,
 		Repair:         sc.Repair,
+		Durable:        sc.Durable,
 	}
 	if sc.Algorithm == AlgUMSIndirect {
 		cfg.KTSMode = kts.ModeIndirect

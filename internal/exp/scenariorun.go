@@ -63,6 +63,18 @@ func (t *scenarioTarget) Join() string {
 	return p.Name
 }
 
+// Restartable implements scenario.Target: the crashed peers whose
+// identities are free to resume, latest incarnation only.
+func (t *scenarioTarget) Restartable() []string {
+	return t.d.RestartablePeers()
+}
+
+// Restart implements scenario.Target: the peer rejoins at its old name
+// (and, under a durable deployment, resumes its retained store).
+func (t *scenarioTarget) Restart(name string) bool {
+	return t.d.RestartWithState(name, t.joinRng) != nil
+}
+
 // Partition implements scenario.Target.
 func (t *scenarioTarget) Partition(groups [][]string) {
 	t.d.Net.Partition(toAddrGroups(groups)...)

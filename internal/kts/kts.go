@@ -84,6 +84,20 @@ type Config struct {
 	// LookupRetries is how often gen_ts/last_ts re-resolve the
 	// responsible when it moved or died mid-call. Default 3.
 	LookupRetries int
+	// Persist, when non-nil, journals every counter mutation so a
+	// restarted peer can ship its pre-crash counters back to the current
+	// responsible (§4.2.2's recovery strategy). Typically the store.Store
+	// backing the peer's replica store, so replicas and counters form one
+	// recoverable unit. gen_ts refuses to acknowledge a timestamp whose
+	// journal write failed — durable monotonicity over availability.
+	Persist CounterLog
+}
+
+// CounterLog is the slice of a storage backing the service journals
+// counters through; store.Store satisfies it.
+type CounterLog interface {
+	PutCounter(k core.Key, ts core.Timestamp) error
+	DeleteCounter(k core.Key) error
 }
 
 func (c Config) withDefaults() Config {
@@ -225,6 +239,41 @@ func New(ring dht.Ring, set hashing.Set, replicaNS string, cfg Config) *Service 
 		s.startInspection()
 	}
 	return s
+}
+
+// persistPut journals k's counter; callers hold s.mu. A nil journal is
+// a no-op (volatile peers).
+func (s *Service) persistPut(k core.Key, ts core.Timestamp) error {
+	if s.cfg.Persist == nil {
+		return nil
+	}
+	if err := s.cfg.Persist.PutCounter(k, ts); err != nil {
+		return fmt.Errorf("kts: persist counter %q: %w", k, err)
+	}
+	return nil
+}
+
+// persistDelete journals a counter removal; callers hold s.mu. Removal
+// failures are tolerated: a resurrected counter can only be too high,
+// which never breaks monotonicity.
+func (s *Service) persistDelete(k core.Key) {
+	if s.cfg.Persist != nil {
+		s.cfg.Persist.DeleteCounter(k)
+	}
+}
+
+// SeedCounters installs counters recovered from a durable store,
+// max-merged with anything already present. A restarted node calls this
+// before serving, then runs RecoverTo so the counters also reach
+// whoever is responsible now.
+func (s *Service) SeedCounters(entries []CounterEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		if cur, ok := s.vcs.Get(e.Key); !ok || cur.Less(e.TS) {
+			s.vcs.Put(e.Key, e.TS)
+		}
+	}
 }
 
 // SetRepair installs the repair callback (UMS wires itself in).
@@ -377,6 +426,8 @@ func (s *Service) serveLocal(method string, req network.Message) (network.Messag
 		return s.handleGenTS(req.(GenTSReq))
 	case MethodLastTS:
 		return s.handleLastTS(req.(LastTSReq))
+	case MethodRecover:
+		return s.handleRecover(req.(RecoverReq)), nil
 	default:
 		return nil, fmt.Errorf("kts: unknown local method %q", method)
 	}
@@ -417,14 +468,22 @@ func (s *Service) handleGenTS(req GenTSReq) (network.Message, error) {
 	}
 	next := c.Next()
 	s.vcs.Put(k, next)
+	perr := s.persistPut(k, next)
 	s.generated++
 	if s.cfg.RLU {
 		// RLU strategy (§4.3): assume responsibility is lost after every
 		// generation, so remove the counter (the next gen_ts must
 		// re-initialize).
 		s.vcs.Delete(k)
+		s.persistDelete(k)
 	}
 	s.mu.Unlock()
+	if perr != nil {
+		// The in-memory counter already advanced (safe — gaps never break
+		// monotonicity) but the journal missed the grant: refuse to hand
+		// out a timestamp that would not survive our own restart.
+		return nil, perr
+	}
 	return GenTSResp{TS: next, Cost: cost}, nil
 }
 
@@ -464,6 +523,7 @@ func (s *Service) handleRecover(req RecoverReq) RecoverResp {
 		if !ok {
 			// We have not touched this key yet; adopt the snapshot.
 			s.vcs.Put(e.Key, e.TS)
+			s.persistPut(e.Key, e.TS)
 			corrected++
 			continue
 		}
@@ -472,6 +532,7 @@ func (s *Service) handleRecover(req RecoverReq) RecoverResp {
 			// timestamps; jump past the snapshot and repair stored data.
 			fixed := e.TS.Max(cur.Add(1))
 			s.vcs.Put(e.Key, fixed)
+			s.persistPut(e.Key, fixed)
 			repairs = append(repairs, repairJob{key: e.Key, oldTS: cur, newTS: fixed})
 			corrected++
 		}
@@ -523,6 +584,9 @@ func (s *Service) ensureCounter(ctx context.Context, k core.Key) (core.Timestamp
 		init = init.Max(cur)
 	}
 	s.vcs.Put(k, init)
+	if err := s.persistPut(k, init); err != nil {
+		return core.TSZero, err
+	}
 	s.indirectInits++
 	return init, nil
 }
@@ -596,6 +660,7 @@ func (s *Service) Collect(ceded func(core.ID) bool) network.Message {
 	})
 	for _, k := range doomed {
 		s.vcs.Delete(k)
+		s.persistDelete(k)
 	}
 	if s.cfg.Mode == ModeIndirect || len(batch.Entries) == 0 {
 		return nil
@@ -618,6 +683,7 @@ func (s *Service) Accept(msg network.Message) {
 	for _, e := range batch.Entries {
 		if cur, ok := s.vcs.Get(e.Key); !ok || cur.Less(e.TS) {
 			s.vcs.Put(e.Key, e.TS)
+			s.persistPut(e.Key, e.TS)
 		}
 	}
 	s.directArrivals += uint64(len(batch.Entries))
@@ -699,6 +765,7 @@ func (s *Service) inspectOnce(rng interface{ Intn(int) int }) {
 		corrected := false
 		if ok && cur.Less(highest) {
 			s.vcs.Put(k, highest)
+			s.persistPut(k, highest)
 			corrected = true
 		}
 		s.mu.Unlock()

@@ -1,0 +1,84 @@
+package kts
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// TestCounterJournalAndSeedAcrossRestart drives the §4.2.2 recovery data
+// path: every granted timestamp lands in the journal, and a fresh
+// service seeded from that journal keeps granting strictly increasing
+// timestamps without ever falling back to indirect initialization.
+func TestCounterJournalAndSeedAcrossRestart(t *testing.T) {
+	journal := store.NewMem()
+	c := newCluster(t, 7, 1, Config{Mode: ModeDirect, Persist: journal})
+	c.settle(2 * time.Second)
+	var last core.Timestamp
+	c.do(func() {
+		for i := 0; i < 5; i++ {
+			ts, err := c.svc().GenTS(context.Background(), "k")
+			if err != nil {
+				t.Errorf("gen_ts: %v", err)
+				return
+			}
+			last = ts
+		}
+	})
+	if last != core.TS(5) {
+		t.Fatalf("last granted = %v, want ts(5)", last)
+	}
+	cs := journal.Counters()
+	if len(cs) != 1 || cs[0].Key != "k" || cs[0].TS != core.TS(5) {
+		t.Fatalf("journal = %v, want k@ts(5)", cs)
+	}
+
+	// "Restart": a brand-new cluster with empty state, seeded from what
+	// the journal retained. The key has no replicas anywhere, so without
+	// the seed the counter would restart at 1 and re-issue old values.
+	c2 := newCluster(t, 8, 1, Config{Mode: ModeDirect})
+	var entries []CounterEntry
+	for _, cnt := range journal.Counters() {
+		entries = append(entries, CounterEntry{Key: cnt.Key, TS: cnt.TS})
+	}
+	c2.services[0].SeedCounters(entries)
+	c2.settle(2 * time.Second)
+	c2.do(func() {
+		ts, err := c2.svc().GenTS(context.Background(), "k")
+		if err != nil {
+			t.Errorf("gen_ts after restart: %v", err)
+			return
+		}
+		if !last.Less(ts) {
+			t.Errorf("post-restart ts %v not above pre-crash %v", ts, last)
+		}
+		if ts != last.Next() {
+			t.Errorf("post-restart ts = %v, want exactly %v (no gap from re-init)", ts, last.Next())
+		}
+	})
+	_, inits, _ := c2.services[0].Stats()
+	if inits != 0 {
+		t.Fatalf("seeded service ran %d indirect inits, want 0", inits)
+	}
+}
+
+// TestRLUDeletesJournalEntry checks the ablation mode keeps the journal
+// in step: a counter discarded after each grant must also leave the
+// journal, so a restart re-initializes rather than resuming a counter
+// the live service itself would not have had.
+func TestRLUDeletesJournalEntry(t *testing.T) {
+	journal := store.NewMem()
+	c := newCluster(t, 9, 1, Config{Mode: ModeDirect, RLU: true, Persist: journal})
+	c.settle(2 * time.Second)
+	c.do(func() {
+		if _, err := c.svc().GenTS(context.Background(), "k"); err != nil {
+			t.Errorf("gen_ts: %v", err)
+		}
+	})
+	if cs := journal.Counters(); len(cs) != 0 {
+		t.Fatalf("journal = %v, want empty under RLU", cs)
+	}
+}

@@ -249,6 +249,23 @@ func (n *Network) NewEndpoint(name string) *Endpoint {
 	return ep
 }
 
+// Remove detaches a dead endpoint so a restarted peer can re-attach
+// under the same name — same address, hence same ring position. Only
+// dead endpoints can be removed (a live one still owns its address);
+// unknown addresses are ignored.
+func (n *Network) Remove(addr network.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := n.endpoints[addr]
+	if ep == nil {
+		return
+	}
+	if ep.isAlive() {
+		panic(fmt.Sprintf("simwire: removing live endpoint %q", addr))
+	}
+	delete(n.endpoints, addr)
+}
+
 // Kill crashes the endpoint with the given address: it stops receiving
 // and its in-flight replies are dropped. Unknown addresses are ignored.
 func (n *Network) Kill(addr network.Addr) {

@@ -22,6 +22,13 @@ type Target interface {
 	// Join spawns and joins one fresh peer, returning its name, or ""
 	// when no bootstrap was reachable.
 	Join() string
+	// Restartable returns the names of dead peers that could restart, in
+	// a deterministic order.
+	Restartable() []string
+	// Restart brings one dead peer back at its old identity (resuming
+	// retained durable state when the deployment keeps any). It reports
+	// whether the restart completed.
+	Restart(peer string) bool
 	// Partition splits the network so peers in different groups cannot
 	// exchange messages; a new call replaces the previous split.
 	Partition(groups [][]string)
@@ -125,7 +132,7 @@ func (e *Engine) record(kind Kind, peers []string, note string) {
 // apply performs one event now.
 func (e *Engine) apply(ev Event) {
 	switch ev.Kind {
-	case KindCrashWave, KindLeaveWave, KindJoinWave:
+	case KindCrashWave, KindLeaveWave, KindJoinWave, KindRestartWave:
 		e.wave(ev)
 	case KindPartition:
 		e.partition(ev)
@@ -149,7 +156,13 @@ func (e *Engine) apply(ev Event) {
 func (e *Engine) wave(ev Event) {
 	n := ev.Count
 	if n == 0 {
-		n = int(float64(len(e.target.LivePeers()))*ev.Frac + 0.5)
+		// A restart wave's fraction is of the restartable (dead)
+		// population; the other waves scale with the live one.
+		pop := e.target.LivePeers()
+		if ev.Kind == KindRestartWave {
+			pop = e.target.Restartable()
+		}
+		n = int(float64(len(pop))*ev.Frac + 0.5)
 	}
 	if n < 1 {
 		n = 1
@@ -184,6 +197,20 @@ func (e *Engine) waveOne(kind Kind) {
 			return
 		}
 		e.record(kind, []string{name}, "")
+		return
+	}
+	if kind == KindRestartWave {
+		down := e.target.Restartable()
+		if len(down) == 0 {
+			e.record(kind, nil, "no restartable peers")
+			return
+		}
+		victim := down[e.rng.Intn(len(down))]
+		if !e.target.Restart(victim) {
+			e.record(kind, []string{victim}, "restart failed")
+			return
+		}
+		e.record(kind, []string{victim}, "")
 		return
 	}
 	live := e.target.LivePeers()

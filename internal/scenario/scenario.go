@@ -42,6 +42,12 @@ const (
 	// KindJoinWave joins Count (or Frac of live) fresh peers through
 	// random live bootstraps, spread over the Over window.
 	KindJoinWave Kind = "join-wave"
+	// KindRestartWave restarts Count (or Frac of the restartable) dead
+	// peers at their old identities, spread over the Over window. On a
+	// durable deployment a restarted peer resumes from its retained
+	// state and runs the §4.2.2 recovery path; on a volatile one it
+	// comes back blank — restart-as-new.
+	KindRestartWave Kind = "restart-wave"
 	// KindPartition splits the live peers into len(Groups) groups sized
 	// by the Groups fractions (normalized). Peers in different groups
 	// cannot exchange messages; a peer that joins during the split is
@@ -129,7 +135,7 @@ func (s Script) Validate() error {
 			return at("negative event time")
 		}
 		switch ev.Kind {
-		case KindCrashWave, KindLeaveWave, KindJoinWave:
+		case KindCrashWave, KindLeaveWave, KindJoinWave, KindRestartWave:
 			if ev.Count < 0 {
 				return at("negative Count")
 			}

@@ -88,6 +88,7 @@ func TestBuiltinsValidateAndScale(t *testing.T) {
 type fakeTarget struct {
 	mu    sync.Mutex
 	alive map[string]bool
+	dead  []string // crashed peers, restartable, crash order
 	next  int
 	log   []string
 
@@ -127,7 +128,30 @@ func (f *fakeTarget) Crash(p string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	delete(f.alive, p)
+	f.dead = append(f.dead, p)
 	f.logf("crash %s", p)
+}
+
+func (f *fakeTarget) Restartable() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.dead))
+	copy(out, f.dead)
+	return out
+}
+
+func (f *fakeTarget) Restart(p string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, name := range f.dead {
+		if name == p {
+			f.dead = append(f.dead[:i], f.dead[i+1:]...)
+			f.alive[p] = true
+			f.logf("restart %s", p)
+			return true
+		}
+	}
+	return false
 }
 
 func (f *fakeTarget) Leave(p string) {
@@ -247,6 +271,62 @@ func TestEngineAppliesScript(t *testing.T) {
 	}
 	if crashTimes[0] == crashTimes[len(crashTimes)-1] {
 		t.Fatalf("wave not spread over the window: %v", crashTimes)
+	}
+}
+
+// TestEngineRestartWave pins the restart kind: victims come from the
+// dead population (not the live one), each restart revives exactly one
+// crashed peer, and a wave on an all-alive system records the miss
+// instead of inventing peers.
+func TestEngineRestartWave(t *testing.T) {
+	s := Script{Name: "restarts", Events: []Event{
+		{At: time.Minute, Kind: KindCrashWave, Count: 4},
+		{At: 2 * time.Minute, Kind: KindRestartWave, Count: 2, Over: 30 * time.Second},
+		// Frac of the restartable population: 2 dead remain, so 1.0 → 2.
+		{At: 3 * time.Minute, Kind: KindRestartWave, Frac: 1.0},
+		// Nothing left to restart: the engine must note the miss.
+		{At: 4 * time.Minute, Kind: KindRestartWave, Count: 1},
+	}}
+	tr, ft := playScript(t, 3, 20, s)
+
+	var restarted []string
+	misses := 0
+	for _, a := range tr.Applied {
+		if a.Kind != KindRestartWave {
+			continue
+		}
+		if a.Note == "no restartable peers" {
+			misses++
+			continue
+		}
+		if a.Note != "" {
+			t.Fatalf("restart failed: %+v", a)
+		}
+		restarted = append(restarted, a.Peers...)
+	}
+	if len(restarted) != 4 {
+		t.Fatalf("restarted %v, want the 4 crashed peers back", restarted)
+	}
+	if misses != 1 {
+		t.Fatalf("recorded %d restartable-miss notes, want 1", misses)
+	}
+	if n := len(ft.LivePeers()); n != 20 {
+		t.Fatalf("live peers = %d, want all 20 back", n)
+	}
+	if left := ft.Restartable(); len(left) != 0 {
+		t.Fatalf("still restartable after full revival: %v", left)
+	}
+	// Each restarted name was a crash victim — never a fresh identity.
+	crashed := map[string]bool{}
+	for _, a := range tr.Applied {
+		if a.Kind == KindCrashWave {
+			crashed[a.Peers[0]] = true
+		}
+	}
+	for _, name := range restarted {
+		if !crashed[name] {
+			t.Fatalf("restarted %s which never crashed", name)
+		}
 	}
 }
 

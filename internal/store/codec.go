@@ -1,0 +1,176 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/core"
+)
+
+// On-disk record encoding, shared by the write-ahead log and the
+// snapshot file (docs/STORAGE.md documents the format).
+//
+// Every record is framed as
+//
+//	uint32  payload length (little-endian)
+//	uint32  CRC-32C (Castagnoli) of the payload
+//	bytes   payload
+//
+// and the payload starts with a one-byte opcode followed by the
+// operation's fields, all little-endian, strings and data length-
+// prefixed with uint32.
+
+const (
+	opPutItem    = byte(1) // rid u64 | qual | ts hi u64 | ts lo u64 | data
+	opDelItem    = byte(2) // rid u64 | qual
+	opPutCounter = byte(3) // key | ts hi u64 | ts lo u64
+	opDelCounter = byte(4) // key
+)
+
+// maxRecord bounds one record's payload: larger length prefixes are
+// treated as corruption, not allocation requests.
+const maxRecord = 1 << 28
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// common platforms).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameOverhead is the byte cost of one record frame.
+const frameOverhead = 8
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) reset()    { e.buf = e.buf[:0] }
+func (e *encoder) op(b byte) { e.buf = append(e.buf, b) }
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+func (e *encoder) bytes(b []byte) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// encodePutItem appends an item-put payload to e.
+func (e *encoder) encodePutItem(it Item) {
+	e.op(opPutItem)
+	e.u64(uint64(it.RingID))
+	e.bytes([]byte(it.Qual))
+	e.u64(it.Val.TS.Hi)
+	e.u64(it.Val.TS.Lo)
+	e.bytes(it.Val.Data)
+}
+
+// encodeDelItem appends an item-delete payload to e.
+func (e *encoder) encodeDelItem(rid core.ID, qual string) {
+	e.op(opDelItem)
+	e.u64(uint64(rid))
+	e.bytes([]byte(qual))
+}
+
+// encodePutCounter appends a counter-put payload to e.
+func (e *encoder) encodePutCounter(k core.Key, ts core.Timestamp) {
+	e.op(opPutCounter)
+	e.bytes([]byte(k))
+	e.u64(ts.Hi)
+	e.u64(ts.Lo)
+}
+
+// encodeDelCounter appends a counter-delete payload to e.
+func (e *encoder) encodeDelCounter(k core.Key) {
+	e.op(opDelCounter)
+	e.bytes([]byte(k))
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated %s field: %w", what, ErrCorruptLog)
+	}
+}
+
+func (d *decoder) u64(what string) uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bytes(what string) []byte {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail(what)
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(d.buf[d.off:]))
+	d.off += 4
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// applyRecord decodes one payload and applies it to m. The payload's
+// frame CRC has already been verified; a malformed payload is still
+// corruption (a CRC collision or an encoder bug), never tolerated.
+func applyRecord(m *Mem, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("empty record: %w", ErrCorruptLog)
+	}
+	d := decoder{buf: payload, off: 1}
+	switch payload[0] {
+	case opPutItem:
+		rid := core.ID(d.u64("ring id"))
+		qual := string(d.bytes("qualifier"))
+		ts := core.Timestamp{Hi: d.u64("ts hi"), Lo: d.u64("ts lo")}
+		data := d.bytes("data")
+		if d.err != nil {
+			return d.err
+		}
+		// Copy out of the read buffer: Mem keeps the slice.
+		val := core.Value{Data: append([]byte(nil), data...), TS: ts}
+		if len(data) == 0 {
+			val.Data = nil
+		}
+		return m.PutItem(Item{RingID: rid, Qual: qual, Val: val})
+	case opDelItem:
+		rid := core.ID(d.u64("ring id"))
+		qual := string(d.bytes("qualifier"))
+		if d.err != nil {
+			return d.err
+		}
+		return m.DeleteItem(rid, qual)
+	case opPutCounter:
+		k := core.Key(d.bytes("key"))
+		ts := core.Timestamp{Hi: d.u64("ts hi"), Lo: d.u64("ts lo")}
+		if d.err != nil {
+			return d.err
+		}
+		return m.PutCounter(k, ts)
+	case opDelCounter:
+		k := core.Key(d.bytes("key"))
+		if d.err != nil {
+			return d.err
+		}
+		return m.DeleteCounter(k)
+	default:
+		return fmt.Errorf("unknown record opcode %d: %w", payload[0], ErrCorruptLog)
+	}
+}
+
+// frame wraps payload in the length+CRC frame, appending to dst.
+func frame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}

@@ -13,7 +13,37 @@ import (
 	"repro/internal/network"
 	"repro/internal/network/tcpwire"
 	"repro/internal/repair"
+	"repro/internal/store"
 	"repro/internal/ums"
+)
+
+// FsyncPolicy selects when a durable node's write-ahead log reaches
+// stable storage (see docs/STORAGE.md for the trade-offs).
+type FsyncPolicy = store.SyncPolicy
+
+// The fsync policies, in decreasing durability / increasing throughput.
+const (
+	// FsyncAlways fsyncs after every append.
+	FsyncAlways = store.SyncAlways
+	// FsyncBatch flushes on a short background interval.
+	FsyncBatch = store.SyncBatch
+	// FsyncOS leaves flushing to the OS page cache (default).
+	FsyncOS = store.SyncOS
+)
+
+// ParseFsyncPolicy parses the -fsync flag spellings "always", "batch"
+// and "os" (empty means the default).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return store.ParseSyncPolicy(s) }
+
+// Storage errors, for classifying StartNode failures with errors.Is.
+var (
+	// ErrStorage marks any storage failure (unusable data dir, write
+	// errors, corruption).
+	ErrStorage = store.ErrStore
+	// ErrCorruptLog marks unrecoverable mid-log or snapshot corruption in
+	// the data directory — a torn final record (the normal crash residue)
+	// is repaired silently and never raises it.
+	ErrCorruptLog = store.ErrCorruptLog
 )
 
 // NodeConfig tunes a real (TCP) peer. All peers of one ring must agree
@@ -51,6 +81,17 @@ type NodeConfig struct {
 	// observes stale or missing replicas among the probed positions
 	// refreshes them asynchronously with the value it found.
 	ReadRepair bool
+	// DataDir, when non-empty, makes the node durable: hosted replicas
+	// and KTS counters are persisted to a write-ahead log in this
+	// directory and recovered on the next start, feeding the paper's
+	// §4.2.2 restart path (a restarted responsible generates strictly
+	// increasing timestamps and ships its counters to whoever is
+	// responsible now). Empty keeps the volatile default: a crash loses
+	// everything.
+	DataDir string
+	// Fsync selects the durability of each log append; only meaningful
+	// with DataDir. Default FsyncOS.
+	Fsync FsyncPolicy
 }
 
 // Node is one real peer: a TCP endpoint running Chord, KTS, UMS and BRK
@@ -64,6 +105,7 @@ type Node struct {
 	ums    *ums.Service
 	brk    *brk.Service
 	repair *repair.Service // nil when maintenance is off
+	wal    *store.WAL      // nil when the node is volatile
 }
 
 // StartNode opens a TCP endpoint on listen ("127.0.0.1:0" picks a free
@@ -79,6 +121,14 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dcdht: start node: %w", err)
 	}
+	var wal *store.WAL
+	if cfg.DataDir != "" {
+		wal, err = store.OpenWAL(cfg.DataDir, store.WALOptions{Policy: cfg.Fsync})
+		if err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("dcdht: start node: %w", err)
+		}
+	}
 	env := network.NewRealEnv(cfg.Seed)
 	chordCfg := chord.Config{
 		StabilizeEvery:  cfg.StabilizeEvery,
@@ -86,15 +136,37 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 		CheckPredEvery:  cfg.StabilizeEvery,
 		RPCTimeout:      2 * time.Second,
 	}
+	if wal != nil {
+		// Replicas and counters share the one recoverable unit. The
+		// node's ring position derives from its listen address, so a
+		// restart on the same address resumes the same arc — the
+		// recovered replicas are the ones it is responsible for again.
+		chordCfg.Store = wal
+	}
 	node := chord.New(env, ep, hashing.NodeID(string(ep.Addr())), chordCfg)
 	set := hashing.NewSet(cfg.Replicas)
-	ktsSvc := kts.New(node, set, ums.Namespace, kts.Config{
+	ktsCfg := kts.Config{
 		Mode:            cfg.Mode,
 		GraceDelay:      cfg.GraceDelay,
 		InspectEvery:    cfg.Inspect,
 		InspectPerRound: cfg.InspectPerRound,
 		RPCTimeout:      30 * time.Second,
-	})
+	}
+	if wal != nil {
+		ktsCfg.Persist = wal
+	}
+	ktsSvc := kts.New(node, set, ums.Namespace, ktsCfg)
+	if wal != nil {
+		// Seed the counter service with what the log retained, so the
+		// first gen_ts after a restart continues above every timestamp
+		// granted before the crash instead of re-deriving from replicas.
+		recovered := wal.Counters()
+		entries := make([]kts.CounterEntry, 0, len(recovered))
+		for _, c := range recovered {
+			entries = append(entries, kts.CounterEntry{Key: c.Key, TS: c.TS})
+		}
+		ktsSvc.SeedCounters(entries)
+	}
 	n := &Node{
 		env:   env,
 		ep:    ep,
@@ -102,6 +174,7 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 		kts:   ktsSvc,
 		ums:   ums.New(node, set, ktsSvc),
 		brk:   brk.New(node, set),
+		wal:   wal,
 	}
 	rcfg := repair.Config{Every: cfg.RepairEvery, PerRound: cfg.RepairPerRound, ReadRepair: cfg.ReadRepair}
 	if rcfg.Enabled() {
@@ -124,14 +197,42 @@ func (n *Node) CreateRing() {
 }
 
 // Join attaches this node to the ring reachable at bootstrap and starts
-// maintenance.
+// maintenance. A durable node that recovered counters also runs the
+// §4.2.2 recovery strategy in the background: it ships them to whoever
+// is responsible now, so counters that moved on while this node was
+// down get corrected upward (use Recover directly for a synchronous,
+// deterministic run).
 func (n *Node) Join(bootstrap string) error {
 	if err := n.chord.Join(network.Addr(bootstrap)); err != nil {
 		return err
 	}
 	n.chord.Start()
 	n.startRepair()
+	if n.wal != nil && n.Recovered().Counters > 0 {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			n.kts.RecoverTo(ctx)
+		}()
+	}
 	return nil
+}
+
+// Recovered reports what a durable node reconstructed from its data
+// directory at start; zero for a volatile node.
+func (n *Node) Recovered() store.Recovered {
+	if n.wal == nil {
+		return store.Recovered{}
+	}
+	return n.wal.Recovered()
+}
+
+// Recover synchronously ships the node's counters to the peers
+// currently responsible for them (§4.2.2's recovery strategy),
+// returning how many remote counters were corrected upward. Join
+// already triggers this in the background after a durable restart.
+func (n *Node) Recover(ctx context.Context) (int, error) {
+	return n.kts.RecoverTo(ctx)
 }
 
 func (n *Node) startRepair() {
@@ -253,15 +354,23 @@ func nodeMulti(ctx context.Context, count int, one func(i int) (Key, Result, err
 }
 
 // Leave departs gracefully, handing replicas and counters to the
-// successor, then closes the endpoint.
+// successor, flushing and closing the durable store (when there is
+// one), then closes the endpoint.
 func (n *Node) Leave() error {
 	err := n.chord.Leave()
+	if n.wal != nil {
+		if cerr := n.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
 	n.env.Close()
 	n.ep.Close()
 	return err
 }
 
-// Close shuts the node down abruptly (crash semantics: no handoff).
+// Close shuts the node down abruptly (crash semantics: no handoff, no
+// flush — a durable store keeps only what its fsync policy had already
+// made stable, exactly like SIGKILL).
 func (n *Node) Close() {
 	n.chord.Crash()
 	n.env.Close()

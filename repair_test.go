@@ -99,10 +99,14 @@ func runChurnWorkload(t *testing.T, cfg SimConfig) churnOutcome {
 // bit-identical, and no repair ever pushed a replica past last_ts.
 //
 // One seed's outcome rides on a handful of keys, so the comparison
-// aggregates two seeds; each individual run is still fully deterministic
-// and compared against its own-seed counterpart's workload.
+// aggregates four seeds; each individual run is still fully
+// deterministic and compared against its own-seed counterpart's
+// workload. (The aggregate was widened from two seeds when join-walk
+// dead-hop exclusion made the maintenance-off runs healthier — fewer
+// failed joins mean fewer failed queries even without repair, and the
+// per-seed currency margins shrank accordingly.)
 func TestRepairImprovesCurrencyUnderChurn(t *testing.T) {
-	seeds := []int64{3, 4}
+	seeds := []int64{3, 4, 5, 6}
 	configs := func(seed int64) (off, sweep, rrOnly, both SimConfig) {
 		off = SimConfig{
 			Replicas:    3,

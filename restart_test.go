@@ -1,0 +1,163 @@
+package dcdht
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// startDurable starts a node on addr with a WAL in dir, retrying the
+// bind briefly (a just-crashed predecessor's port can take a beat to
+// free up).
+func startDurable(t *testing.T, addr, dir string) *Node {
+	t.Helper()
+	cfg := NodeConfig{
+		Replicas:       3,
+		StabilizeEvery: 100 * time.Millisecond,
+		GraceDelay:     -1,
+		DataDir:        dir,
+		Fsync:          FsyncAlways,
+	}
+	var n *Node
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		n, err = StartNode(addr, cfg)
+		if err == nil {
+			return n
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("StartNode(%s): %v", addr, err)
+	return nil
+}
+
+// TestNodeRestartServesPreCrashState is the PR's acceptance test: a TCP
+// node killed without any handoff or flush (Close == SIGKILL semantics)
+// and restarted on the same address and data directory serves its
+// pre-crash replicas and grants strictly increasing timestamps for the
+// keys it was responsible for.
+func TestNodeRestartServesPreCrashState(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	n1 := startDurable(t, "127.0.0.1:0", dir)
+	n1.CreateRing()
+	addr := n1.Addr() // the restart must reuse it: the ring ID derives from the address
+
+	if _, err := n1.Put(ctx, "meeting", []byte("draft")); err != nil {
+		t.Fatalf("put 1: %v", err)
+	}
+	r2, err := n1.Put(ctx, "meeting", []byte("final"))
+	if err != nil {
+		t.Fatalf("put 2: %v", err)
+	}
+	n1.Close() // crash: no handoff, no flush
+
+	n2 := startDurable(t, addr, dir)
+	defer n2.Leave()
+	n2.CreateRing()
+
+	rec := n2.Recovered()
+	if rec.Items == 0 || rec.Counters == 0 {
+		t.Fatalf("recovered %+v, want replicas and counters", rec)
+	}
+	got, err := n2.Get(ctx, "meeting")
+	if err != nil {
+		t.Fatalf("get after restart: %v", err)
+	}
+	if string(got.Data) != "final" || got.TS != r2.TS {
+		t.Fatalf("after restart got %q @ %v, want %q @ %v", got.Data, got.TS, "final", r2.TS)
+	}
+
+	// The restarted responsible must continue the counter, not restart
+	// it: the next grant is exactly last+1, with no indirect re-init gap
+	// and — critically — no duplicate of a pre-crash timestamp.
+	r3, err := n2.Put(ctx, "meeting", []byte("amended"))
+	if err != nil {
+		t.Fatalf("put after restart: %v", err)
+	}
+	if !r2.TS.Less(r3.TS) {
+		t.Fatalf("post-restart ts %v not above pre-crash %v", r3.TS, r2.TS)
+	}
+	if r3.TS != r2.TS.Next() {
+		t.Fatalf("post-restart ts = %v, want exactly %v", r3.TS, r2.TS.Next())
+	}
+
+	// Self-recovery (§4.2.2) is a clean no-op here: the node is the
+	// responsible for its own recovered counters.
+	if _, err := n2.Recover(ctx); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+}
+
+// TestStartNodeSurfacesStorageErrors checks the typed startup errors: an
+// unusable data dir classifies as ErrStorage, mid-log corruption as
+// ErrCorruptLog, and a torn tail as no error at all.
+func TestStartNodeSurfacesStorageErrors(t *testing.T) {
+	base := t.TempDir()
+
+	// A file where the directory should be.
+	badDir := filepath.Join(base, "not-a-dir")
+	if err := os.WriteFile(badDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := StartNode("127.0.0.1:0", NodeConfig{DataDir: badDir})
+	if !errors.Is(err, ErrStorage) {
+		t.Fatalf("bad data dir: err = %v, want ErrStorage", err)
+	}
+	if errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("bad data dir misclassified as corruption: %v", err)
+	}
+
+	// A log corrupted in the middle.
+	dir := filepath.Join(base, "data")
+	n := startDurable(t, "127.0.0.1:0", dir)
+	n.CreateRing()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		if _, err := n.Put(ctx, "k", []byte("v")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	n.Close()
+	walPath := filepath.Join(dir, "wal.dcdht")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xFF // inside the first record, well before the tail
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = StartNode("127.0.0.1:0", NodeConfig{DataDir: dir})
+	if !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("mid-log corruption: err = %v, want ErrCorruptLog", err)
+	}
+
+	// A torn tail must start fine and report the truncation.
+	dir2 := filepath.Join(base, "data2")
+	n2 := startDurable(t, "127.0.0.1:0", dir2)
+	n2.CreateRing()
+	if _, err := n2.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	n2.Close()
+	walPath2 := filepath.Join(dir2, "wal.dcdht")
+	fi, err := os.Stat(walPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath2, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	n3 := startDurable(t, "127.0.0.1:0", dir2)
+	if !n3.Recovered().TornTail {
+		t.Fatal("torn tail not reported by Recovered")
+	}
+	n3.Close()
+}

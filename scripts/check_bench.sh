@@ -1,10 +1,11 @@
 #!/bin/sh
 # check_bench.sh — the bench smoke gate run by CI: regenerate the
-# consistency figure at toy scale and validate the emitted
-# BENCH_consistency.json against the documented schema and acceptance
-# invariants (scripts/validate_bench). A schema drift, a broken figure,
-# or a consistency level that stopped being cheaper than Current all
-# fail this gate.
+# consistency and recovery figures at toy scale and validate the emitted
+# BENCH_consistency.json / BENCH_recovery.json against the documented
+# schemas and acceptance invariants (scripts/validate_bench). A schema
+# drift, a broken figure, a consistency level that stopped being cheaper
+# than Current, or a durable restart that stopped beating
+# crash-and-forget all fail this gate.
 # Run from the repository root: ./scripts/check_bench.sh
 set -eu
 
@@ -23,4 +24,17 @@ grep -q "Consistency: retrieval cost vs observed currency" "$out/table.txt" || {
 }
 
 go run ./scripts/validate_bench "$out/BENCH_consistency.json"
-echo "bench check clean: consistency figure regenerates and validates at toy scale"
+
+go run ./cmd/dcdht-bench \
+    -figure recovery \
+    -recovery-peers 30 -recovery-queries 16 -recovery-duration 20m \
+    -quiet \
+    -recovery-json "$out/BENCH_recovery.json" > "$out/recovery.txt"
+
+grep -q "Recovery: crash-and-forget vs durable restart" "$out/recovery.txt" || {
+    echo "check_bench: recovery table missing from bench output" >&2
+    exit 1
+}
+
+go run ./scripts/validate_bench "$out/BENCH_recovery.json"
+echo "bench check clean: consistency and recovery figures regenerate and validate at toy scale"

@@ -1,7 +1,10 @@
-// Command validate_bench checks a BENCH_consistency.json emitted by
-// `dcdht-bench -figure consistency` against the documented schema
-// (docs/BENCHMARKS.md) and the acceptance invariants of the
-// consistency-level API:
+// Command validate_bench checks a machine-readable bench file emitted
+// by dcdht-bench against the documented schema (docs/BENCHMARKS.md) and
+// its figure's acceptance invariants. The figure is picked from the
+// file name: a name containing "recovery" validates as the recovery
+// comparison; anything else as the consistency figure.
+//
+// Consistency (BENCH_consistency.json):
 //
 //   - every (level, repair) cell ran queries and reports sane costs;
 //   - per repair mode, Eventual and Bounded retrieves cost strictly
@@ -11,7 +14,15 @@
 //     never a weaker verdict;
 //   - Eventual never claims currency.
 //
-// Usage: validate_bench BENCH_consistency.json
+// Recovery (BENCH_recovery.json):
+//
+//   - exactly the two storage modes, same seed and population;
+//   - both modes played crash and restart waves and ran queries;
+//   - on the same seed, durable currency is at least crash-and-forget's
+//     and durable fails no more queries — retained state must never
+//     make things worse.
+//
+// Usage: validate_bench BENCH_<figure>.json
 // Exit status 0 when the file conforms; 1 with diagnostics otherwise.
 package main
 
@@ -19,6 +30,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/exp"
 )
@@ -30,12 +43,69 @@ func fail(format string, args ...any) {
 
 func main() {
 	if len(os.Args) != 2 {
-		fail("usage: validate_bench BENCH_consistency.json")
+		fail("usage: validate_bench BENCH_<figure>.json")
 	}
 	data, err := os.ReadFile(os.Args[1])
 	if err != nil {
 		fail("%v", err)
 	}
+	if strings.Contains(strings.ToLower(filepath.Base(os.Args[1])), "recovery") {
+		validateRecovery(data)
+		return
+	}
+	validateConsistency(data)
+}
+
+// validateRecovery checks a recovery comparison: schema, provenance and
+// the durable-never-worse orderings.
+func validateRecovery(data []byte) {
+	var points []exp.RecoveryPoint
+	if err := json.Unmarshal(data, &points); err != nil {
+		fail("not a recovery point array: %v", err)
+	}
+	if len(points) != 2 {
+		fail("recovery wants exactly the two storage modes, got %d points", len(points))
+	}
+	byMode := map[string]exp.RecoveryPoint{}
+	for i, p := range points {
+		if p.Mode != "crash-forget" && p.Mode != "durable" {
+			fail("point %d: unknown mode %q", i, p.Mode)
+		}
+		if p.QueriesRun <= 0 {
+			fail("mode %q ran no queries", p.Mode)
+		}
+		if p.Peers <= 0 || p.DurationSec <= 0 {
+			fail("mode %q: missing deployment shape: peers=%d duration=%v", p.Mode, p.Peers, p.DurationSec)
+		}
+		if p.Crashes <= 0 || p.Restarts <= 0 {
+			fail("mode %q: crashes=%d restarts=%d, want both waves played", p.Mode, p.Crashes, p.Restarts)
+		}
+		if p.CurrentRate < 0 || p.CurrentRate > 1 {
+			fail("mode %q: current_rate %v outside [0,1]", p.Mode, p.CurrentRate)
+		}
+		byMode[p.Mode] = p
+	}
+	cf, ok1 := byMode["crash-forget"]
+	du, ok2 := byMode["durable"]
+	if !ok1 || !ok2 {
+		fail("missing a storage mode: have %v", []string{points[0].Mode, points[1].Mode})
+	}
+	if cf.Seed != du.Seed || cf.Peers != du.Peers || cf.DurationSec != du.DurationSec {
+		fail("modes did not run the same experiment: %+v vs %+v", cf, du)
+	}
+	if du.CurrentRate < cf.CurrentRate {
+		fail("durable currency %.3f below crash-and-forget %.3f on seed %d",
+			du.CurrentRate, cf.CurrentRate, du.Seed)
+	}
+	if du.FailedQueries > cf.FailedQueries {
+		fail("durable failed %d queries, crash-and-forget only %d on seed %d",
+			du.FailedQueries, cf.FailedQueries, du.Seed)
+	}
+	fmt.Printf("validate_bench: %s conforms (%d points)\n", os.Args[1], len(points))
+}
+
+// validateConsistency checks a consistency figure export.
+func validateConsistency(data []byte) {
 	var points []exp.ConsistencyPoint
 	if err := json.Unmarshal(data, &points); err != nil {
 		fail("not a consistency point array: %v", err)
