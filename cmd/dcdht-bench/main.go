@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,19 +43,23 @@ import (
 	"repro/internal/exp"
 )
 
+// log is the process logger; main replaces it per -log-format before
+// any figure runs.
+var log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 // writeJSON serializes one figure's machine-readable points so CI and
 // perf tracking can diff results across commits without parsing tables.
 func writeJSON(what, path string, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s json: %v\n", what, err)
+		log.Error("json marshal failed", "figure", what, "err", err)
 		os.Exit(1)
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "%s json %s: %v\n", what, path, err)
+		log.Error("json write failed", "figure", what, "path", path, "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s results to %s\n", what, path)
+	log.Info("wrote results", "figure", what, "path", path)
 }
 
 func main() {
@@ -72,6 +77,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "open-loop target throughput in ops per simulated second; 0 selects the closed-loop driver")
 	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
 	duration := flag.Duration("duration", 2*time.Minute, "measured window of simulated time per workload run, e.g. 2m")
+	workloadPeers := flag.Int("workload-peers", 0, "deployment size for the workload figure; 0 selects the default (200 quick, 2000 full)")
 	workloadJSON := flag.String("workload-json", "BENCH_workload.json", "path for the machine-readable workload results (written when the workload figure runs; empty disables)")
 
 	// Scenario-figure knobs (-figure scenario).
@@ -92,7 +98,18 @@ func main() {
 	recoveryQueries := flag.Int("recovery-queries", 0, "measured retrieves per recovery mode; 0 selects the default (60)")
 	recoveryWindow := flag.Duration("recovery-duration", 0, "measured window of simulated time per recovery mode; 0 selects the shared figure default")
 	recoveryJSON := flag.String("recovery-json", "BENCH_recovery.json", "path for the machine-readable recovery results (written when the recovery figure runs; empty disables)")
+	logFormat := flag.String("log-format", "text", "log output format for diagnostics on stderr: text or json")
 	flag.Parse()
+
+	switch *logFormat {
+	case "", "text":
+		// the default handler set at package level
+	case "json":
+		log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		log.Error("unknown -log-format (want text or json)", "got", *logFormat)
+		os.Exit(2)
+	}
 
 	opts := exp.Options{Full: *full, Seed: *seed}
 	if !*quiet {
@@ -168,7 +185,7 @@ func main() {
 	var workloadPoints []exp.WorkloadPoint
 	if wanted("workload") {
 		if *ratio < 0 || *ratio > 1 {
-			fmt.Fprintf(os.Stderr, "-ratio %v outside [0,1]\n", *ratio)
+			log.Error("-ratio outside [0,1]", "ratio", *ratio)
 			os.Exit(2)
 		}
 		t, points, err := exp.FigureWorkload(opts, exp.WorkloadOptions{
@@ -178,9 +195,10 @@ func main() {
 			Rate:        *rate,
 			Concurrency: *concurrency,
 			Duration:    *duration,
+			Peers:       *workloadPeers,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "workload figure: %v\n", err)
+			log.Error("workload figure failed", "err", err)
 			os.Exit(2)
 		}
 		emit(t)
@@ -199,7 +217,7 @@ func main() {
 			Peers: *scenarioPeers,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scenario figure: %v\n", err)
+			log.Error("scenario figure failed", "err", err)
 			os.Exit(2)
 		}
 		emit(t)
@@ -223,7 +241,7 @@ func main() {
 			Duration: *consistencyWindow,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "consistency figure: %v\n", err)
+			log.Error("consistency figure failed", "err", err)
 			os.Exit(2)
 		}
 		emit(t)
@@ -237,7 +255,7 @@ func main() {
 			Duration: *recoveryWindow,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "recovery figure: %v\n", err)
+			log.Error("recovery figure failed", "err", err)
 			os.Exit(2)
 		}
 		emit(t)
@@ -246,7 +264,7 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			log.Error("csv dir create failed", "dir", *csvDir, "err", err)
 			os.Exit(1)
 		}
 		for i, t := range tables {
@@ -257,13 +275,13 @@ func main() {
 			}
 			f, err := os.Create(filepath.Join(*csvDir, name))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
+				log.Error("csv create failed", "file", name, "err", err)
 				os.Exit(1)
 			}
 			t.CSV(f)
 			f.Close()
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(tables), *csvDir)
+		log.Info("wrote CSV files", "count", len(tables), "dir", *csvDir)
 	}
 	// Last, after every other output is safely on disk: a failure here
 	// must not discard a long run's figures.

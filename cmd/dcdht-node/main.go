@@ -8,6 +8,7 @@
 //	dcdht-node serve -listen 127.0.0.1:4001 -join 127.0.0.1:4000
 //	dcdht-node serve -join 127.0.0.1:4000 -repair 30s -read-repair -inspect 1m
 //	dcdht-node serve -listen 127.0.0.1:4000 -data-dir /var/lib/dcdht -fsync batch
+//	dcdht-node serve -listen 127.0.0.1:4000 -metrics-addr 127.0.0.1:9090 -log-format json
 //	dcdht-node put  -via 127.0.0.1:4000 agenda:mon "standup 9am"
 //	dcdht-node get  -via 127.0.0.1:4000 agenda:mon
 //	dcdht-node last -via 127.0.0.1:4000 agenda:mon           # KTS last_ts
@@ -18,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +27,21 @@ import (
 
 	dcdht "repro"
 )
+
+// newLogger builds the process logger from the -log-format flag:
+// "text" for human-readable key=value lines, "json" for one JSON
+// object per line (machine-ingestable). Both write to stderr so data
+// output (put/get results) stays clean on stdout.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -59,11 +76,18 @@ func serve(args []string) {
 	inspectBudget := fs.Int("inspect-budget", 0, "counters re-read per inspection round (0 selects the default, 4)")
 	dataDir := fs.String("data-dir", "", "directory for the write-ahead log; replicas and counters survive restarts (empty = volatile)")
 	fsync := fs.String("fsync", "os", "log durability: always (fsync per append), batch (periodic flush) or os (page cache)")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address serving GET /metrics (Prometheus) and GET /debug/status (JSON); empty disables")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	fs.Parse(args)
 
+	log, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	policy, err := dcdht.ParseFsyncPolicy(*fsync)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bad -fsync: %v\n", err)
+		log.Error("bad -fsync", "err", err)
 		os.Exit(2)
 	}
 	cfg := dcdht.NodeConfig{
@@ -84,47 +108,57 @@ func serve(args []string) {
 	if err != nil {
 		switch {
 		case errors.Is(err, dcdht.ErrCorruptLog):
-			fmt.Fprintf(os.Stderr, "start: data directory %s holds a corrupt log — recovery refuses to replay it; move it aside or restore a backup\n  %v\n", *dataDir, err)
+			log.Error("start: corrupt log — recovery refuses to replay it; move the data directory aside or restore a backup",
+				"data_dir", *dataDir, "err", err)
 		case errors.Is(err, dcdht.ErrStorage):
-			fmt.Fprintf(os.Stderr, "start: data directory %s is unusable: %v\n", *dataDir, err)
+			log.Error("start: data directory unusable", "data_dir", *dataDir, "err", err)
 		default:
-			fmt.Fprintf(os.Stderr, "start: %v\n", err)
+			log.Error("start failed", "err", err)
 		}
 		os.Exit(1)
 	}
 	if *dataDir != "" {
 		rec := node.Recovered()
-		suffix := ""
-		if rec.TornTail {
-			suffix = " (torn final record truncated — normal crash residue)"
+		log.Info("durable store opened",
+			"data_dir", *dataDir, "fsync", policy,
+			"recovered_replicas", rec.Items, "recovered_counters", rec.Counters,
+			"torn_tail", rec.TornTail)
+	}
+	if *metricsAddr != "" {
+		srv, err := node.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Error("metrics server failed", "err", err)
+			os.Exit(1)
 		}
-		fmt.Printf("durable store %s (fsync=%s): recovered %d replicas, %d counters%s\n",
-			*dataDir, policy, rec.Items, rec.Counters, suffix)
+		defer srv.Close()
+		log.Info("metrics server up", "addr", srv.Addr(),
+			"endpoints", "/metrics /debug/status")
 	}
 	if *join == "" {
 		node.CreateRing()
-		fmt.Printf("created ring; listening on %s\n", node.Addr())
+		log.Info("created ring", "listen", node.Addr())
 	} else {
 		if err := node.Join(*join); err != nil {
-			fmt.Fprintf(os.Stderr, "join %s: %v\n", *join, err)
+			log.Error("join failed", "via", *join, "err", err)
 			os.Exit(1)
 		}
-		fmt.Printf("joined via %s; listening on %s\n", *join, node.Addr())
+		log.Info("joined ring", "via", *join, "listen", node.Addr())
 	}
 	if *repairEvery > 0 || *readRepair {
-		fmt.Printf("replica maintenance on (sweep=%s read-repair=%v)\n", *repairEvery, *readRepair)
+		log.Info("replica maintenance on", "sweep", *repairEvery, "read_repair", *readRepair)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	if st := node.RepairStats(); st.Rounds > 0 || st.ReadRepairs > 0 {
-		fmt.Printf("repair: %d rounds, %d replicas healed, %d read-repairs, %d msgs\n",
-			st.Rounds, st.Healed, st.ReadRepairs, st.Msgs)
+		log.Info("repair summary",
+			"rounds", st.Rounds, "healed", st.Healed,
+			"read_repairs", st.ReadRepairs, "msgs", st.Msgs)
 	}
-	fmt.Println("leaving gracefully (handing off replicas and counters)...")
+	log.Info("leaving gracefully (handing off replicas and counters)")
 	if err := node.Leave(); err != nil {
-		fmt.Fprintf(os.Stderr, "leave: %v\n", err)
+		log.Error("leave failed", "err", err)
 	}
 }
 
@@ -134,7 +168,13 @@ func client(op string, args []string) {
 	replicas := fs.Int("replicas", 10, "|Hr|: replicas per data item (must match every ring member)")
 	timeout := fs.Duration("timeout", 30*time.Second, "deadline for the whole operation as a duration, e.g. 30s")
 	baseline := fs.Bool("brk", false, "run the BRICKS baseline protocol instead of UMS")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	fs.Parse(args)
+	log, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *via == "" || fs.NArg() < 1 {
 		fmt.Fprintf(os.Stderr, "usage: dcdht-node %s -via addr key [value]\n", op)
 		os.Exit(2)
@@ -147,14 +187,14 @@ func client(op string, args []string) {
 		GraceDelay:     100 * time.Millisecond,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "start: %v\n", err)
+		log.Error("start failed", "err", err)
 		os.Exit(1)
 	}
 	defer func() {
 		node.Leave()
 	}()
 	if err := node.Join(*via); err != nil {
-		fmt.Fprintf(os.Stderr, "join %s: %v\n", *via, err)
+		log.Error("join failed", "via", *via, "err", err)
 		os.Exit(1)
 	}
 	// One stabilization round so the ephemeral peer is fully linked.
@@ -177,7 +217,7 @@ func client(op string, args []string) {
 		}
 		r, err := node.Put(ctx, key, []byte(fs.Arg(1)), opts...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "put: %v\n", err)
+			log.Error("put failed", "key", key, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("stored %d/%d replicas with %v in %s (%d msgs)\n",
@@ -185,7 +225,7 @@ func client(op string, args []string) {
 	case "get":
 		r, err := node.Get(ctx, key, opts...)
 		if err != nil && !dcdht.IsNoCurrent(err) {
-			fmt.Fprintf(os.Stderr, "get: %v\n", err)
+			log.Error("get failed", "key", key, "err", err)
 			os.Exit(1)
 		}
 		status := "CURRENT"
@@ -197,7 +237,7 @@ func client(op string, args []string) {
 	case "last":
 		ts, err := node.LastTS(ctx, key)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "last: %v\n", err)
+			log.Error("last_ts failed", "key", key, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("last timestamp for %q: %v\n", key, ts)

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -18,6 +20,19 @@ import (
 	"repro/internal/network/simwire"
 	"repro/internal/scenario"
 )
+
+// newLogger builds the process logger from -log-format ("text" or
+// "json"). Diagnostics go to stderr; the report stays on stdout.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	peers := flag.Int("peers", 1000, "number of simulated peers")
@@ -32,8 +47,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed; the run replays bit-identically per seed")
 	cluster := flag.Bool("cluster", false, "use the LAN cluster profile instead of Table 1's WAN model")
 	scen := flag.String("scenario", "", "scripted scenario to play over the window: calm, churn-wave, split-heal, lossy-wan or mass-crash (see docs/SCENARIOS.md); empty plays none")
+	metricsOut := flag.String("metrics-out", "", "write the run's aggregated metrics snapshot as JSON to this file (see docs/OBSERVABILITY.md)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 
+	log, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	var algorithm exp.Algorithm
 	switch *alg {
 	case string(exp.AlgBRK):
@@ -43,7 +65,7 @@ func main() {
 	case string(exp.AlgUMSDirect):
 		algorithm = exp.AlgUMSDirect
 	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		log.Error("unknown algorithm", "alg", *alg)
 		os.Exit(2)
 	}
 
@@ -67,15 +89,29 @@ func main() {
 	if *scen != "" {
 		script, err := scenario.Builtin(*scen, sc.Duration)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%v\n", err)
+			log.Error("bad -scenario", "err", err)
 			os.Exit(2)
 		}
 		sc.Script = &script
 	}
 
-	fmt.Fprintf(os.Stderr, "running %s: peers=%d |Hr|=%d keys=%d duration=%s churn=%g/s fail=%.0f%% updates=%g/h\n",
-		algorithm, sc.Peers, sc.Replicas, sc.Keys, sc.Duration, sc.ChurnRate, 100*sc.FailRate, sc.UpdateRate)
+	log.Info("running", "alg", string(algorithm), "peers", sc.Peers,
+		"replicas", sc.Replicas, "keys", sc.Keys, "duration", sc.Duration,
+		"churn_per_sec", sc.ChurnRate, "fail_rate", sc.FailRate,
+		"updates_per_hour", sc.UpdateRate)
 	r := exp.Run(sc)
+
+	if *metricsOut != "" {
+		blob, err := json.MarshalIndent(r.Obs, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			log.Error("metrics snapshot write failed", "path", *metricsOut, "err", err)
+			os.Exit(1)
+		}
+		log.Info("metrics snapshot written", "path", *metricsOut)
+	}
 
 	fmt.Printf("algorithm          %s\n", algorithm)
 	fmt.Printf("response time      %.3f s (stddev %.3f, min %.3f, max %.3f)\n",

@@ -337,6 +337,13 @@ func (s *SimNetwork) FailOne() {
 // peer (zero when RepairEvery and ReadRepair are both off).
 func (s *SimNetwork) RepairStats() RepairStats { return s.d.RepairStats() }
 
+// MetricsSnapshot captures the deployment-wide metrics registry: every
+// peer registers the same families, so the counters aggregate
+// cluster-wide. All timings are virtual and no RNG is consumed, so the
+// snapshot is bit-identical across replays of the same seed (see
+// docs/OBSERVABILITY.md).
+func (s *SimNetwork) MetricsSnapshot() *MetricsSnapshot { return s.d.Obs.Snapshot() }
+
 // Close stops the simulation.
 func (s *SimNetwork) Close() { s.d.K.Stop() }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/hashing"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Namespace is the storage namespace BRK replicas live in (kept apart
@@ -35,12 +36,18 @@ type Service struct {
 	ring   dht.Ring
 	set    hashing.Set
 	client *dht.Client
+	tracer obs.Tracer // nil: untraced unless the context carries one
 }
 
 // New attaches a BRK instance to a peer.
 func New(ring dht.Ring, set hashing.Set) *Service {
 	return &Service{ring: ring, set: set, client: dht.NewClient(ring, Namespace)}
 }
+
+// SetTracer installs the default op tracer, used when the operation's
+// context does not carry one (obs.WithTracer wins). Install before
+// serving traffic; operations read the field without synchronization.
+func (s *Service) SetTracer(t obs.Tracer) { s.tracer = t }
 
 // Insert performs a BRICKS update: read the replicas to learn the
 // current highest version, then write every replica with version+1.
@@ -49,10 +56,13 @@ func New(ring dht.Ring, set hashing.Set) *Service {
 func (s *Service) Insert(ctx context.Context, k core.Key, data []byte) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
 	ctx = network.WithMeter(ctx, meter)
-	start := s.ring.Env().Now()
+	env := s.ring.Env()
+	ctx, finish := dht.TraceOp(ctx, s.tracer, obs.Op{Op: "put", Alg: "brk", Key: string(k)})
+	start := env.Now()
 	defer func() {
-		res.Elapsed = s.ring.Env().Now() - start
+		res.Elapsed = env.Now() - start
 		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
+		finish(&res, err)
 	}()
 
 	// Learn the highest stored version.
@@ -62,7 +72,10 @@ func (s *Service) Insert(ctx context.Context, k core.Key, data []byte) (res dht.
 			return res, fmt.Errorf("brk: insert(%q): %w", k, cerr)
 		}
 		res.Probed++
-		if val, err := s.client.GetH(ctx, k, h); err == nil {
+		probeStart := env.Now()
+		val, gerr := s.client.GetH(ctx, k, h)
+		obs.PhasesFrom(ctx).Add(obs.PhaseProbe, env.Now()-probeStart)
+		if gerr == nil {
 			res.Retrieved++
 			highest = highest.Max(val.TS)
 		}
@@ -94,10 +107,13 @@ func (s *Service) Insert(ctx context.Context, k core.Key, data []byte) (res dht.
 func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
 	ctx = network.WithMeter(ctx, meter)
-	start := s.ring.Env().Now()
+	env := s.ring.Env()
+	ctx, finish := dht.TraceOp(ctx, s.tracer, obs.Op{Op: "get", Alg: "brk", Key: string(k)})
+	start := env.Now()
 	defer func() {
-		res.Elapsed = s.ring.Env().Now() - start
+		res.Elapsed = env.Now() - start
 		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
+		finish(&res, err)
 	}()
 
 	var best []byte
@@ -107,7 +123,9 @@ func (s *Service) Retrieve(ctx context.Context, k core.Key) (res dht.OpResult, e
 			return res, fmt.Errorf("brk: retrieve(%q): %w", k, cerr)
 		}
 		res.Probed++
+		probeStart := env.Now()
 		val, err := s.client.GetH(ctx, k, h)
+		obs.PhasesFrom(ctx).Add(obs.PhaseProbe, env.Now()-probeStart)
 		if err != nil {
 			continue
 		}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -71,6 +72,10 @@ type Config struct {
 	// model. A durable backing (store.WAL, the sim depot) instead
 	// survives into the §4.2.2 restart path.
 	Store store.Store
+	// Obs receives routing metrics (lookup hop counts and failures,
+	// stabilize rounds, finger-fix failures). Nil disables export; the
+	// metrics are still maintained but unregistered.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -111,17 +116,46 @@ type Node struct {
 	alive    bool
 	started  bool
 	handover []dht.Handover
+
+	metrics chordMetrics
+}
+
+// chordMetrics are the ring's routing/maintenance observables. They use
+// only atomic counters and the locked histogram — never the clock or a
+// random stream — so instrumentation cannot perturb a simulation replay.
+type chordMetrics struct {
+	hops            *obs.Histogram
+	lookups         *obs.Counter
+	lookupFails     *obs.Counter
+	stabilizeRounds *obs.Counter
+	fingerFixFails  *obs.Counter
+}
+
+func newChordMetrics(r *obs.Registry) chordMetrics {
+	return chordMetrics{
+		hops: r.ValueHistogram("dcdht_chord_lookup_hops",
+			"Remote routing steps per completed lookup."),
+		lookups: r.Counter("dcdht_chord_lookups_total",
+			"Lookups issued from this node."),
+		lookupFails: r.Counter("dcdht_chord_lookup_failures_total",
+			"Lookups that exhausted retries without resolving a responsible."),
+		stabilizeRounds: r.Counter("dcdht_chord_stabilize_rounds_total",
+			"Stabilize task rounds executed."),
+		fingerFixFails: r.Counter("dcdht_chord_finger_fix_failures_total",
+			"Finger-repair lookups that failed (stale finger kept)."),
+	}
 }
 
 // New creates a node with the given identity on an endpoint. Call
 // CreateRing or Join before Start.
 func New(env network.Env, ep network.Endpoint, id core.ID, cfg Config) *Node {
 	n := &Node{
-		env:   env,
-		ep:    ep,
-		cfg:   cfg.withDefaults(),
-		self:  dht.NodeRef{ID: id, Addr: ep.Addr()},
-		alive: true,
+		env:     env,
+		ep:      ep,
+		cfg:     cfg.withDefaults(),
+		self:    dht.NodeRef{ID: id, Addr: ep.Addr()},
+		alive:   true,
+		metrics: newChordMetrics(cfg.Obs),
 	}
 	if cfg.Store != nil {
 		n.store = dht.NewLocalStoreOn(cfg.Store)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Lookup implements dht.Ring: it finds the peer responsible for target by
@@ -16,24 +17,35 @@ import (
 // communication cost of a lookup is 2*hops messages (request + reply per
 // step), the paper's cret = O(log n). The context bounds the whole walk
 // and carries the meter the hops are charged to.
-func (n *Node) Lookup(ctx context.Context, target core.ID) (dht.NodeRef, int, error) {
+func (n *Node) Lookup(ctx context.Context, target core.ID) (ref dht.NodeRef, hops int, err error) {
 	if !n.Alive() {
 		return dht.NodeRef{}, 0, fmt.Errorf("chord: lookup from dead node: %w", core.ErrStopped)
 	}
+	n.metrics.lookups.Inc()
+	start := n.env.Now()
+	defer func() {
+		// Routing time is charged to the surrounding operation's lookup
+		// phase; the hop count feeds the per-node routing histogram.
+		obs.PhasesFrom(ctx).Add(obs.PhaseLookup, n.env.Now()-start)
+		if err == nil {
+			n.metrics.hops.ObserveValue(int64(hops))
+		} else {
+			n.metrics.lookupFails.Inc()
+		}
+	}()
 	exclude := map[core.ID]bool{}
-	hops := 0
 	var lastErr error
 	for attempt := 0; attempt <= n.cfg.LookupRetries; attempt++ {
-		if err := network.CtxError(ctx); err != nil {
-			return dht.NodeRef{}, hops, fmt.Errorf("chord: lookup %s: %w", target, err)
+		if cerr := network.CtxError(ctx); cerr != nil {
+			return dht.NodeRef{}, hops, fmt.Errorf("chord: lookup %s: %w", target, cerr)
 		}
-		ref, h, err := n.lookupOnce(ctx, target, exclude)
+		r, h, lerr := n.lookupOnce(ctx, target, exclude)
 		hops += h
-		if err == nil {
-			return ref, hops, nil
+		if lerr == nil {
+			return r, hops, nil
 		}
-		lastErr = err
-		if !errors.Is(err, core.ErrTimeout) && !errors.Is(err, core.ErrUnreachable) {
+		lastErr = lerr
+		if !errors.Is(lerr, core.ErrTimeout) && !errors.Is(lerr, core.ErrUnreachable) {
 			break
 		}
 		// A peer died mid-lookup; it is now excluded — try again.

@@ -244,6 +244,7 @@ func (n *Node) Start() {
 // stabilize is Chord's core repair: find the first live successor, adopt
 // its predecessor if closer, refresh the successor list and notify.
 func (n *Node) stabilize() {
+	n.metrics.stabilizeRounds.Inc()
 	_, succs := n.snapshot()
 	var succ dht.NodeRef
 	var state StateResp
@@ -310,6 +311,7 @@ func (n *Node) fixNextFinger() {
 	target := n.self.ID + core.ID(uint64(1)<<uint(i))
 	ref, _, err := n.Lookup(context.Background(), target)
 	if err != nil {
+		n.metrics.fingerFixFails.Inc()
 		return
 	}
 	n.mu.Lock()

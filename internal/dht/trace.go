@@ -1,0 +1,43 @@
+package dht
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// TraceOp begins one traced operation on behalf of ums/brk: it resolves
+// the effective tracer (one carried by the context wins over the
+// service default), emits OpStart, and attaches a phase accumulator to
+// the context so the layers below (chord lookups, KTS round trips,
+// replica probes) can charge their time slices. The returned finish
+// closure emits OpEnd from the operation's final OpResult; callers
+// invoke it from the same defer that fills Elapsed and the meter
+// fields. With no tracer anywhere the call is free and finish is a
+// no-op.
+func TraceOp(ctx context.Context, def obs.Tracer, op obs.Op) (context.Context, func(res *OpResult, err error)) {
+	tr := obs.TracerFrom(ctx)
+	if tr == nil {
+		tr = def
+	}
+	if tr == nil {
+		return ctx, func(*OpResult, error) {}
+	}
+	tr.OpStart(op)
+	ph := obs.NewPhases()
+	ctx = obs.WithPhases(ctx, ph)
+	return ctx, func(res *OpResult, err error) {
+		e := obs.OpResult{
+			Op:      op,
+			Err:     err != nil,
+			Elapsed: res.Elapsed,
+			Msgs:    res.Msgs,
+			Bytes:   res.Bytes,
+			Phases:  ph.List(),
+		}
+		if op.Op == "get" {
+			e.Verdict = res.Currency.String()
+		}
+		tr.OpEnd(e)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/kts"
 	"repro/internal/network/simwire"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -89,6 +90,12 @@ type DeployConfig struct {
 	// replicas and counters feed the §4.2.2 restart path. Without it a
 	// restarted peer comes back blank (crash-and-forget).
 	Durable bool
+	// NoObs disables the deployment-wide metrics registry. The default
+	// (instrumented) is deterministic — metrics consume no RNG stream and
+	// time only virtual clocks — so this switch exists for the test that
+	// proves exactly that by comparing instrumented and uninstrumented
+	// replays, not as a performance knob.
+	NoObs bool
 }
 
 func (c DeployConfig) ktsTimeout() time.Duration {
@@ -109,7 +116,12 @@ type Deployment struct {
 	Set   hashing.Set
 	Peers []*Peer      // all peers ever created; filter with Alive
 	Depot *store.Depot // nil unless Cfg.Durable
+	// Obs is the deployment-wide metrics registry: every peer registers
+	// the same families, so counters aggregate cluster-wide at scrape
+	// time. Nil when Cfg.NoObs.
+	Obs *obs.Registry
 
+	tracer   obs.Tracer // shared MetricsTracer; nil when Cfg.NoObs
 	nextName int
 }
 
@@ -127,6 +139,10 @@ func NewDeployment(cfg DeployConfig) *Deployment {
 	}
 	if cfg.Durable {
 		d.Depot = store.NewDepot()
+	}
+	if !cfg.NoObs {
+		d.Obs = obs.NewRegistry()
+		d.tracer = obs.NewMetricsTracer(d.Obs)
 	}
 	nodes := make([]*chord.Node, 0, cfg.Peers)
 	for i := 0; i < cfg.Peers; i++ {
@@ -154,12 +170,14 @@ func (d *Deployment) newPeer() *Peer {
 func (d *Deployment) newPeerNamed(name string) *Peer {
 	ep := d.Net.NewEndpoint(name)
 	chordCfg := d.Cfg.Chord
+	chordCfg.Obs = d.Obs
 	ktsCfg := kts.Config{
 		Mode:         d.Cfg.KTSMode,
 		GraceDelay:   d.Cfg.GraceDelay,
 		InspectEvery: d.Cfg.InspectEvery,
 		RPCTimeout:   d.Cfg.ktsTimeout(),
 		RLU:          d.Cfg.RLU,
+		Obs:          d.Obs,
 	}
 	if d.Depot != nil {
 		backing := d.Depot.Open(name)
@@ -183,8 +201,14 @@ func (d *Deployment) newPeerNamed(name string) *Peer {
 		UMS:  ums.New(node, d.Set, ktsSvc),
 		BRK:  brk.New(node, d.Set),
 	}
+	if d.tracer != nil {
+		p.UMS.SetTracer(d.tracer)
+		p.BRK.SetTracer(d.tracer)
+	}
 	if d.Cfg.Repair.Enabled() {
-		p.Repair = repair.New(node, d.Set, ktsSvc, node.Store(), ums.Namespace, d.Cfg.Repair)
+		rcfg := d.Cfg.Repair
+		rcfg.Obs = d.Obs
+		p.Repair = repair.New(node, d.Set, ktsSvc, node.Store(), ums.Namespace, rcfg)
 		p.UMS.SetReadRepair(p.Repair)
 		p.Repair.Start()
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/kts"
 	"repro/internal/network/simwire"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -55,6 +56,10 @@ type Scenario struct {
 	// scripted restart waves resume pre-crash replicas and counters
 	// (the recovery figure's durable mode). Off = crash-and-forget.
 	Durable bool
+	// NoObs disables the deployment-wide metrics registry (see
+	// DeployConfig.NoObs — it exists for the determinism proof, not as a
+	// performance knob).
+	NoObs bool
 	// Script plays a scripted fault-and-condition scenario
 	// (internal/scenario) over the measured window: event times are
 	// relative to the end of warmup and initial load. Nil plays nothing.
@@ -116,6 +121,13 @@ type Result struct {
 	// script ran). Bit-identical across replays of the same seed.
 	Trace *scenario.Trace
 
+	// Obs is the deployment-wide metrics snapshot taken at the end of the
+	// run: op latency/msgs/verdicts, KTS cache behaviour, chord routing
+	// and repair work, aggregated across every peer. All timings are
+	// virtual, all counters deterministic — bit-identical across replays
+	// of the same seed.
+	Obs *obs.Snapshot
+
 	TotalNetMsgs uint64 // every message the network carried
 	SimEvents    uint64
 	WallTime     time.Duration
@@ -154,6 +166,7 @@ func Run(sc Scenario) *Result {
 		PaperDataModel: !sc.DataHandoff,
 		Repair:         sc.Repair,
 		Durable:        sc.Durable,
+		NoObs:          sc.NoObs,
 	}
 	if sc.Algorithm == AlgUMSIndirect {
 		cfg.KTSMode = kts.ModeIndirect
@@ -308,6 +321,9 @@ func Run(sc Scenario) *Result {
 	if eng != nil {
 		tr := eng.Trace()
 		res.Trace = &tr
+	}
+	if d.Obs != nil {
+		res.Obs = d.Obs.Snapshot()
 	}
 	res.TotalNetMsgs = d.Net.TotalMessages()
 	res.SimEvents = d.K.Events()

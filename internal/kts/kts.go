@@ -30,6 +30,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/hashing"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // InitMode selects the counter initialization strategy — the UMS-Direct /
@@ -91,6 +92,10 @@ type Config struct {
 	// recoverable unit. gen_ts refuses to acknowledge a timestamp whose
 	// journal write failed — durable monotonicity over availability.
 	Persist CounterLog
+	// Obs receives timestamping metrics (grants, initializations, cache
+	// hits/misses/age, journal write failures, live counter count). Nil
+	// disables export; the metrics are still maintained but unregistered.
+	Obs *obs.Registry
 }
 
 // CounterLog is the slice of a storage backing the service journals
@@ -206,6 +211,44 @@ type Service struct {
 	indirectInits  uint64
 	directArrivals uint64
 	cacheHits      uint64
+
+	metrics ktsMetrics
+}
+
+// ktsMetrics export the timestamping-side of the currency/cost trade:
+// how often timestamps are granted, how counters get (re)initialized,
+// how well the client-side last-ts cache serves bounded reads, and
+// whether the durability journal ever refused a grant.
+type ktsMetrics struct {
+	grants         *obs.Counter
+	indirectInits  *obs.Counter
+	directArrivals *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheAge       *obs.Histogram
+	journalFails   *obs.Counter
+	recoveries     *obs.Counter
+}
+
+func newKTSMetrics(r *obs.Registry) ktsMetrics {
+	return ktsMetrics{
+		grants: r.Counter("dcdht_kts_grants_total",
+			"Timestamps granted by gen_ts on this responsible."),
+		indirectInits: r.Counter("dcdht_kts_indirect_inits_total",
+			"Counters initialized by reading replicas (Figure 5)."),
+		directArrivals: r.Counter("dcdht_kts_direct_arrivals_total",
+			"Counters received through direct handover batches."),
+		cacheHits: r.Counter("dcdht_kts_cache_hits_total",
+			"last-ts cache consults that found an entry."),
+		cacheMisses: r.Counter("dcdht_kts_cache_misses_total",
+			"last-ts cache consults that found nothing."),
+		cacheAge: r.DurationHistogram("dcdht_kts_cache_age_seconds",
+			"Age of last-ts cache entries at consult time."),
+		journalFails: r.Counter("dcdht_kts_journal_failures_total",
+			"Counter journal writes that failed (grants refused)."),
+		recoveries: r.Counter("dcdht_kts_recover_corrections_total",
+			"Counters corrected upward by the §4.2.2 recovery strategy."),
+	}
 }
 
 // cacheEntry is one observed last-ts with its observation time.
@@ -225,12 +268,21 @@ const cacheCap = 1 << 16
 // counters travel with responsibility (the direct algorithm).
 func New(ring dht.Ring, set hashing.Set, replicaNS string, cfg Config) *Service {
 	s := &Service{
-		ring:   ring,
-		set:    set,
-		client: dht.NewClient(ring, replicaNS),
-		cfg:    cfg.withDefaults(),
-		vcs:    NewVCS(),
+		ring:    ring,
+		set:     set,
+		client:  dht.NewClient(ring, replicaNS),
+		cfg:     cfg.withDefaults(),
+		vcs:     NewVCS(),
+		metrics: newKTSMetrics(cfg.Obs),
 	}
+	cfg.Obs.GaugeFunc("dcdht_kts_counters",
+		"Valid counters currently held (cluster-wide under a shared registry).",
+		func() float64 {
+			if !s.ring.Alive() {
+				return 0
+			}
+			return float64(s.VCSLen())
+		})
 	s.registerHandlers()
 	if r, ok := ring.(dht.HandoverRegistrar); ok {
 		r.RegisterHandover(s)
@@ -305,13 +357,18 @@ func (s *Service) Stats() (generated, indirectInits, directArrivals uint64) {
 func (s *Service) Cached(k core.Key) (ts core.Timestamp, age time.Duration, ok bool) {
 	now := s.ring.Env().Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.cache[k]
 	if !ok {
+		s.mu.Unlock()
+		s.metrics.cacheMisses.Inc()
 		return core.TSZero, 0, false
 	}
 	s.cacheHits++
-	return e.ts, now - e.at, true
+	s.mu.Unlock()
+	age = now - e.at
+	s.metrics.cacheHits.Inc()
+	s.metrics.cacheAge.Observe(age)
+	return e.ts, age, true
 }
 
 // CacheHits reports how many Cached consults found an entry.
@@ -482,8 +539,10 @@ func (s *Service) handleGenTS(req GenTSReq) (network.Message, error) {
 		// The in-memory counter already advanced (safe — gaps never break
 		// monotonicity) but the journal missed the grant: refuse to hand
 		// out a timestamp that would not survive our own restart.
+		s.metrics.journalFails.Inc()
 		return nil, perr
 	}
+	s.metrics.grants.Inc()
 	return GenTSResp{TS: next, Cost: cost}, nil
 }
 
@@ -538,6 +597,7 @@ func (s *Service) handleRecover(req RecoverReq) RecoverResp {
 		}
 	}
 	s.mu.Unlock()
+	s.metrics.recoveries.Add(uint64(corrected))
 	if repair != nil {
 		for _, r := range repairs {
 			repair(r.key, r.oldTS, r.newTS)
@@ -585,9 +645,11 @@ func (s *Service) ensureCounter(ctx context.Context, k core.Key) (core.Timestamp
 	}
 	s.vcs.Put(k, init)
 	if err := s.persistPut(k, init); err != nil {
+		s.metrics.journalFails.Inc()
 		return core.TSZero, err
 	}
 	s.indirectInits++
+	s.metrics.indirectInits.Inc()
 	return init, nil
 }
 
@@ -687,6 +749,7 @@ func (s *Service) Accept(msg network.Message) {
 		}
 	}
 	s.directArrivals += uint64(len(batch.Entries))
+	s.metrics.directArrivals.Add(uint64(len(batch.Entries)))
 }
 
 // RecoverTo sends this peer's counters to the current responsible(s) —

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // wireRequest is the frame a client sends for one call.
@@ -48,6 +49,34 @@ type Endpoint struct {
 	pools    map[network.Addr]*connPool
 	accepted map[net.Conn]bool
 	closed   bool
+
+	metrics netMetrics
+}
+
+// netMetrics holds the transport's counters. The fields are always live
+// (the obs constructors are nil-registry safe), so the hot path never
+// branches on whether instrumentation is enabled.
+type netMetrics struct {
+	dials    *obs.Counter
+	accepts  *obs.Counter
+	calls    *obs.Counter
+	aborts   *obs.Counter
+	inflight *obs.Gauge
+}
+
+func newNetMetrics(reg *obs.Registry) netMetrics {
+	return netMetrics{
+		dials: reg.Counter("dcdht_net_dials_total",
+			"Outbound TCP connections dialed (pool misses)."),
+		accepts: reg.Counter("dcdht_net_conns_accepted_total",
+			"Inbound TCP connections accepted."),
+		calls: reg.Counter("dcdht_net_calls_total",
+			"RPC invocations attempted over TCP."),
+		aborts: reg.Counter("dcdht_net_call_aborts_total",
+			"Calls aborted mid-flight by deadline, cancellation or I/O error."),
+		inflight: reg.Gauge("dcdht_net_inflight",
+			"RPC invocations currently in flight."),
+	}
 }
 
 var _ network.Endpoint = (*Endpoint)(nil)
@@ -55,6 +84,15 @@ var _ network.Endpoint = (*Endpoint)(nil)
 // Listen opens an endpoint on hostport ("127.0.0.1:0" picks a free
 // port; the chosen address is available via Addr).
 func Listen(hostport string) (*Endpoint, error) {
+	return ListenWith(hostport, nil)
+}
+
+// ListenWith opens an endpoint like Listen and registers its transport
+// metrics (dials, accepted conns, in-flight calls, deadline aborts) in
+// reg. A nil registry disables export; the counters still work so the
+// call path is identical either way. The registry must be supplied here
+// rather than after the fact because the accept loop starts immediately.
+func ListenWith(hostport string, reg *obs.Registry) (*Endpoint, error) {
 	ln, err := net.Listen("tcp", hostport)
 	if err != nil {
 		return nil, fmt.Errorf("tcpwire: listen %s: %w", hostport, err)
@@ -65,6 +103,7 @@ func Listen(hostport string) (*Endpoint, error) {
 		handlers: make(map[string]network.HandlerFunc),
 		pools:    make(map[network.Addr]*connPool),
 		accepted: make(map[net.Conn]bool),
+		metrics:  newNetMetrics(reg),
 	}
 	go ep.acceptLoop()
 	return ep, nil
@@ -130,6 +169,7 @@ func (ep *Endpoint) acceptLoop() {
 		}
 		ep.accepted[conn] = true
 		ep.mu.Unlock()
+		ep.metrics.accepts.Inc()
 		go ep.serveConn(conn)
 	}
 }
@@ -178,6 +218,9 @@ func (ep *Endpoint) Invoke(ctx context.Context, to network.Addr, method string, 
 		return nil, fmt.Errorf("tcpwire: %s->%s %s: %w", ep.addr, to, method, err)
 	}
 	timeout := network.Patience(ctx, opt.Timeout, DefaultTimeout)
+	ep.metrics.calls.Inc()
+	ep.metrics.inflight.Add(1)
+	defer ep.metrics.inflight.Add(-1)
 	pc, err := ep.getConn(ctx, to, timeout)
 	if err != nil {
 		if cerr := network.CtxError(ctx); cerr != nil {
@@ -193,6 +236,7 @@ func (ep *Endpoint) Invoke(ctx context.Context, to network.Addr, method string, 
 	// which aborts the blocked encode/decode immediately.
 	stopWatch := context.AfterFunc(ctx, func() { pc.conn.SetDeadline(time.Unix(1, 0)) })
 	abort := func(ioErr error) error {
+		ep.metrics.aborts.Inc()
 		stopWatch()
 		pc.close()
 		if cerr := network.CtxError(ctx); cerr != nil {
@@ -296,6 +340,7 @@ func (ep *Endpoint) getConn(ctx context.Context, to network.Addr, timeout time.D
 		return pc, nil
 	}
 	d := net.Dialer{Timeout: timeout}
+	ep.metrics.dials.Inc()
 	conn, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
 		return nil, mapNetErr(ep.addr, to, "dial", err)

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The exposition bucket ladders. The internal stats.Histogram keeps
+// ~3%-accurate log-linear buckets; the exposition collapses them onto a
+// fixed, human-scaled ladder so every node exports the same le bounds
+// and cross-node aggregation works. durationLadder is in seconds and
+// spans the sim's sub-millisecond hops to multi-minute timeouts;
+// valueLadder covers small integer distributions (chord hops, probe
+// counts).
+var (
+	durationLadder = []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+	}
+	valueLadder = []float64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64, 128}
+)
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// fmtValue renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else in shortest round-trip form.
+func fmtValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} with keys sorted, or "" when empty.
+// extra appends one preformatted pair (the histogram le label).
+func labelString(labels map[string]string, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, k, escapeLabel(labels[k])))
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteTo renders the snapshot in Prometheus text exposition format
+// (version 0.0.4): one # HELP/# TYPE header per family, then every
+// series; histograms expand into cumulative _bucket lines with le
+// labels plus _sum and _count. The output is deterministic: families,
+// series and labels are already sorted in the snapshot.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	emit := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if err := emit("# HELP %s %s\n", f.Name, strings.ReplaceAll(f.Help, "\n", " ")); err != nil {
+				return n, err
+			}
+		}
+		if err := emit("# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return n, err
+		}
+		for _, ser := range f.Series {
+			if f.Kind == KindHistogram {
+				h := ser.Hist
+				if h == nil {
+					continue
+				}
+				for _, b := range h.Buckets {
+					le := fmt.Sprintf(`le=%q`, fmtValue(b.LE))
+					if err := emit("%s_bucket%s %d\n", f.Name, labelString(ser.Labels, le), b.Count); err != nil {
+						return n, err
+					}
+				}
+				if err := emit("%s_bucket%s %d\n", f.Name, labelString(ser.Labels, `le="+Inf"`), h.Count); err != nil {
+					return n, err
+				}
+				if err := emit("%s_sum%s %s\n", f.Name, labelString(ser.Labels, ""), fmtValue(h.Sum)); err != nil {
+					return n, err
+				}
+				if err := emit("%s_count%s %d\n", f.Name, labelString(ser.Labels, ""), h.Count); err != nil {
+					return n, err
+				}
+				continue
+			}
+			if err := emit("%s%s %s\n", f.Name, labelString(ser.Labels, ""), fmtValue(ser.Value)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// WritePrometheus scrapes the registry and renders it as Prometheus
+// text exposition. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, err := r.Snapshot().WriteTo(w)
+	return err
+}
+
+// Handler returns an http.Handler serving GET /metrics-style scrapes of
+// this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -25,12 +26,14 @@ const (
 // Histogram is a fixed-memory log-bucketed latency histogram: Record is
 // O(1) and allocation-free, quantiles are read with bounded (~3%)
 // relative error, and two histograms fed the same samples are equal
-// field for field — which is what lets the workload determinism tests
+// sample for sample — which is what lets the workload determinism tests
 // compare whole distributions across simulation replays. The zero value
-// is ready to use. A Histogram is not safe for concurrent use; callers
-// that share one across goroutines must serialize access (under simnet
-// the kernel already does).
+// is ready to use. All methods are safe for concurrent use: writers
+// serialize on an internal mutex, and scrapers read a consistent copy
+// via Snapshot, so a metrics endpoint never races the workload driver.
+// Histograms must not be copied by value; share them by pointer.
 type Histogram struct {
+	mu     sync.Mutex
 	counts [histBuckets]uint64
 	total  uint64
 	sum    int64 // exact sum of recorded values, for Mean
@@ -73,6 +76,7 @@ func (h *Histogram) RecordValue(v int64) {
 	if v < 0 {
 		v = 0
 	}
+	h.mu.Lock()
 	if h.total == 0 || v < h.min {
 		h.min = v
 	}
@@ -82,13 +86,28 @@ func (h *Histogram) RecordValue(v int64) {
 	h.counts[histIndex(v)]++
 	h.total++
 	h.sum += v
+	h.mu.Unlock()
 }
 
 // Count returns the number of recorded samples.
-func (h *Histogram) Count() uint64 { return h.total }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the exact sum of all recorded values, or 0 when empty;
+// the Prometheus exposition's histogram _sum line comes from here.
+func (h *Histogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Min returns the smallest recorded value exactly, or 0 when empty.
 func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.total == 0 {
 		return 0
 	}
@@ -97,6 +116,8 @@ func (h *Histogram) Min() int64 {
 
 // Max returns the largest recorded value exactly, or 0 when empty.
 func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.total == 0 {
 		return 0
 	}
@@ -105,6 +126,8 @@ func (h *Histogram) Max() int64 {
 
 // Mean returns the exact arithmetic mean, or 0 when empty.
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.total == 0 {
 		return 0
 	}
@@ -118,6 +141,8 @@ func (h *Histogram) Mean() float64 {
 // return 0. Because ranks walk one cumulative scan, quantiles are
 // monotone in q by construction.
 func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.total == 0 {
 		return 0
 	}
@@ -158,22 +183,49 @@ func (h *Histogram) QuantileDuration(q float64) time.Duration {
 }
 
 // Merge folds other's samples into h. Merging an empty histogram is a
-// no-op; the exact min/max/sum/mean survive the merge.
+// no-op; the exact min/max/sum/mean survive the merge. The fold works
+// on a snapshot of other, so the two histograms' locks are never held
+// together (h.Merge(h) is a harmless self-doubling, not a deadlock).
 func (h *Histogram) Merge(other *Histogram) {
-	if other == nil || other.total == 0 {
+	if other == nil {
 		return
 	}
-	if h.total == 0 || other.min < h.min {
-		h.min = other.min
+	o := other.Snapshot()
+	if o.total == 0 {
+		return
 	}
-	if other.max > h.max {
-		h.max = other.max
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
 	}
-	for i, c := range other.counts {
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
 		h.counts[i] += c
 	}
-	h.total += other.total
-	h.sum += other.sum
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Snapshot returns an independent copy of the histogram taken under the
+// lock: concurrent RecordValue calls never race a scrape, and the copy
+// can be read without further synchronization. Snapshotting nil or an
+// empty histogram returns an empty histogram.
+func (h *Histogram) Snapshot() *Histogram {
+	out := &Histogram{}
+	if h == nil {
+		return out
+	}
+	h.mu.Lock()
+	out.counts = h.counts
+	out.total = h.total
+	out.sum = h.sum
+	out.min = h.min
+	out.max = h.max
+	h.mu.Unlock()
+	return out
 }
 
 // Bucket is one populated histogram bucket, for export and equality
@@ -188,6 +240,8 @@ type Bucket struct {
 // histograms fed identical samples return identical slices, which the
 // determinism tests rely on.
 func (h *Histogram) Buckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var out []Bucket
 	for i, c := range h.counts {
 		if c != 0 {
@@ -200,9 +254,10 @@ func (h *Histogram) Buckets() []Bucket {
 // String renders a compact one-line summary with the quantiles the
 // workload reports use.
 func (h *Histogram) String() string {
+	s := h.Snapshot()
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d mean=%.0f p50=%d p95=%d p99=%d p999=%d max=%d",
-		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.95),
-		h.Quantile(0.99), h.Quantile(0.999), h.Max())
+		s.total, s.Mean(), s.Quantile(0.50), s.Quantile(0.95),
+		s.Quantile(0.99), s.Quantile(0.999), s.Max())
 	return b.String()
 }

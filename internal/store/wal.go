@@ -123,6 +123,7 @@ type WAL struct {
 	recs   int // records appended since the last snapshot
 	closed bool
 	rec    Recovered
+	stats  WALStats
 
 	flushStop chan struct{} // SyncBatch flusher shutdown, nil otherwise
 	flushDone chan struct{}
@@ -163,6 +164,26 @@ func (w *WAL) Recovered() Recovered {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.rec
+}
+
+// WALStats counts the log's disk activity since open — the raw material
+// for the dcdht_store_wal_* metric families.
+type WALStats struct {
+	// Appends is the number of records framed and appended (buffered
+	// appends under SyncBatch count when framed, not when flushed).
+	Appends uint64
+	// Fsyncs counts successful fsync calls on the log and snapshot
+	// files, the price of the chosen durability policy.
+	Fsyncs uint64
+	// Compactions counts snapshot+truncate cycles.
+	Compactions uint64
+}
+
+// Stats returns a snapshot of the disk-activity counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
 }
 
 // Dir returns the data directory.
@@ -325,8 +346,10 @@ func (w *WAL) appendLocked() error {
 			if err := w.logF.Sync(); err != nil {
 				return fmt.Errorf("wal fsync: %v: %w", err, ErrStore)
 			}
+			w.stats.Fsyncs++
 		}
 	}
+	w.stats.Appends++
 	w.recs++
 	if w.recs >= w.opt.CompactEvery {
 		return w.compactLocked()
@@ -463,6 +486,7 @@ func (w *WAL) syncLocked() error {
 	if err := w.logF.Sync(); err != nil {
 		return fmt.Errorf("wal fsync: %v: %w", err, ErrStore)
 	}
+	w.stats.Fsyncs++
 	return nil
 }
 
@@ -508,6 +532,9 @@ func (w *WAL) compactLocked() error {
 	}
 	if _, err := f.Write(e.buf); err == nil {
 		err = f.Sync()
+		if err == nil {
+			w.stats.Fsyncs++
+		}
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -534,6 +561,8 @@ func (w *WAL) compactLocked() error {
 	if err := w.logF.Sync(); err != nil {
 		return fmt.Errorf("wal fsync: %v: %w", err, ErrStore)
 	}
+	w.stats.Fsyncs++
+	w.stats.Compactions++
 	w.recs = 0
 	return nil
 }

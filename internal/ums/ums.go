@@ -17,6 +17,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/kts"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Namespace is the storage namespace UMS replicas live in.
@@ -40,6 +41,7 @@ type Service struct {
 	ts      *kts.Service
 	client  *dht.Client
 	repairs ReadRepairer // nil: read-repair disabled
+	tracer  obs.Tracer   // nil: untraced unless the context carries one
 }
 
 // New attaches a UMS instance to a peer, wiring it to the peer's KTS
@@ -64,6 +66,11 @@ func (s *Service) KTS() *kts.Service { return s.ts }
 // traffic; retrieves read the field without synchronization.
 func (s *Service) SetReadRepair(r ReadRepairer) { s.repairs = r }
 
+// SetTracer installs the default op tracer, used when the operation's
+// context does not carry one (obs.WithTracer wins). Install before
+// serving traffic; operations read the field without synchronization.
+func (s *Service) SetTracer(t obs.Tracer) { s.tracer = t }
+
 // Insert implements Figure 2's insert(k, data): generate a timestamp,
 // then send (k, {data, ts}) to rsp(k, h) for every h ∈ Hr. Peers keep
 // the pair only if the timestamp is newer than what they hold, so of
@@ -71,13 +78,18 @@ func (s *Service) SetReadRepair(r ReadRepairer) { s.repairs = r }
 func (s *Service) Insert(ctx context.Context, k core.Key, data []byte) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
 	ctx = network.WithMeter(ctx, meter)
-	start := s.ring.Env().Now()
+	env := s.ring.Env()
+	ctx, finish := dht.TraceOp(ctx, s.tracer, obs.Op{Op: "put", Alg: "ums", Key: string(k)})
+	start := env.Now()
 	defer func() {
-		res.Elapsed = s.ring.Env().Now() - start
+		res.Elapsed = env.Now() - start
 		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
+		finish(&res, err)
 	}()
 
+	ktsStart := env.Now()
 	ts, err := s.ts.GenTS(ctx, k)
+	obs.PhasesFrom(ctx).Add(obs.PhaseKTS, env.Now()-ktsStart)
 	if err != nil {
 		return res, fmt.Errorf("ums: insert(%q): %w", k, err)
 	}
@@ -135,10 +147,14 @@ func (s *Service) Retrieve(ctx context.Context, k core.Key) (dht.OpResult, error
 func (s *Service) RetrieveWith(ctx context.Context, k core.Key, pol dht.ReadPolicy) (res dht.OpResult, err error) {
 	meter := &network.Meter{}
 	ctx = network.WithMeter(ctx, meter)
-	start := s.ring.Env().Now()
+	env := s.ring.Env()
+	ctx, finish := dht.TraceOp(ctx, s.tracer,
+		obs.Op{Op: "get", Alg: "ums", Level: pol.Level.String(), Key: string(k)})
+	start := env.Now()
 	defer func() {
-		res.Elapsed = s.ring.Env().Now() - start
+		res.Elapsed = env.Now() - start
 		res.Msgs, res.Bytes = meter.Msgs, meter.Bytes
+		finish(&res, err)
 	}()
 
 	// Resolve the acceptance target: the timestamp a replica must reach
@@ -166,7 +182,9 @@ func (s *Service) RetrieveWith(ctx context.Context, k core.Key, pol dht.ReadPoli
 		// LevelCurrent, or LevelBounded without a fresh enough cached
 		// floor: the authoritative path (which also refreshes the
 		// issuing peer's cache for the next bounded read).
+		ktsStart := env.Now()
 		ts1, lerr := s.ts.LastTS(ctx, k)
+		obs.PhasesFrom(ctx).Add(obs.PhaseKTS, env.Now()-ktsStart)
 		if lerr != nil {
 			return res, fmt.Errorf("ums: retrieve(%q): %w", k, lerr)
 		}
@@ -180,15 +198,17 @@ func (s *Service) RetrieveWith(ctx context.Context, k core.Key, pol dht.ReadPoli
 
 	var dataMR []byte // most recent replica seen so far (Figure 2's data_mr)
 	tsMR := core.TSZero
-	var obs []observation // probed positions that did not meet the target
+	var missed []observation // probed positions that did not meet the target
 	for _, h := range s.set.Hr {
 		if cerr := network.CtxError(ctx); cerr != nil {
 			return res, fmt.Errorf("ums: retrieve(%q): %w", k, cerr)
 		}
 		res.Probed++
+		probeStart := env.Now()
 		val, gerr := s.client.GetH(ctx, k, h)
+		obs.PhasesFrom(ctx).Add(obs.PhaseProbe, env.Now()-probeStart)
 		if gerr != nil {
-			obs = append(obs, observation{h: h, missing: true})
+			missed = append(missed, observation{h: h, missing: true})
 			continue // replica unavailable (peer down, data lost, stale lookup)
 		}
 		res.Retrieved++
@@ -198,10 +218,10 @@ func (s *Service) RetrieveWith(ctx context.Context, k core.Key, pol dht.ReadPoli
 			// read-repair. A zero target (plain eventual) accepts the
 			// first fetched replica.
 			res.Data, res.TS, res.Currency = val.Data, val.TS, verdict
-			s.readRepair(k, val, obs)
+			s.readRepair(k, val, missed)
 			return res, nil
 		}
-		obs = append(obs, observation{h: h, ts: val.TS})
+		missed = append(missed, observation{h: h, ts: val.TS})
 		if tsMR.Less(val.TS) {
 			dataMR, tsMR = val.Data, val.TS
 		}
@@ -212,7 +232,7 @@ func (s *Service) RetrieveWith(ctx context.Context, k core.Key, pol dht.ReadPoli
 	// No replica met the predicate: still refresh the probed set with the
 	// most recent available value — PutIfNewer only restores availability,
 	// it can never push a replica backwards.
-	s.readRepair(k, core.Value{Data: dataMR, TS: tsMR}, obs)
+	s.readRepair(k, core.Value{Data: dataMR, TS: tsMR}, missed)
 	res.Data, res.TS = dataMR, tsMR
 	return res, fmt.Errorf("ums: retrieve(%q): returning most recent available: %w", k, core.ErrNoCurrentReplica)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/kts"
 	"repro/internal/network"
 	"repro/internal/network/tcpwire"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/store"
 	"repro/internal/ums"
@@ -106,6 +107,7 @@ type Node struct {
 	brk    *brk.Service
 	repair *repair.Service // nil when maintenance is off
 	wal    *store.WAL      // nil when the node is volatile
+	obs    *obs.Registry
 }
 
 // StartNode opens a TCP endpoint on listen ("127.0.0.1:0" picks a free
@@ -117,7 +119,8 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 	if cfg.StabilizeEvery == 0 {
 		cfg.StabilizeEvery = time.Second
 	}
-	ep, err := tcpwire.Listen(listen)
+	reg := obs.NewRegistry()
+	ep, err := tcpwire.ListenWith(listen, reg)
 	if err != nil {
 		return nil, fmt.Errorf("dcdht: start node: %w", err)
 	}
@@ -135,6 +138,7 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 		FixFingersEvery: cfg.StabilizeEvery,
 		CheckPredEvery:  cfg.StabilizeEvery,
 		RPCTimeout:      2 * time.Second,
+		Obs:             reg,
 	}
 	if wal != nil {
 		// Replicas and counters share the one recoverable unit. The
@@ -151,6 +155,7 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 		InspectEvery:    cfg.Inspect,
 		InspectPerRound: cfg.InspectPerRound,
 		RPCTimeout:      30 * time.Second,
+		Obs:             reg,
 	}
 	if wal != nil {
 		ktsCfg.Persist = wal
@@ -175,8 +180,40 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 		ums:   ums.New(node, set, ktsSvc),
 		brk:   brk.New(node, set),
 		wal:   wal,
+		obs:   reg,
 	}
-	rcfg := repair.Config{Every: cfg.RepairEvery, PerRound: cfg.RepairPerRound, ReadRepair: cfg.ReadRepair}
+	tracer := obs.NewMetricsTracer(reg)
+	n.ums.SetTracer(tracer)
+	n.brk.SetTracer(tracer)
+	reg.GaugeFunc("dcdht_store_items",
+		"Replicas this node currently hosts.",
+		func() float64 { return float64(node.Store().Len()) })
+	if wal != nil {
+		// The WAL keeps its own counters (it must not depend on obs);
+		// scrape-time collectors bridge them into the registry.
+		reg.CounterFunc("dcdht_store_wal_appends_total",
+			"Records appended to the write-ahead log.",
+			func() float64 { return float64(wal.Stats().Appends) })
+		reg.CounterFunc("dcdht_store_wal_fsyncs_total",
+			"Successful fsyncs of the log and snapshot files.",
+			func() float64 { return float64(wal.Stats().Fsyncs) })
+		reg.CounterFunc("dcdht_store_wal_compactions_total",
+			"Snapshot+truncate compaction cycles.",
+			func() float64 { return float64(wal.Stats().Compactions) })
+		rec := wal.Recovered()
+		reg.GaugeFunc("dcdht_store_wal_recovered_records",
+			"Log records replayed at the last start.",
+			func() float64 { return float64(rec.Records) })
+		reg.GaugeFunc("dcdht_store_wal_torn_tail",
+			"1 when the last start discarded a torn final record.",
+			func() float64 {
+				if rec.TornTail {
+					return 1
+				}
+				return 0
+			})
+	}
+	rcfg := repair.Config{Every: cfg.RepairEvery, PerRound: cfg.RepairPerRound, ReadRepair: cfg.ReadRepair, Obs: reg}
 	if rcfg.Enabled() {
 		n.repair = repair.New(node, set, ktsSvc, node.Store(), ums.Namespace, rcfg)
 		n.ums.SetReadRepair(n.repair)

@@ -37,4 +37,28 @@ grep -q "Recovery: crash-and-forget vs durable restart" "$out/recovery.txt" || {
 }
 
 go run ./scripts/validate_bench "$out/BENCH_recovery.json"
-echo "bench check clean: consistency and recovery figures regenerate and validate at toy scale"
+
+# Workload baseline: regenerate the toy-scale workload figure and
+# byte-compare against the committed BENCH_workload.json. The run is
+# fully deterministic (simulated time, fixed seed), so any drift means
+# the workload path changed behaviour — regenerate the baseline with
+# the exact command below and commit it alongside the change.
+go run ./cmd/dcdht-bench \
+    -figure workload \
+    -workload uniform \
+    -workload-peers 32 -duration 45s -concurrency 3 \
+    -quiet \
+    -workload-json "$out/BENCH_workload.json" > "$out/workload.txt"
+
+grep -q "Workload: throughput and latency quantiles" "$out/workload.txt" || {
+    echo "check_bench: workload table missing from bench output" >&2
+    exit 1
+}
+
+cmp -s "$out/BENCH_workload.json" BENCH_workload.json || {
+    echo "check_bench: BENCH_workload.json drifted from the committed baseline" >&2
+    diff "$out/BENCH_workload.json" BENCH_workload.json >&2 || true
+    exit 1
+}
+
+echo "bench check clean: consistency, recovery and workload figures regenerate and validate at toy scale"

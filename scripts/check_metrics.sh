@@ -1,0 +1,17 @@
+#!/bin/sh
+# check_metrics.sh — the observability smoke gate run by CI: build the
+# real node binary, start it with -metrics-addr, drive a put and a get
+# through the one-shot client, then scrape GET /metrics and
+# GET /debug/status and validate them (scripts/promcheck). A malformed
+# exposition, a missing metric family, a node that saw no traffic, or a
+# broken status document all fail this gate.
+# Run from the repository root: ./scripts/check_metrics.sh
+set -eu
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+go build -o "$out/dcdht-node" ./cmd/dcdht-node
+go run ./scripts/promcheck -node "$out/dcdht-node"
+
+echo "metrics check clean: live node scrape parses with all core families"
