@@ -72,10 +72,12 @@ type Client interface {
 	GetMulti(ctx context.Context, keys []Key, opts ...OpOption) ([]MultiResult, error)
 }
 
-// Compile-time interface conformance for both deployment styles.
+// Compile-time interface conformance for both deployment styles and
+// the front-end tier layered over them.
 var (
 	_ Client = (*SimNetwork)(nil)
 	_ Client = (*Node)(nil)
+	_ Client = (*Gateway)(nil)
 )
 
 // Algorithm selects the replication protocol an operation runs.
@@ -158,6 +160,17 @@ func WithConsistency(l Consistency) OpOption {
 // unexported: floors are session bookkeeping, not a caller knob.
 func withFloor(f Timestamp) OpOption {
 	return func(c *opConfig) { c.floor = f }
+}
+
+// withPolicy replays an already-resolved read policy through the option
+// machinery so a backend client re-derives exactly this policy from
+// opConfig.readPolicy. Kept unexported: only the gateway's backend
+// adapter uses it.
+func withPolicy(p dht.ReadPolicy) OpOption {
+	return func(c *opConfig) {
+		c.level, c.bound, c.floor = p.Level, p.Bound, p.Floor
+		c.levelSet = !p.FloorFirst
+	}
 }
 
 // fail records the first invalid option; later ones keep the original

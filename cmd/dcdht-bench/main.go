@@ -27,7 +27,11 @@
 // default. The recovery figure plays identical kill-and-restart waves
 // with volatile (crash-and-forget) and durable (internal/store) peers
 // on the same seed and writes BENCH_recovery.json by default (see
-// docs/STORAGE.md).
+// docs/STORAGE.md). The gateway figure runs the identical Zipf
+// hot-key workload directly against peers and through the coalescing
+// gateway tier (internal/gateway, see docs/GATEWAY.md) on same-seed
+// deployments, comparing KTS traffic, coalescing factor, and latency
+// quantiles, and writes BENCH_gateway.json by default.
 package main
 
 import (
@@ -65,7 +69,7 @@ func writeJSON(what, path string, v any) {
 func main() {
 	full := flag.Bool("full", false, "paper-scale axes: 10,000 peers, 3-hour simulated windows (slow; default is quick mode)")
 	seed := flag.Int64("seed", 42, "simulation seed; every figure replays bit-identically per seed")
-	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario,consistency,recovery")
+	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario,consistency,recovery,gateway")
 	csvDir := flag.String("csv", "", "directory to also write one CSV file per figure (empty disables)")
 	repairJSON := flag.String("repair-json", "", "path for the machine-readable repair comparison, e.g. BENCH_repair.json (written when the repair figure runs; empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines on stderr")
@@ -92,6 +96,18 @@ func main() {
 	consistencyQueries := flag.Int("consistency-queries", 0, "measured retrieves per consistency point; 0 selects the default (60 quick, 200 full)")
 	consistencyWindow := flag.Duration("consistency-duration", 0, "measured window of simulated time per consistency point; 0 selects the default (12m quick, 1h full)")
 	consistencyJSON := flag.String("consistency-json", "BENCH_consistency.json", "path for the machine-readable consistency results (written when the consistency figure runs; empty disables)")
+
+	// Gateway-figure knobs (-figure gateway).
+	gatewayBackends := flag.Int("gateway-backends", 0, "gateway backend pool size; 0 selects the default (4)")
+	gatewayZipf := flag.Float64("gateway-zipf", 0, "Zipf skew exponent for the gateway figure; 0 selects the default (1.6)")
+	gatewayConcurrency := flag.Int("gateway-concurrency", 0, "closed-loop worker count for the gateway figure; 0 selects the default (24)")
+	gatewayOps := flag.Int("gateway-ops", 0, "operations per gateway arm; 0 selects the default (600)")
+	gatewayKeys := flag.Int("gateway-keys", 0, "keyspace size for the gateway figure; 0 selects the default (8)")
+	gatewayBoundedFrac := flag.Float64("gateway-bounded-frac", 0.15, "fraction of gateway-figure reads issued at Bounded consistency")
+	gatewayEventualFrac := flag.Float64("gateway-eventual-frac", 0.05, "fraction of gateway-figure reads issued at Eventual consistency")
+	gatewayBound := flag.Duration("gateway-bound", 0, "staleness bound for the gateway figure's Bounded reads; 0 selects the default (30s)")
+	gatewayPeers := flag.Int("gateway-peers", 0, "deployment size for the gateway figure; 0 selects the default (100 quick, 400 full)")
+	gatewayJSON := flag.String("gateway-json", "BENCH_gateway.json", "path for the machine-readable gateway results (written when the gateway figure runs; empty disables)")
 
 	// Recovery-figure knobs (-figure recovery).
 	recoveryPeers := flag.Int("recovery-peers", 0, "deployment size for the recovery figure; 0 selects the default (120 quick, base full)")
@@ -247,6 +263,26 @@ func main() {
 		emit(t)
 		consistencyPoints = points
 	}
+	var gatewayResult *exp.GatewayResult
+	if wanted("gateway") {
+		t, res, err := exp.FigureGateway(opts, exp.GatewayOptions{
+			Backends:     *gatewayBackends,
+			ZipfS:        *gatewayZipf,
+			Concurrency:  *gatewayConcurrency,
+			Ops:          *gatewayOps,
+			Keys:         *gatewayKeys,
+			BoundedFrac:  *gatewayBoundedFrac,
+			EventualFrac: *gatewayEventualFrac,
+			Bound:        *gatewayBound,
+			Peers:        *gatewayPeers,
+		})
+		if err != nil {
+			log.Error("gateway figure failed", "err", err)
+			os.Exit(2)
+		}
+		emit(t)
+		gatewayResult = res
+	}
 	var recoveryPoints []exp.RecoveryPoint
 	if wanted("recovery") {
 		t, points, err := exp.FigureRecovery(opts, exp.RecoveryOptions{
@@ -299,5 +335,8 @@ func main() {
 	}
 	if recoveryPoints != nil && *recoveryJSON != "" {
 		writeJSON("recovery", *recoveryJSON, recoveryPoints)
+	}
+	if gatewayResult != nil && *gatewayJSON != "" {
+		writeJSON("gateway", *gatewayJSON, gatewayResult)
 	}
 }

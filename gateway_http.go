@@ -1,0 +1,248 @@
+package dcdht
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The HTTP/JSON front-end, for non-Go clients. Routes (see
+// docs/GATEWAY.md for the full API):
+//
+//	PUT  /v1/kv/{key}                  body = value        → PutResponse
+//	GET  /v1/kv/{key}?consistency=...                      → GetResponse
+//	GET  /v1/last/{key}?consistency=...                    → LastTSResponse
+//	GET  /metrics                                          → Prometheus exposition
+//	GET  /debug/gateway                                    → GatewayStats JSON
+//
+// The consistency query parameter is "current" (default), "eventual",
+// or "bounded" with a companion "bound" duration (e.g. bound=30s).
+
+// GatewayPutResponse is the JSON document returned by PUT /v1/kv/{key}.
+type GatewayPutResponse struct {
+	// TS is the timestamp granted to the write.
+	TS Timestamp `json:"ts"`
+	// Stored is the number of replicas written.
+	Stored int `json:"stored"`
+	// Msgs is the message cost of the operation.
+	Msgs int `json:"msgs"`
+	// ElapsedMS is the operation latency in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// GatewayGetResponse is the JSON document returned by GET /v1/kv/{key}.
+type GatewayGetResponse struct {
+	// Data is the value (base64 in the JSON encoding, as Go marshals
+	// byte slices).
+	Data []byte `json:"data"`
+	// TS is the returned replica's timestamp.
+	TS Timestamp `json:"ts"`
+	// Currency is the freshness verdict: "proven", "within-bound",
+	// "session-floor" or "unknown".
+	Currency string `json:"currency"`
+	// FloorAgeMS is the age of the freshness evidence in milliseconds
+	// (meaningful for within-bound results).
+	FloorAgeMS float64 `json:"floor_age_ms,omitempty"`
+	// Msgs is the message cost of the operation.
+	Msgs int `json:"msgs"`
+	// ElapsedMS is the operation latency in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Error carries the per-read caveat when the gateway returned the
+	// most recent available replica without a currency proof.
+	Error string `json:"error,omitempty"`
+}
+
+// GatewayLastTSResponse is the JSON document returned by GET /v1/last/{key}.
+type GatewayLastTSResponse struct {
+	// TS is the key's last generated timestamp (zero when never stamped).
+	TS Timestamp `json:"ts"`
+}
+
+// httpError is the JSON error envelope for non-2xx responses.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// parseConsistencyQuery maps the consistency/bound query parameters to
+// operation options.
+func parseConsistencyQuery(q url.Values) ([]OpOption, error) {
+	switch lvl := q.Get("consistency"); lvl {
+	case "", "current":
+		return nil, nil
+	case "eventual":
+		return []OpOption{WithConsistency(Eventual)}, nil
+	case "bounded":
+		d, err := time.ParseDuration(q.Get("bound"))
+		if err != nil {
+			return nil, fmt.Errorf("bounded consistency needs a bound duration (bound=30s): %v", err)
+		}
+		return []OpOption{WithConsistency(Bounded(d))}, nil
+	default:
+		return nil, fmt.Errorf("unknown consistency %q (want current, bounded or eventual)", lvl)
+	}
+}
+
+// currencyLabel renders a Currency verdict for the JSON API.
+func currencyLabel(c Currency) string {
+	switch c {
+	case CurrencyProven:
+		return "proven"
+	case CurrencyWithinBound:
+		return "within-bound"
+	case CurrencySessionFloor:
+		return "session-floor"
+	default:
+		return "unknown"
+	}
+}
+
+// ServeHTTP implements http.Handler: the gateway's JSON front-end plus
+// its Prometheus exposition, so one listener serves both clients and
+// scrapers.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/metrics":
+		g.count("/metrics", http.StatusOK)
+		g.obs.Handler().ServeHTTP(w, r)
+	case r.URL.Path == "/debug/gateway":
+		g.count("/debug/gateway", http.StatusOK)
+		writeJSON(w, http.StatusOK, g.Stats())
+	case strings.HasPrefix(r.URL.Path, "/v1/kv/"):
+		g.serveKV(w, r, strings.TrimPrefix(r.URL.Path, "/v1/kv/"))
+	case strings.HasPrefix(r.URL.Path, "/v1/last/"):
+		g.serveLast(w, r, strings.TrimPrefix(r.URL.Path, "/v1/last/"))
+	default:
+		g.fail(w, "other", http.StatusNotFound, "no such route")
+	}
+}
+
+func (g *Gateway) serveKV(w http.ResponseWriter, r *http.Request, rawKey string) {
+	const route = "/v1/kv"
+	key, ok := decodeKey(rawKey)
+	if !ok {
+		g.fail(w, route, http.StatusBadRequest, "bad key encoding")
+		return
+	}
+	opts, err := parseConsistencyQuery(r.URL.Query())
+	if err != nil {
+		g.fail(w, route, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<24))
+		if err != nil {
+			g.fail(w, route, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		res, err := g.Put(r.Context(), key, body, opts...)
+		if err != nil {
+			g.failOp(w, route, err)
+			return
+		}
+		g.count(route, http.StatusOK)
+		writeJSON(w, http.StatusOK, GatewayPutResponse{
+			TS:        res.TS,
+			Stored:    res.Stored,
+			Msgs:      res.Msgs,
+			ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+		})
+	case http.MethodGet:
+		res, err := g.Get(r.Context(), key, opts...)
+		if err != nil && !IsNoCurrent(err) {
+			g.failOp(w, route, err)
+			return
+		}
+		resp := GatewayGetResponse{
+			Data:       res.Data,
+			TS:         res.TS,
+			Currency:   currencyLabel(res.Currency),
+			FloorAgeMS: float64(res.FloorAge) / float64(time.Millisecond),
+			Msgs:       res.Msgs,
+			ElapsedMS:  float64(res.Elapsed) / float64(time.Millisecond),
+		}
+		if err != nil {
+			// Most recent available, currency not provable: still a
+			// 200 — the value is real — with the caveat attached.
+			resp.Error = err.Error()
+		}
+		g.count(route, http.StatusOK)
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		g.fail(w, route, http.StatusMethodNotAllowed, "use GET, PUT or POST")
+	}
+}
+
+func (g *Gateway) serveLast(w http.ResponseWriter, r *http.Request, rawKey string) {
+	const route = "/v1/last"
+	if r.Method != http.MethodGet {
+		g.fail(w, route, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	key, ok := decodeKey(rawKey)
+	if !ok {
+		g.fail(w, route, http.StatusBadRequest, "bad key encoding")
+		return
+	}
+	opts, err := parseConsistencyQuery(r.URL.Query())
+	if err != nil {
+		g.fail(w, route, http.StatusBadRequest, err.Error())
+		return
+	}
+	ts, err := g.LastTS(r.Context(), key, opts...)
+	if err != nil {
+		g.failOp(w, route, err)
+		return
+	}
+	g.count(route, http.StatusOK)
+	writeJSON(w, http.StatusOK, GatewayLastTSResponse{TS: ts})
+}
+
+// failOp maps an operation error onto an HTTP status.
+func (g *Gateway) failOp(w http.ResponseWriter, route string, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadOption):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrTimeout):
+		code = http.StatusGatewayTimeout
+	}
+	g.fail(w, route, code, err.Error())
+}
+
+func (g *Gateway) fail(w http.ResponseWriter, route string, code int, msg string) {
+	g.count(route, code)
+	writeJSON(w, code, httpError{Error: msg})
+}
+
+func (g *Gateway) count(route string, code int) {
+	g.httpReqs.With(route, strconv.Itoa(code)).Inc()
+}
+
+// decodeKey unescapes a key path segment.
+func decodeKey(raw string) (Key, bool) {
+	if raw == "" {
+		return "", false
+	}
+	s, err := url.PathUnescape(raw)
+	if err != nil || s == "" {
+		return "", false
+	}
+	return Key(s), true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,304 @@
+package dcdht
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// isBadOption classifies option-validation failures in these tests.
+func isBadOption(err error) bool { return errors.Is(err, ErrBadOption) }
+
+// startTestRing builds a small TCP ring on loopback and returns its
+// nodes; the caller owns Close.
+func startTestRing(t *testing.T, peers int, seed int64) []*Node {
+	t.Helper()
+	cfg := NodeConfig{
+		Replicas:       5,
+		Seed:           seed,
+		StabilizeEvery: 100 * time.Millisecond,
+		GraceDelay:     20 * time.Millisecond,
+	}
+	first, err := StartNode("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.CreateRing()
+	nodes := []*Node{first}
+	for i := 1; i < peers; i++ {
+		nd, err := StartNode("127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Join(first.Addr()); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	time.Sleep(time.Second) // let stabilization settle
+	return nodes
+}
+
+func TestGatewayRejectsBadOptions(t *testing.T) {
+	sim := NewSimNetwork(4, SimConfig{Replicas: 3, Seed: 7})
+	defer sim.Close()
+	gw, err := NewGateway([]Client{sim}, GatewayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	ctx := context.Background()
+
+	if _, err := gw.Put(ctx, "k", []byte("v"), WithIssuer(2)); !isBadOption(err) {
+		t.Errorf("Put with WithIssuer: err = %v, want ErrBadOption", err)
+	}
+	if _, err := gw.Get(ctx, "k", WithAlgorithm(AlgBRK)); !isBadOption(err) {
+		t.Errorf("Get with BRK: err = %v, want ErrBadOption", err)
+	}
+	if _, err := gw.LastTS(ctx, "k", WithIssuer(0)); !isBadOption(err) {
+		t.Errorf("LastTS with WithIssuer: err = %v, want ErrBadOption", err)
+	}
+	if _, err := gw.PutMulti(ctx, []KV{{Key: "k", Data: nil}}, WithAlgorithm(AlgBRK)); !isBadOption(err) {
+		t.Errorf("PutMulti with BRK: err = %v, want ErrBadOption", err)
+	}
+	if _, err := gw.GetMulti(ctx, []Key{"k"}, WithIssuer(1)); !isBadOption(err) {
+		t.Errorf("GetMulti with WithIssuer: err = %v, want ErrBadOption", err)
+	}
+	if _, err := gw.Get(ctx, "k", WithConsistency(Bounded(-time.Second))); !isBadOption(err) {
+		t.Errorf("Get with negative bound: err = %v, want ErrBadOption", err)
+	}
+}
+
+// TestGatewayCoalescingHammerTCP is the -race half of the coalescing
+// property test: concurrent sessions over a real TCP ring, through one
+// gateway, mixing writes and session reads on a hot keyspace. Each
+// session must observe read-your-writes (the gateway's coalescing floor
+// check is what preserves it), and batch ops must keep per-key
+// isolation.
+func TestGatewayCoalescingHammerTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP ring hammer in -short mode")
+	}
+	nodes := startTestRing(t, 3, 41)
+	backends := make([]Client, len(nodes))
+	for i, nd := range nodes {
+		backends[i] = nd
+	}
+	gw, err := NewGateway(backends, GatewayConfig{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	ctx := context.Background()
+
+	keys := []Key{"gw-hot-0", "gw-hot-1"}
+	for _, k := range keys {
+		if _, err := gw.Put(ctx, k, []byte("seed")); err != nil {
+			t.Fatalf("preload %s: %v", k, err)
+		}
+	}
+
+	const workers, ops = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*ops)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := gw.NewSession()
+			lastPut := map[Key]Timestamp{}
+			for i := 0; i < ops; i++ {
+				k := keys[(w+i)%len(keys)]
+				if i%4 == 3 {
+					r, err := sess.Put(ctx, k, []byte(fmt.Sprintf("w%d-%d", w, i)))
+					if err != nil {
+						errs <- fmt.Errorf("w%d put: %w", w, err)
+						continue
+					}
+					lastPut[k] = r.TS
+				} else {
+					r, err := sess.Get(ctx, k)
+					if err != nil && !IsNoCurrent(err) {
+						errs <- fmt.Errorf("w%d get: %w", w, err)
+						continue
+					}
+					if r.TS.Less(lastPut[k]) {
+						errs <- fmt.Errorf("w%d: read %v older than own write %v — read-your-writes broken",
+							w, r.TS, lastPut[k])
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Batched ops through the same pool: duplicates must not corrupt
+	// per-key isolation.
+	items := []KV{{Key: "gw-b0", Data: []byte("0")}, {Key: "gw-b1", Data: []byte("1")}}
+	pres, err := gw.PutMulti(ctx, items)
+	if err != nil {
+		t.Fatalf("PutMulti: %v", err)
+	}
+	for i, r := range pres {
+		if r.Err != nil {
+			t.Errorf("PutMulti[%d]: %v", i, r.Err)
+		}
+	}
+	gets, err := gw.GetMulti(ctx, []Key{"gw-b0", "gw-b0", "gw-b1"})
+	if err != nil {
+		t.Fatalf("GetMulti: %v", err)
+	}
+	want := []string{"0", "0", "1"}
+	for i, r := range gets {
+		if r.Err != nil {
+			t.Errorf("GetMulti[%d]: %v", i, r.Err)
+			continue
+		}
+		if string(r.Data) != want[i] {
+			t.Errorf("GetMulti[%d] = %q, want %q", i, r.Data, want[i])
+		}
+	}
+
+	s := gw.Stats()
+	if s.BackendOps == 0 || s.Flights == 0 {
+		t.Errorf("gateway stats look dead: %+v", s)
+	}
+	t.Logf("gateway stats: %+v", s)
+}
+
+func TestGatewayHTTP(t *testing.T) {
+	sim := NewSimNetwork(6, SimConfig{Replicas: 3, Seed: 11})
+	defer sim.Close()
+	gw, err := NewGateway([]Client{sim}, GatewayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	do := func(method, path string, body string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	// Write, then read back at the default (proven) level.
+	resp, body := do(http.MethodPut, "/v1/kv/http-key", "hello")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status %d: %s", resp.StatusCode, body)
+	}
+	var put GatewayPutResponse
+	if err := json.Unmarshal(body, &put); err != nil {
+		t.Fatalf("PUT body: %v", err)
+	}
+	if put.Stored == 0 || put.TS == (Timestamp{}) {
+		t.Errorf("PUT response %+v", put)
+	}
+
+	resp, body = do(http.MethodGet, "/v1/kv/http-key", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d: %s", resp.StatusCode, body)
+	}
+	var get GatewayGetResponse
+	if err := json.Unmarshal(body, &get); err != nil {
+		t.Fatalf("GET body: %v", err)
+	}
+	if string(get.Data) != "hello" || get.Currency != "proven" {
+		t.Errorf("GET = %+v, want hello/proven", get)
+	}
+
+	// Bounded read: the PUT primed the gateway cache, so this is
+	// within-bound at zero KTS cost.
+	resp, body = do(http.MethodGet, "/v1/kv/http-key?consistency=bounded&bound=1m", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bounded GET status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &get); err != nil {
+		t.Fatal(err)
+	}
+	if get.Currency != "within-bound" {
+		t.Errorf("bounded GET currency = %q, want within-bound", get.Currency)
+	}
+
+	// last_ts at eventual consistency: served from the gateway cache.
+	resp, body = do(http.MethodGet, "/v1/last/http-key?consistency=eventual", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("last status %d: %s", resp.StatusCode, body)
+	}
+	var last GatewayLastTSResponse
+	if err := json.Unmarshal(body, &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.TS != put.TS {
+		t.Errorf("last_ts = %v, want the put's %v", last.TS, put.TS)
+	}
+
+	// Error surfaces.
+	if resp, _ := do(http.MethodGet, "/v1/kv/http-key?consistency=sideways", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad consistency: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := do(http.MethodGet, "/v1/kv/http-key?consistency=bounded", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bounded without bound: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := do(http.MethodDelete, "/v1/kv/http-key", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status %d, want 405", resp.StatusCode)
+	}
+	if resp, _ := do(http.MethodGet, "/v2/nope", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bad route: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := do(http.MethodPost, "/v1/kv/", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty key: status %d, want 400", resp.StatusCode)
+	}
+
+	// Introspection routes.
+	resp, body = do(http.MethodGet, "/debug/gateway", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/gateway status %d", resp.StatusCode)
+	}
+	var st GatewayStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/debug/gateway body: %v", err)
+	}
+	if st.BackendOps == 0 {
+		t.Errorf("/debug/gateway reports zero backend ops: %+v", st)
+	}
+	resp, body = do(http.MethodGet, "/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	for _, fam := range []string{"dcdht_gw_ops_total", "dcdht_gw_http_requests_total", "dcdht_gw_cache_served_total"} {
+		if !strings.Contains(string(body), fam) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+}

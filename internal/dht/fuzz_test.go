@@ -1,0 +1,43 @@
+package dht
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzParseQualifier checks the Qualifier/ParseQualifier pair from both
+// directions: legal (ns, key, hname) triples must round-trip exactly —
+// keys may contain the separator — and arbitrary strings must parse
+// without panicking, with every accepted parse re-qualifying to the
+// original string.
+func FuzzParseQualifier(f *testing.F) {
+	f.Add("replica", "agenda:mon", "h3")
+	f.Add("counter", "key|with|pipes", "h0")
+	f.Add("", "", "")
+	f.Add("ns|bad", "k", "h")
+	f.Add("||", "|", "||")
+	f.Fuzz(func(t *testing.T, ns, key, hname string) {
+		// Forward: namespaces and hash names never contain the
+		// separator (the parser's documented precondition).
+		if !strings.Contains(ns, "|") && !strings.Contains(hname, "|") {
+			q := Qualifier(ns, core.Key(key), hname)
+			gotNS, gotKey, gotH, ok := ParseQualifier(q)
+			if !ok {
+				t.Fatalf("ParseQualifier(%q) rejected a generated qualifier", q)
+			}
+			if gotNS != ns || string(gotKey) != key || gotH != hname {
+				t.Fatalf("round trip (%q,%q,%q) → %q → (%q,%q,%q)",
+					ns, key, hname, q, gotNS, gotKey, gotH)
+			}
+		}
+		// Backward: any accepted string re-qualifies to itself. The key
+		// argument doubles as an arbitrary input string here.
+		if pns, pk, ph, ok := ParseQualifier(key); ok {
+			if rebuilt := Qualifier(pns, pk, ph); rebuilt != key {
+				t.Fatalf("re-qualify %q → (%q,%q,%q) → %q", key, pns, pk, ph, rebuilt)
+			}
+		}
+	})
+}

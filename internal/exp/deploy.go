@@ -411,7 +411,13 @@ func (c workloadClient) GetWith(ctx context.Context, key core.Key, pol dht.ReadP
 // events at all for a sustained stretch of virtual time — with ring
 // maintenance timers alive that means a genuine stall).
 func (d *Deployment) RunWorkload(ctx context.Context, spec workload.Spec) (*workload.Report, error) {
-	cl := workloadClient{d: d, rng: d.K.NewRand("workload-issuer")}
+	return d.RunWorkloadWith(ctx, spec, workloadClient{d: d, rng: d.K.NewRand("workload-issuer")})
+}
+
+// RunWorkloadWith is RunWorkload against an arbitrary workload client —
+// the gateway figure drives the same spec through a front-end tier and
+// through direct peer issue, on deployments built from the same seed.
+func (d *Deployment) RunWorkloadWith(ctx context.Context, spec workload.Spec, cl workload.Client) (*workload.Report, error) {
 	var rep *workload.Report
 	var err error
 	done := false

@@ -1,0 +1,84 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// cacheCap bounds the gateway's last-ts cache, mirroring the KTS peer
+// cache: at ~24 bytes per entry the worst case stays near 1.5 MB.
+const cacheCap = 1 << 16
+
+// cacheEntry is one observed last-ts with its observation time.
+type cacheEntry struct {
+	ts core.Timestamp
+	at time.Duration
+}
+
+// tsCache is the gateway-local last-ts cache. It reuses the KTS peer
+// cache semantics pinned by the kts package's tests: zero timestamps
+// are ignored, newer observations win, an equal timestamp refreshes the
+// entry's age (the authority re-confirmed it), and only a genuinely new
+// key can evict once the cap is reached.
+//
+// Soundness rule — enforced by callers, documented here because it is
+// what makes the cache usable for Bounded reads: only authoritative
+// timestamps may be noted (a Put's granted timestamp, a Proven get's
+// target, a forwarded Current-level LastTS answer). An entry then
+// witnesses "last_ts(k) was ts at time at", so age = now-at bounds the
+// staleness of any value ≥ ts exactly as the KTS cache does, modulo the
+// same ε (one op duration) fudge documented in docs/CONSISTENCY.md.
+type tsCache struct {
+	now func() time.Duration
+
+	mu sync.Mutex
+	m  map[core.Key]cacheEntry
+}
+
+func newTSCache(now func() time.Duration) *tsCache {
+	return &tsCache{now: now, m: make(map[core.Key]cacheEntry)}
+}
+
+// note records an observed authoritative last-ts for k.
+func (c *tsCache) note(k core.Key, ts core.Timestamp) {
+	if ts.IsZero() {
+		return
+	}
+	at := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok {
+		if ts.Less(e.ts) {
+			return
+		}
+	} else if len(c.m) >= cacheCap {
+		// Only a genuinely new key can grow the cache past the cap;
+		// overwriting an existing entry never evicts a warm floor.
+		for victim := range c.m {
+			delete(c.m, victim)
+			break
+		}
+	}
+	c.m[k] = cacheEntry{ts: ts, at: at}
+}
+
+// cached returns the entry for k and its age, if one exists.
+func (c *tsCache) cached(k core.Key) (core.Timestamp, time.Duration, bool) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		return core.TSZero, 0, false
+	}
+	return e.ts, now - e.at, true
+}
+
+// len reports the number of cached keys.
+func (c *tsCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

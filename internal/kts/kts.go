@@ -228,6 +228,8 @@ type ktsMetrics struct {
 	cacheAge       *obs.Histogram
 	journalFails   *obs.Counter
 	recoveries     *obs.Counter
+	genTSReqs      *obs.Counter
+	lastTSReqs     *obs.Counter
 }
 
 func newKTSMetrics(r *obs.Registry) ktsMetrics {
@@ -248,6 +250,10 @@ func newKTSMetrics(r *obs.Registry) ktsMetrics {
 			"Counter journal writes that failed (grants refused)."),
 		recoveries: r.Counter("dcdht_kts_recover_corrections_total",
 			"Counters corrected upward by the §4.2.2 recovery strategy."),
+		genTSReqs: r.Counter("dcdht_kts_gents_requests_total",
+			"Client-side gen_ts requests issued against the KTS tier."),
+		lastTSReqs: r.Counter("dcdht_kts_lastts_requests_total",
+			"Client-side last_ts requests issued against the KTS tier."),
 	}
 }
 
@@ -412,6 +418,7 @@ func (s *Service) noteLastTS(k core.Key, ts core.Timestamp) {
 // sends it a timestamp request. This is the paper's KTS.gen_ts(k). The
 // context bounds the call and carries the operation's meter.
 func (s *Service) GenTS(ctx context.Context, k core.Key) (core.Timestamp, error) {
+	s.metrics.genTSReqs.Inc()
 	resp, err := s.callResponsible(ctx, MethodGenTS, GenTSReq{Key: k}, k)
 	if err != nil {
 		return core.TSZero, fmt.Errorf("kts: gen_ts(%q): %w", k, err)
@@ -428,6 +435,7 @@ func (s *Service) GenTS(ctx context.Context, k core.Key) (core.Timestamp, error)
 // LastTS returns the last timestamp generated for k (zero when none) —
 // the paper's KTS.last_ts(k).
 func (s *Service) LastTS(ctx context.Context, k core.Key) (core.Timestamp, error) {
+	s.metrics.lastTSReqs.Inc()
 	resp, err := s.callResponsible(ctx, MethodLastTS, LastTSReq{Key: k}, k)
 	if err != nil {
 		return core.TSZero, fmt.Errorf("kts: last_ts(%q): %w", k, err)

@@ -90,7 +90,7 @@ type decoder struct {
 
 func (d *decoder) fail(what string) {
 	if d.err == nil {
-		d.err = fmt.Errorf("truncated %s field: %w", what, ErrCorruptLog)
+		d.err = fmt.Errorf("truncated %s field: %w", what, errCorrupt())
 	}
 }
 
@@ -125,7 +125,7 @@ func (d *decoder) bytes(what string) []byte {
 // corruption (a CRC collision or an encoder bug), never tolerated.
 func applyRecord(m *Mem, payload []byte) error {
 	if len(payload) == 0 {
-		return fmt.Errorf("empty record: %w", ErrCorruptLog)
+		return fmt.Errorf("empty record: %w", errCorrupt())
 	}
 	d := decoder{buf: payload, off: 1}
 	switch payload[0] {
@@ -164,7 +164,7 @@ func applyRecord(m *Mem, payload []byte) error {
 		}
 		return m.DeleteCounter(k)
 	default:
-		return fmt.Errorf("unknown record opcode %d: %w", payload[0], ErrCorruptLog)
+		return fmt.Errorf("unknown record opcode %d: %w", payload[0], errCorrupt())
 	}
 }
 

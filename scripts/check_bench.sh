@@ -61,4 +61,33 @@ cmp -s "$out/BENCH_workload.json" BENCH_workload.json || {
     exit 1
 }
 
-echo "bench check clean: consistency, recovery and workload figures regenerate and validate at toy scale"
+# Gateway determinism: regenerate the toy-scale gateway figure twice on
+# the same seed and require bit-identical JSON, then validate it (KTS
+# strictly fewer through the gateway, coalescing at least 2x). Any
+# nondeterminism in the coalescing/balancing path breaks the cmp.
+go run ./cmd/dcdht-bench \
+    -figure gateway \
+    -gateway-peers 60 -gateway-ops 300 \
+    -quiet \
+    -gateway-json "$out/BENCH_gateway.json" > "$out/gateway.txt"
+
+grep -q "Gateway: hot-key coalescing front-end" "$out/gateway.txt" || {
+    echo "check_bench: gateway table missing from bench output" >&2
+    exit 1
+}
+
+go run ./cmd/dcdht-bench \
+    -figure gateway \
+    -gateway-peers 60 -gateway-ops 300 \
+    -quiet \
+    -gateway-json "$out/BENCH_gateway2.json" > /dev/null
+
+cmp -s "$out/BENCH_gateway.json" "$out/BENCH_gateway2.json" || {
+    echo "check_bench: gateway figure is not deterministic across same-seed runs" >&2
+    diff "$out/BENCH_gateway.json" "$out/BENCH_gateway2.json" >&2 || true
+    exit 1
+}
+
+go run ./scripts/validate_bench "$out/BENCH_gateway.json"
+
+echo "bench check clean: consistency, recovery, workload and gateway figures regenerate and validate at toy scale"

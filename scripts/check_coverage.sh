@@ -1,0 +1,37 @@
+#!/bin/sh
+# check_coverage.sh — the coverage gate run by CI: every package listed
+# in scripts/coverage_thresholds.txt must meet its committed statement-
+# coverage floor. A test deletion (or a swath of new untested code) in a
+# gated package fails this gate.
+# Run from the repository root: ./scripts/check_coverage.sh
+set -eu
+
+thresholds=scripts/coverage_thresholds.txt
+[ -f "$thresholds" ] || {
+    echo "check_coverage: $thresholds not found (run from the repository root)" >&2
+    exit 1
+}
+
+fail=0
+while read -r pkg min; do
+    case "$pkg" in ''|'#'*) continue ;; esac
+    out=$(go test -cover "$pkg") || {
+        echo "check_coverage: tests failed in $pkg" >&2
+        fail=1
+        continue
+    }
+    pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "check_coverage: no coverage figure in output for $pkg: $out" >&2
+        fail=1
+        continue
+    fi
+    if awk -v p="$pct" -v m="$min" 'BEGIN { exit !(p < m) }'; then
+        echo "check_coverage: $pkg at ${pct}% — below the ${min}% floor" >&2
+        fail=1
+    else
+        echo "check_coverage: $pkg ${pct}% >= ${min}% ok"
+    fi
+done < "$thresholds"
+
+exit "$fail"

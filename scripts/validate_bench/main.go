@@ -22,6 +22,16 @@
 //     and durable fails no more queries — retained state must never
 //     make things worse.
 //
+// Gateway (BENCH_gateway.json):
+//
+//   - both arms ran the identical op count on the same seed and shape;
+//   - the gateway arm issued strictly fewer KTS requests than direct;
+//   - hot-key coalescing reached at least 2x (reads served per backend
+//     read on the coalescing path), the figure's acceptance floor;
+//   - the gateway's counters account: flights + coalesced + cache-served
+//     gets cover at least the coalesced traffic, and backend errors
+//     stayed at zero.
+//
 // Usage: validate_bench BENCH_<figure>.json
 // Exit status 0 when the file conforms; 1 with diagnostics otherwise.
 package main
@@ -49,11 +59,15 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if strings.Contains(strings.ToLower(filepath.Base(os.Args[1])), "recovery") {
+	base := strings.ToLower(filepath.Base(os.Args[1]))
+	switch {
+	case strings.Contains(base, "recovery"):
 		validateRecovery(data)
-		return
+	case strings.Contains(base, "gateway"):
+		validateGateway(data)
+	default:
+		validateConsistency(data)
 	}
-	validateConsistency(data)
 }
 
 // validateRecovery checks a recovery comparison: schema, provenance and
@@ -161,4 +175,51 @@ func validateConsistency(data []byte) {
 		}
 	}
 	fmt.Printf("validate_bench: %s conforms (%d points)\n", os.Args[1], len(points))
+}
+
+// validateGateway checks the gateway comparison: paired provenance,
+// strictly-fewer KTS traffic, and the coalescing acceptance floor.
+func validateGateway(data []byte) {
+	var res exp.GatewayResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		fail("not a gateway result: %v", err)
+	}
+	if res.Peers <= 0 || res.Backends <= 0 {
+		fail("missing deployment shape: peers=%d backends=%d", res.Peers, res.Backends)
+	}
+	if res.ZipfS < 0.99 {
+		fail("zipf skew %.2f below the 0.99 hot-key regime", res.ZipfS)
+	}
+	if res.Direct.Arm != "direct" || res.GW.Arm != "gateway" {
+		fail("arm labels %q/%q, want direct/gateway", res.Direct.Arm, res.GW.Arm)
+	}
+	if res.Direct.Ops <= 0 || res.Direct.Ops != res.GW.Ops {
+		fail("arms ran different op counts: direct %d vs gateway %d", res.Direct.Ops, res.GW.Ops)
+	}
+	directKTS := res.Direct.KTSGenTS + res.Direct.KTSLastTS
+	gwKTS := res.GW.KTSGenTS + res.GW.KTSLastTS
+	if !(gwKTS < directKTS) {
+		fail("gateway KTS traffic %.0f not strictly below direct %.0f", gwKTS, directKTS)
+	}
+	st := res.GW.Gateway
+	if st == nil {
+		fail("gateway arm carries no gateway counters")
+	}
+	if st.Flights == 0 {
+		fail("gateway arm reports zero flights")
+	}
+	if res.GW.CoalescingFactor < 2.0 {
+		fail("coalescing factor %.2fx below the 2x acceptance floor", res.GW.CoalescingFactor)
+	}
+	if st.BackendErrors != 0 {
+		fail("gateway arm saw %d backend errors", st.BackendErrors)
+	}
+	if st.CacheServedGets+st.CacheServedLastTS == 0 {
+		fail("gateway cache served nothing under a hot-key zipf mix")
+	}
+	if res.KTSSavedPct <= 0 {
+		fail("kts_saved_pct %.1f not positive", res.KTSSavedPct)
+	}
+	fmt.Printf("validate_bench: %s conforms (coalescing %.2fx, %.1f%% KTS saved)\n",
+		os.Args[1], res.GW.CoalescingFactor, res.KTSSavedPct)
 }
