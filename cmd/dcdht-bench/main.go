@@ -31,7 +31,12 @@
 // hot-key workload directly against peers and through the coalescing
 // gateway tier (internal/gateway, see docs/GATEWAY.md) on same-seed
 // deployments, comparing KTS traffic, coalescing factor, and latency
-// quantiles, and writes BENCH_gateway.json by default.
+// quantiles, and writes BENCH_gateway.json by default. The lookup
+// figure races the three routing substrates head-to-head — plain
+// chord, chord behind the lookup path cache, and the one-hop
+// full-table ring — on same-seed deployments, comparing hops, latency
+// and maintenance traffic (see docs/LOOKUP.md), and writes
+// BENCH_lookup.json by default.
 package main
 
 import (
@@ -69,7 +74,7 @@ func writeJSON(what, path string, v any) {
 func main() {
 	full := flag.Bool("full", false, "paper-scale axes: 10,000 peers, 3-hour simulated windows (slow; default is quick mode)")
 	seed := flag.Int64("seed", 42, "simulation seed; every figure replays bit-identically per seed")
-	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario,consistency,recovery,gateway")
+	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario,consistency,recovery,gateway,lookup")
 	csvDir := flag.String("csv", "", "directory to also write one CSV file per figure (empty disables)")
 	repairJSON := flag.String("repair-json", "", "path for the machine-readable repair comparison, e.g. BENCH_repair.json (written when the repair figure runs; empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines on stderr")
@@ -108,6 +113,15 @@ func main() {
 	gatewayBound := flag.Duration("gateway-bound", 0, "staleness bound for the gateway figure's Bounded reads; 0 selects the default (30s)")
 	gatewayPeers := flag.Int("gateway-peers", 0, "deployment size for the gateway figure; 0 selects the default (100 quick, 400 full)")
 	gatewayJSON := flag.String("gateway-json", "BENCH_gateway.json", "path for the machine-readable gateway results (written when the gateway figure runs; empty disables)")
+
+	// Lookup-figure knobs (-figure lookup).
+	lookupPeersFlag := flag.String("lookup-peers", "", "comma-separated deployment sizes for the lookup figure, e.g. 100,1000; empty selects the default (100,300,1000 quick / 100,1000,10000 full)")
+	lookupSamples := flag.Int("lookup-samples", 0, "measured lookups per (arm, size) point; 0 selects the default (200)")
+	lookupCache := flag.Int("lookup-cache", 0, "path-cache capacity in arcs for the chord+cache arm; 0 selects the default (256)")
+	lookupChurn := flag.Int("lookup-churn", 0, "leave+join pairs inside the maintenance window; 0 selects the default (3)")
+	lookupWarmup := flag.Duration("lookup-warmup", 0, "settle window of simulated time before (and after) the churn window; 0 selects the default (30s)")
+	lookupMaint := flag.Duration("lookup-maint", 0, "churn-and-maintenance observation window of simulated time; 0 selects the default (1m)")
+	lookupJSON := flag.String("lookup-json", "BENCH_lookup.json", "path for the machine-readable lookup results (written when the lookup figure runs; empty disables)")
 
 	// Recovery-figure knobs (-figure recovery).
 	recoveryPeers := flag.Int("recovery-peers", 0, "deployment size for the recovery figure; 0 selects the default (120 quick, base full)")
@@ -283,6 +297,34 @@ func main() {
 		emit(t)
 		gatewayResult = res
 	}
+	var lookupResult *exp.LookupResult
+	if wanted("lookup") {
+		var sizes []int
+		for _, s := range strings.Split(*lookupPeersFlag, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				var n int
+				if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n <= 0 {
+					log.Error("bad -lookup-peers entry", "got", s)
+					os.Exit(2)
+				}
+				sizes = append(sizes, n)
+			}
+		}
+		t, res, err := exp.FigureLookup(opts, exp.LookupOptions{
+			Peers:       sizes,
+			Samples:     *lookupSamples,
+			CacheSize:   *lookupCache,
+			ChurnEvents: *lookupChurn,
+			Warmup:      *lookupWarmup,
+			MaintWindow: *lookupMaint,
+		})
+		if err != nil {
+			log.Error("lookup figure failed", "err", err)
+			os.Exit(2)
+		}
+		emit(t)
+		lookupResult = res
+	}
 	var recoveryPoints []exp.RecoveryPoint
 	if wanted("recovery") {
 		t, points, err := exp.FigureRecovery(opts, exp.RecoveryOptions{
@@ -338,5 +380,8 @@ func main() {
 	}
 	if gatewayResult != nil && *gatewayJSON != "" {
 		writeJSON("gateway", *gatewayJSON, gatewayResult)
+	}
+	if lookupResult != nil && *lookupJSON != "" {
+		writeJSON("lookup", *lookupJSON, lookupResult)
 	}
 }

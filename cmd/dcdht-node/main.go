@@ -66,6 +66,7 @@ func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:0", "TCP address to listen on, host:port (port 0 picks a free one)")
 	join := fs.String("join", "", "host:port of any ring member to join via; empty creates a new ring")
+	ring := fs.String("ring", "chord", "overlay substrate: chord, can or onehop (must match every ring member; see docs/LOOKUP.md)")
 	replicas := fs.Int("replicas", 10, "|Hr|: replicas per data item (must match every ring member)")
 	indirect := fs.Bool("indirect", false, "use the indirect counter initialization (§4.2.2) instead of direct")
 	seed := fs.Int64("seed", 0, "seed for the node's jitter streams; 0 derives one from the clock")
@@ -74,6 +75,8 @@ func serve(args []string) {
 	readRepair := fs.Bool("read-repair", false, "refresh stale/missing replicas observed by retrieves")
 	inspect := fs.Duration("inspect", 0, "KTS periodic inspection period as a duration, e.g. 1m (0 disables)")
 	inspectBudget := fs.Int("inspect-budget", 0, "counters re-read per inspection round (0 selects the default, 4)")
+	pathCache := fs.Int("path-cache", 0, "lookup path cache capacity in arcs (0 disables; see docs/LOOKUP.md)")
+	republish := fs.Duration("republish", 0, "periodic republish interval: re-push replicas this node no longer owns to the current responsible (0 disables)")
 	dataDir := fs.String("data-dir", "", "directory for the write-ahead log; replicas and counters survive restarts (empty = volatile)")
 	fsync := fs.String("fsync", "os", "log durability: always (fsync per append), batch (periodic flush) or os (page cache)")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP address serving GET /metrics (Prometheus) and GET /debug/status (JSON); empty disables")
@@ -90,14 +93,22 @@ func serve(args []string) {
 		log.Error("bad -fsync", "err", err)
 		os.Exit(2)
 	}
+	ringKind, err := dcdht.ParseRing(*ring)
+	if err != nil {
+		log.Error("bad -ring", "err", err)
+		os.Exit(2)
+	}
 	cfg := dcdht.NodeConfig{
 		Replicas:        *replicas,
+		Ring:            ringKind,
 		Seed:            *seed,
 		RepairEvery:     *repairEvery,
 		RepairPerRound:  *repairBudget,
 		ReadRepair:      *readRepair,
 		Inspect:         *inspect,
 		InspectPerRound: *inspectBudget,
+		PathCache:       *pathCache,
+		RepublishEvery:  *republish,
 		DataDir:         *dataDir,
 		Fsync:           policy,
 	}
@@ -168,6 +179,7 @@ func client(op string, args []string) {
 	replicas := fs.Int("replicas", 10, "|Hr|: replicas per data item (must match every ring member)")
 	timeout := fs.Duration("timeout", 30*time.Second, "deadline for the whole operation as a duration, e.g. 30s")
 	baseline := fs.Bool("brk", false, "run the BRICKS baseline protocol instead of UMS")
+	ring := fs.String("ring", "chord", "routing substrate the ring runs: chord, can or onehop (must match every ring member)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	fs.Parse(args)
 	log, err := newLogger(*logFormat)
@@ -179,12 +191,18 @@ func client(op string, args []string) {
 		fmt.Fprintf(os.Stderr, "usage: dcdht-node %s -via addr key [value]\n", op)
 		os.Exit(2)
 	}
+	ringKind, err := dcdht.ParseRing(*ring)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	key := dcdht.Key(fs.Arg(0))
 
 	node, err := dcdht.StartNode("127.0.0.1:0", dcdht.NodeConfig{
 		Replicas:       *replicas,
 		StabilizeEvery: 200 * time.Millisecond,
 		GraceDelay:     100 * time.Millisecond,
+		Ring:           ringKind,
 	})
 	if err != nil {
 		log.Error("start failed", "err", err)

@@ -16,8 +16,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/can"
 	"repro/internal/exp"
 	"repro/internal/network/simwire"
+	"repro/internal/onehop"
 	"repro/internal/scenario"
 )
 
@@ -46,6 +48,9 @@ func main() {
 	updates := flag.Float64("updates", 1, "updates per key per simulated hour (Table 1: 1)")
 	seed := flag.Int64("seed", 1, "simulation seed; the run replays bit-identically per seed")
 	cluster := flag.Bool("cluster", false, "use the LAN cluster profile instead of Table 1's WAN model")
+	ring := flag.String("ring", "chord", "overlay substrate: chord, can or onehop (see docs/LOOKUP.md)")
+	pathCache := flag.Int("path-cache", 0, "per-peer lookup path cache capacity in arcs; 0 disables it")
+	republish := flag.Duration("republish", 0, "periodic republish interval (peers re-push replicas they no longer own); 0 disables it")
 	scen := flag.String("scenario", "", "scripted scenario to play over the window: calm, churn-wave, split-heal, lossy-wan or mass-crash (see docs/SCENARIOS.md); empty plays none")
 	metricsOut := flag.String("metrics-out", "", "write the run's aggregated metrics snapshot as JSON to this file (see docs/OBSERVABILITY.md)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -77,6 +82,15 @@ func main() {
 	sc.ChurnRate = *churn
 	sc.FailRate = *fail
 	sc.UpdateRate = *updates
+	switch exp.RingKind(*ring) {
+	case exp.RingChord, exp.RingCAN, exp.RingOneHop:
+		sc.Ring = exp.RingKind(*ring)
+	default:
+		log.Error("unknown -ring (want chord, can or onehop)", "ring", *ring)
+		os.Exit(2)
+	}
+	sc.PathCache = *pathCache
+	sc.RepublishEvery = *republish
 	if *cluster {
 		sc.Net = simwire.Cluster()
 		sc.Chord.RPCTimeout = 250 * time.Millisecond
@@ -85,6 +99,9 @@ func main() {
 		sc.Chord.CheckPredEvery = 2 * time.Second
 		sc.Grace = 10 * time.Millisecond
 	}
+	// The alternative substrates track chord's maintenance cadence.
+	sc.CAN = can.Config{PingEvery: sc.Chord.CheckPredEvery, RPCTimeout: sc.Chord.RPCTimeout}
+	sc.OneHop = onehop.Config{PingEvery: sc.Chord.CheckPredEvery, RPCTimeout: sc.Chord.RPCTimeout}
 
 	if *scen != "" {
 		script, err := scenario.Builtin(*scen, sc.Duration)
@@ -95,7 +112,7 @@ func main() {
 		sc.Script = &script
 	}
 
-	log.Info("running", "alg", string(algorithm), "peers", sc.Peers,
+	log.Info("running", "alg", string(algorithm), "ring", string(sc.Ring), "peers", sc.Peers,
 		"replicas", sc.Replicas, "keys", sc.Keys, "duration", sc.Duration,
 		"churn_per_sec", sc.ChurnRate, "fail_rate", sc.FailRate,
 		"updates_per_hour", sc.UpdateRate)

@@ -7,12 +7,14 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/can"
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/exp"
 	"repro/internal/kts"
 	"repro/internal/network"
 	"repro/internal/network/simwire"
+	"repro/internal/onehop"
 	"repro/internal/repair"
 	"repro/internal/scenario"
 )
@@ -46,12 +48,49 @@ var (
 // Mode selects the KTS counter initialization strategy.
 type Mode = kts.InitMode
 
+// Ring selects the overlay substrate a deployment runs on. All three
+// substrates implement the same dht.Ring contract, so KTS/UMS/BRK run
+// on any of them unchanged.
+type Ring = exp.RingKind
+
+// The ring substrates.
+const (
+	// RingChord is the paper's primary substrate: O(log n) finger-table
+	// routing (default).
+	RingChord = exp.RingChord
+	// RingCAN is the d-dimensional coordinate-space overlay (§4.2.1.1).
+	RingCAN = exp.RingCAN
+	// RingOneHop keeps a full routing table per node via membership
+	// event propagation: O(1) lookups bought with O(n) event fan-out
+	// under churn (the D1HT trade).
+	RingOneHop = exp.RingOneHop
+)
+
+// ParseRing parses the -ring flag spellings "chord", "can" and
+// "onehop" (empty means the chord default).
+func ParseRing(s string) (Ring, error) {
+	switch Ring(s) {
+	case "", RingChord:
+		return RingChord, nil
+	case RingCAN:
+		return RingCAN, nil
+	case RingOneHop:
+		return RingOneHop, nil
+	}
+	return "", fmt.Errorf("dcdht: unknown ring %q (want chord, can or onehop)", s)
+}
+
 // RepairStats reports the replica-maintenance subsystem's cumulative
 // work: sweep rounds run, replicas actually healed (pushes kept under
 // PutIfNewer), read-repair refreshes, and the maintenance traffic in
 // messages and bytes. Aggregated across peers on SimNetwork; per node on
 // Node.
 type RepairStats = repair.Stats
+
+// PathCacheStats reports the lookup path cache's counters: hits,
+// misses, stale fallbacks and the arcs currently cached. Per peer on
+// Node; aggregate with MetricsSnapshot on SimNetwork.
+type PathCacheStats = dht.PathCacheStats
 
 // The two UMS variants of the paper's evaluation.
 const (
@@ -97,6 +136,22 @@ type SimConfig struct {
 	Seed int64
 	// Cluster selects the LAN profile instead of Table 1's WAN model.
 	Cluster bool
+	// Ring picks the overlay substrate. The zero value keeps the
+	// paper's Chord.
+	Ring Ring
+	// PathCache gives every peer a lookup path cache with this many
+	// arcs: resolved lookups are remembered per key range and re-used
+	// after a liveness-and-ownership probe, cutting repeat-lookup hops
+	// on any substrate. Zero disables it.
+	PathCache int
+	// RepublishEvery enables the periodic republisher with the given
+	// period: peers re-push replicas they still hold but no longer own
+	// to the current responsible, restoring reachability under the
+	// paper's no-handoff data model. Zero disables it.
+	RepublishEvery time.Duration
+	// RepublishPerRound caps how many keys one republish round pushes
+	// per peer. Default 16.
+	RepublishPerRound int
 	// FailureRate is the fraction of ChurnOne departures that crash
 	// instead of leaving gracefully. nil selects Table 1's 0.05; use
 	// Float(0) for a network whose departures are all graceful — a plain
@@ -162,23 +217,35 @@ func NewSimNetwork(n int, cfg SimConfig) *SimNetwork {
 	net := simwire.Table1()
 	sc := exp.Table1Scenario(exp.AlgUMSDirect, n, cfg.Seed)
 	chordCfg := sc.Chord
+	// The alternative substrates' maintenance timers track chord's: one
+	// liveness/update probe period and the shared RPC patience.
+	canCfg := can.Config{PingEvery: chordCfg.CheckPredEvery, RPCTimeout: chordCfg.RPCTimeout}
+	hopCfg := onehop.Config{PingEvery: chordCfg.CheckPredEvery, RPCTimeout: chordCfg.RPCTimeout}
 	if cfg.Cluster {
 		net = simwire.Cluster()
 		chordCfg.RPCTimeout = 250 * time.Millisecond
 		chordCfg.StabilizeEvery = 2 * time.Second
 		chordCfg.FixFingersEvery = 2 * time.Second
 		chordCfg.CheckPredEvery = 2 * time.Second
+		canCfg = can.Config{PingEvery: 2 * time.Second, RPCTimeout: 250 * time.Millisecond}
+		hopCfg = onehop.Config{PingEvery: 2 * time.Second, RPCTimeout: 250 * time.Millisecond}
 	}
 	d := exp.NewDeployment(exp.DeployConfig{
-		Peers:        n,
-		Replicas:     cfg.Replicas,
-		Seed:         cfg.Seed,
-		Net:          net,
-		Chord:        chordCfg,
-		KTSMode:      cfg.Mode,
-		GraceDelay:   cfg.GraceDelay,
-		InspectEvery: cfg.Inspect,
-		Repair:       cfg.repairConfig(),
+		Peers:             n,
+		Replicas:          cfg.Replicas,
+		Seed:              cfg.Seed,
+		Net:               net,
+		Ring:              cfg.Ring,
+		Chord:             chordCfg,
+		CAN:               canCfg,
+		OneHop:            hopCfg,
+		PathCache:         cfg.PathCache,
+		RepublishEvery:    cfg.RepublishEvery,
+		RepublishPerRound: cfg.RepublishPerRound,
+		KTSMode:           cfg.Mode,
+		GraceDelay:        cfg.GraceDelay,
+		InspectEvery:      cfg.Inspect,
+		Repair:            cfg.repairConfig(),
 	})
 	sim := &SimNetwork{cfg: cfg, failRate: failRate, d: d, rng: d.K.NewRand("facade")}
 	// Let maintenance settle before handing the network to the caller.

@@ -22,6 +22,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // D is the dimensionality of the coordinate space.
@@ -152,6 +154,10 @@ type Config struct {
 	// NoDataHandoff disables moving stored replicas on zone handoffs
 	// (see chord.Config.NoDataHandoff — the paper's DHT model).
 	NoDataHandoff bool
+	// Store backs the local replica store; nil uses volatile memory.
+	Store store.Store
+	// Obs registers routing metrics; nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -164,10 +170,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// neighbor is this node's view of an adjacent peer.
+// neighbor is this node's view of an adjacent peer. strikes counts
+// consecutive failed probe rounds; takeover fires on the second strike,
+// not the first, so the one-round-trip window of a graceful leave (the
+// leaver goes silent before its Gone notices land) cannot trigger a
+// spurious crash takeover that double-claims zones the designated
+// successor already absorbed.
 type neighbor struct {
-	ref   dht.NodeRef
-	zones []Zone
+	ref     dht.NodeRef
+	zones   []Zone
+	strikes int
 }
 
 // Node is one CAN peer. A node usually owns one zone; after taking over
@@ -191,6 +203,7 @@ type Node struct {
 
 var _ dht.Ring = (*Node)(nil)
 var _ dht.HandoverRegistrar = (*Node)(nil)
+var _ dht.RingNode = (*Node)(nil)
 
 // New creates a node. Call CreateSpace or Join before Start.
 func New(env network.Env, ep network.Endpoint, id core.ID, cfg Config) *Node {
@@ -202,6 +215,23 @@ func New(env network.Env, ep network.Endpoint, id core.ID, cfg Config) *Node {
 		store:     dht.NewLocalStore(),
 		neighbors: make(map[core.ID]*neighbor),
 		alive:     true,
+	}
+	if cfg.Store != nil {
+		n.store = dht.NewLocalStoreOn(cfg.Store)
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.GaugeFunc("dcdht_can_neighbors", "CAN neighbor-table entries on this node.",
+			func() float64 {
+				n.mu.Lock()
+				defer n.mu.Unlock()
+				return float64(len(n.neighbors))
+			})
+		cfg.Obs.GaugeFunc("dcdht_can_zones", "Zones currently owned by this node.",
+			func() float64 {
+				n.mu.Lock()
+				defer n.mu.Unlock()
+				return float64(len(n.zones))
+			})
 	}
 	n.registerHandlers()
 	dht.RegisterStore(ep, n.store, n.OwnsID)
@@ -276,6 +306,25 @@ func (n *Node) CreateSpace() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.zones = []Zone{FullZone()}
+}
+
+// CreateRing implements dht.RingNode; on CAN "the ring" is the
+// coordinate space.
+func (n *Node) CreateRing() { n.CreateSpace() }
+
+// Nudge implements dht.RingNode, best-effort. CAN has no cheap
+// cross-partition rendezvous: after a split both sides' zone sets still
+// tile the full space, so re-merging ownership would need zone
+// arbitration, not just a pointer nudge. Nudge therefore only
+// re-announces this node's zones to its current neighborhood (refreshing
+// peers whose view went stale during the partition); the conformance
+// suite exercises heal re-merge only on substrates that declare support.
+func (n *Node) Nudge(bootstrap network.Addr) error {
+	if !n.Alive() {
+		return core.ErrStopped
+	}
+	n.broadcastUpdate()
+	return nil
 }
 
 // Crash models a failure: no handoff, the storage backing fails (for the

@@ -148,19 +148,44 @@ func (n *Node) Start() {
 	})
 }
 
-// probeNeighbors pings one round of neighbors and handles deaths.
+// probeNeighbors runs one round over the neighbor set, in ID order so a
+// replay of the same seed probes in the same sequence. Each probe is a
+// zone Update exchange rather than a bare ping: liveness checking and
+// view anti-entropy in one message. The exchange is what lets a node
+// whose view decayed during compound churn recover — any neighbor that
+// still knows it keeps re-introducing itself (and its current zones)
+// every period, so stale attributions converge instead of persisting as
+// routing black holes.
 func (n *Node) probeNeighbors() {
 	n.mu.Lock()
+	info := NeighborInfo{Ref: n.self, Zones: append([]Zone(nil), n.zones...)}
 	refs := make([]*neighbor, 0, len(n.neighbors))
 	for _, nb := range n.neighbors {
 		refs = append(refs, nb)
 	}
 	n.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ref.ID < refs[j].ref.ID })
 	for _, nb := range refs {
-		if _, err := n.call(context.Background(), nb.ref.Addr, methodPing, PingReq{}); err == nil {
+		raw, err := n.call(context.Background(), nb.ref.Addr, methodUpdate, UpdateReq{Info: info})
+		if err == nil {
+			n.applyNeighborInfo(raw.(UpdateResp).Info)
+			n.mu.Lock()
+			if cur, ok := n.neighbors[nb.ref.ID]; ok {
+				cur.strikes = 0
+			}
+			n.mu.Unlock()
 			continue
 		}
-		n.handleDeadNeighbor(nb)
+		n.mu.Lock()
+		cur, ok := n.neighbors[nb.ref.ID]
+		if ok {
+			cur.strikes++
+		}
+		dead := ok && cur.strikes >= 2
+		n.mu.Unlock()
+		if dead {
+			n.handleDeadNeighbor(nb)
+		}
 	}
 }
 
@@ -168,6 +193,17 @@ func (n *Node) probeNeighbors() {
 // designated takeover peer, adopts the orphaned zones. The dead peer's
 // store and counters are gone — the indirect algorithm will rebuild
 // counters from replicas, exactly the failure path of §4.2.2.
+//
+// A detector that is NOT designated still attributes the dead zones to
+// its view's designated peer: every ex-neighbor of the dead node probes
+// it directly and runs this handler, and without the attribution the
+// ones that do not abut the actual taker would be left with a black
+// hole — greedy walks toward the orphaned region would bounce between
+// live nodes that each believe somebody else is closer, a permanent
+// routing loop. With it, every detector keeps a pointer covering the
+// region; if its designee differs from the actual taker, the designee's
+// own routing state carries the walk onward, and the taker's zone
+// update corrects the view on the next broadcast.
 func (n *Node) handleDeadNeighbor(dead *neighbor) {
 	n.mu.Lock()
 	delete(n.neighbors, dead.ref.ID)
@@ -177,7 +213,7 @@ func (n *Node) handleDeadNeighbor(dead *neighbor) {
 	for _, z := range n.zones {
 		myVol += z.Volume()
 	}
-	bestVol, bestID := myVol, n.self.ID
+	bestVol, bestID, bestRef := myVol, n.self.ID, n.self
 	for _, nb := range n.neighbors {
 		abuts := false
 		for _, dz := range dead.zones {
@@ -195,12 +231,16 @@ func (n *Node) handleDeadNeighbor(dead *neighbor) {
 			v += z.Volume()
 		}
 		if v < bestVol || (v == bestVol && nb.ref.ID < bestID) {
-			bestVol, bestID = v, nb.ref.ID
+			bestVol, bestID, bestRef = v, nb.ref.ID, nb.ref
 		}
 	}
 	mine := bestID == n.self.ID
 	if mine {
 		n.zones = append(n.zones, dead.zones...)
+	} else if nb, ok := n.neighbors[bestID]; ok {
+		nb.zones = append(nb.zones, dead.zones...)
+	} else {
+		n.neighbors[bestID] = &neighbor{ref: bestRef, zones: append([]Zone(nil), dead.zones...)}
 	}
 	n.mu.Unlock()
 	if mine {

@@ -224,7 +224,11 @@ func (n *Node) routeStep(target Point, exclude map[core.ID]bool) RouteStepResp {
 		}
 	}
 	if best == nil {
-		return RouteStepResp{Done: true, Next: n.self}
+		// No local zone contains the target and every neighbor is
+		// excluded (or there are none): routing has no way forward.
+		// Answering Done here would hand the caller a non-owner; a zero
+		// Next tells it to give up on this path instead.
+		return RouteStepResp{}
 	}
 	return RouteStepResp{Next: best.ref}
 }
@@ -402,6 +406,11 @@ func (n *Node) lookupOnce(ctx context.Context, target Point, exclude map[core.ID
 			resp = n.routeStep(target, exclude)
 		} else {
 			if visited[cur.ID] {
+				// cur is live but its view loops: it forwarded this walk
+				// away once already, so it does not own the target.
+				// Exclude it so the retry routes around the confusion
+				// (stale zone attributions after compound churn).
+				exclude[cur.ID] = true
 				return dht.NodeRef{}, hops, fmt.Errorf("can: routing loop at %s: %w", cur.ID, core.ErrUnreachable)
 			}
 			visited[cur.ID] = true
@@ -422,7 +431,13 @@ func (n *Node) lookupOnce(ctx context.Context, target Point, exclude map[core.ID
 			return resp.Next, hops, nil
 		}
 		if resp.Next.IsZero() || resp.Next.ID == cur.ID {
-			return cur, hops, nil
+			// cur answered not-Done with nowhere to forward: it is a
+			// proven non-owner at a dead end, so routing around it on
+			// the retry is safe.
+			if cur.ID != n.self.ID {
+				exclude[cur.ID] = true
+			}
+			return dht.NodeRef{}, hops, fmt.Errorf("can: routing stuck at %s: %w", cur.ID, core.ErrUnreachable)
 		}
 		cur = resp.Next
 	}

@@ -120,6 +120,8 @@ type Node struct {
 	metrics chordMetrics
 }
 
+var _ dht.RingNode = (*Node)(nil)
+
 // chordMetrics are the ring's routing/maintenance observables. They use
 // only atomic counters and the locked histogram — never the clock or a
 // random stream — so instrumentation cannot perturb a simulation replay.

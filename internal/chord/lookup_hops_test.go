@@ -1,0 +1,80 @@
+package chord
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// TestLookupHopsCountRetriedDeadProbes pins the hop-accounting contract
+// of Lookup across retried dead-hop exclusion paths: hops must count
+// every remote probe actually made — including probes of peers that
+// turned out dead — not just the probes of the attempt that finally
+// succeeded. The lookup figure's honesty rests on this: a retry that
+// reset the counter would make routing under churn look cheaper than
+// the traffic the network carried.
+//
+// Topology (explicit IDs, no maintenance running, so routing state is
+// exactly what AssembleRing installed):
+//
+//	A=100 → B=200 → C=300 → D=400, target t=350 ∈ (C, D]
+//
+// Clean, A routes t via its closest preceding finger C in one probe.
+// With C crashed: attempt 1 probes C (dead, 1 probe), excludes it;
+// attempt 2 routes via B (1 probe), whose successor list skips C and
+// answers D. Total probes = 2, and Lookup must report exactly that.
+func TestLookupHopsCountRetriedDeadProbes(t *testing.T) {
+	tr := newTestRing(t, 77)
+	ids := []core.ID{100, 200, 300, 400}
+	names := []string{"hopA", "hopB", "hopC", "hopD"}
+	nodes := make([]*Node, len(ids))
+	for i := range ids {
+		ep := tr.net.NewEndpoint(names[i])
+		nodes[i] = New(tr.net.Env(), ep, ids[i], testCfg())
+	}
+	AssembleRing(nodes)
+	a, c, d := nodes[0], nodes[2], nodes[3]
+	const target = core.ID(350)
+
+	// Clean path: one probe (C answers Done: D owns (300, 400]).
+	tr.do(func() {
+		ref, hops, err := a.Lookup(context.Background(), target)
+		if err != nil {
+			t.Fatalf("clean lookup: %v", err)
+		}
+		if ref.ID != d.Self().ID {
+			t.Fatalf("clean lookup resolved %s, want %s", ref.ID, d.Self().ID)
+		}
+		if hops != 1 {
+			t.Fatalf("clean lookup took %d hops, want 1", hops)
+		}
+	})
+
+	// Kill C silently: the probe of C must still be counted.
+	c.Crash()
+	tr.net.Kill(c.Self().Addr)
+	tr.settle(time.Second)
+
+	tr.do(func() {
+		m := &network.Meter{}
+		ref, hops, err := a.Lookup(network.WithMeter(context.Background(), m), target)
+		if err != nil {
+			t.Fatalf("lookup with dead hop: %v", err)
+		}
+		if ref.ID != d.Self().ID {
+			t.Fatalf("lookup with dead hop resolved %s, want %s", ref.ID, d.Self().ID)
+		}
+		if hops != 2 {
+			t.Fatalf("lookup with dead hop reported %d hops, want 2 (dead probe of C + live probe of B)", hops)
+		}
+		// The meter corroborates: the dead probe sent a request that got
+		// no reply, the live probe a full round trip.
+		if m.Msgs < hops || m.Msgs > 2*hops {
+			t.Errorf("meter counted %d msgs for %d probes, outside [%d, %d]", m.Msgs, hops, hops, 2*hops)
+		}
+	})
+
+}

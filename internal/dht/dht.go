@@ -74,6 +74,33 @@ type Ring interface {
 	Alive() bool
 }
 
+// RingNode is the full lifecycle surface a DHT substrate exposes to the
+// deployment layer: the lookup service plus membership operations. All
+// three substrates (chord.Node, can.Node, onehop.Node) implement it, so
+// harnesses and the public facade can swap rings without caring which
+// overlay routes underneath.
+type RingNode interface {
+	Ring
+	HandoverRegistrar
+	// CreateRing bootstraps a new overlay with this node as its only
+	// member.
+	CreateRing()
+	// Join inserts this node into the overlay reachable at bootstrap,
+	// taking over its share of the key space.
+	Join(bootstrap network.Addr) error
+	// Leave departs gracefully, ceding state to the remaining members.
+	Leave() error
+	// Crash kills the node without ceremony: no handover, no goodbyes.
+	Crash()
+	// Start launches the substrate's background maintenance.
+	Start()
+	// Nudge points the node at a live peer so a partitioned or stale
+	// overlay can re-merge — the post-heal rendezvous.
+	Nudge(bootstrap network.Addr) error
+	// Store returns the replica store this peer hosts.
+	Store() *LocalStore
+}
+
 // PutMode selects the overwrite discipline of a store operation.
 type PutMode int
 
@@ -121,6 +148,20 @@ type GetResp struct {
 // WireSize charges the payload against the simulated bandwidth.
 func (r GetResp) WireSize() int { return network.DefaultWireSize + len(r.Val.Data) }
 
+// OwnsReq asks a peer whether it is currently responsible for a ring
+// position. The path cache uses it as a one-message probe: before
+// trusting a cached owner, ask the owner itself. The answer comes from
+// the peer's live view, so a node that ceded the arc since the cache
+// entry was learned answers false and the caller re-resolves.
+type OwnsReq struct {
+	RingID core.ID
+}
+
+// OwnsResp answers an ownership probe.
+type OwnsResp struct {
+	Owns bool
+}
+
 // Item is one stored replica, as moved in bulk during handovers.
 type Item struct {
 	RingID core.ID
@@ -129,7 +170,8 @@ type Item struct {
 }
 
 func init() {
-	network.RegisterMessage(PutReq{}, PutResp{}, GetReq{}, GetResp{}, Item{}, []Item(nil), NodeRef{})
+	network.RegisterMessage(PutReq{}, PutResp{}, GetReq{}, GetResp{}, Item{}, []Item(nil), NodeRef{},
+		OwnsReq{}, OwnsResp{})
 }
 
 // Qualifier builds the storage qualifier for key k replicated under hash
@@ -155,6 +197,7 @@ func ParseQualifier(q string) (ns string, k core.Key, hname string, ok bool) {
 
 // Methods registered by RegisterStore.
 const (
-	MethodPut = "dht.Put"
-	MethodGet = "dht.Get"
+	MethodPut  = "dht.Put"
+	MethodGet  = "dht.Get"
+	MethodOwns = "dht.Owns"
 )

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/brk"
+	"repro/internal/can"
 	"repro/internal/chord"
 	"repro/internal/core"
 	"repro/internal/dht"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/kts"
 	"repro/internal/network/simwire"
 	"repro/internal/obs"
+	"repro/internal/onehop"
 	"repro/internal/repair"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -38,11 +40,27 @@ const (
 // Algorithms lists the contenders in the paper's plotting order.
 var Algorithms = []Algorithm{AlgBRK, AlgUMSIndirect, AlgUMSDirect}
 
+// RingKind selects the overlay substrate a deployment runs on.
+type RingKind string
+
+// The three substrates behind dht.RingNode.
+const (
+	RingChord  RingKind = "chord"
+	RingCAN    RingKind = "can"
+	RingOneHop RingKind = "onehop"
+)
+
 // Peer bundles one simulated peer's substrate and services.
 type Peer struct {
-	Name   string
-	EP     *simwire.Endpoint
-	Node   *chord.Node
+	Name string
+	EP   *simwire.Endpoint
+	// Node is the substrate node (chord, can or onehop).
+	Node dht.RingNode
+	// Ring is the service-facing lookup surface: Node itself, or the
+	// path cache wrapped around it when the deployment enables one.
+	Ring   dht.Ring
+	Cache  *dht.CachedRing  // nil unless Cfg.PathCache > 0
+	Repub  *dht.Republisher // nil unless Cfg.RepublishEvery > 0
 	KTS    *kts.Service
 	UMS    *ums.Service
 	BRK    *brk.Service
@@ -58,8 +76,20 @@ type DeployConfig struct {
 	Replicas int // |Hr|
 	Seed     int64
 	Net      simwire.Config
-	Chord    chord.Config
-	KTSMode  kts.InitMode
+	// Ring picks the substrate; zero value means RingChord, keeping
+	// every pre-existing call site unchanged.
+	Ring   RingKind
+	Chord  chord.Config
+	CAN    can.Config    // used when Ring == RingCAN
+	OneHop onehop.Config // used when Ring == RingOneHop
+	// PathCache wraps each peer's service-facing ring in a lookup path
+	// cache with this many arcs (0 = off).
+	PathCache int
+	// RepublishEvery runs each peer's periodic republisher at this
+	// period (0 = off); RepublishPerRound bounds one round's pushes.
+	RepublishEvery    time.Duration
+	RepublishPerRound int
+	KTSMode           kts.InitMode
 	// GraceDelay for the indirect algorithm; zero uses the KTS default.
 	GraceDelay time.Duration
 	// InspectEvery enables KTS periodic inspection.
@@ -131,6 +161,11 @@ type Deployment struct {
 func NewDeployment(cfg DeployConfig) *Deployment {
 	k := simnet.New(cfg.Seed)
 	cfg.Chord.NoDataHandoff = cfg.PaperDataModel
+	cfg.CAN.NoDataHandoff = cfg.PaperDataModel
+	cfg.OneHop.NoDataHandoff = cfg.PaperDataModel
+	if cfg.Ring == "" {
+		cfg.Ring = RingChord
+	}
 	d := &Deployment{
 		Cfg: cfg,
 		K:   k,
@@ -144,17 +179,45 @@ func NewDeployment(cfg DeployConfig) *Deployment {
 		d.Obs = obs.NewRegistry()
 		d.tracer = obs.NewMetricsTracer(d.Obs)
 	}
-	nodes := make([]*chord.Node, 0, cfg.Peers)
+	nodes := make([]dht.RingNode, 0, cfg.Peers)
 	for i := 0; i < cfg.Peers; i++ {
 		p := d.newPeer()
 		d.Peers = append(d.Peers, p)
 		nodes = append(nodes, p.Node)
 	}
-	chord.AssembleRing(nodes)
+	assembleRing(cfg.Ring, nodes)
 	for _, p := range d.Peers {
 		p.Node.Start()
+		if p.Repub != nil {
+			p.Repub.Start()
+		}
 	}
 	return d
+}
+
+// assembleRing wires the freshly created nodes administratively, per
+// substrate.
+func assembleRing(kind RingKind, nodes []dht.RingNode) {
+	switch kind {
+	case RingCAN:
+		concrete := make([]*can.Node, len(nodes))
+		for i, n := range nodes {
+			concrete[i] = n.(*can.Node)
+		}
+		can.AssembleSpace(concrete)
+	case RingOneHop:
+		concrete := make([]*onehop.Node, len(nodes))
+		for i, n := range nodes {
+			concrete[i] = n.(*onehop.Node)
+		}
+		onehop.AssembleRing(concrete)
+	default:
+		concrete := make([]*chord.Node, len(nodes))
+		for i, n := range nodes {
+			concrete[i] = n.(*chord.Node)
+		}
+		chord.AssembleRing(concrete)
+	}
 }
 
 // newPeer creates a peer under the next fresh name (not joined).
@@ -169,8 +232,40 @@ func (d *Deployment) newPeer() *Peer {
 // peer's name resumes that peer's retained state.
 func (d *Deployment) newPeerNamed(name string) *Peer {
 	ep := d.Net.NewEndpoint(name)
-	chordCfg := d.Cfg.Chord
-	chordCfg.Obs = d.Obs
+	var backing store.Store
+	if d.Depot != nil {
+		backing = d.Depot.Open(name)
+	}
+	var node dht.RingNode
+	switch d.Cfg.Ring {
+	case RingCAN:
+		canCfg := d.Cfg.CAN
+		canCfg.Obs = d.Obs
+		canCfg.Store = backing
+		node = can.New(d.Net.Env(), ep, hashing.NodeID(name), canCfg)
+	case RingOneHop:
+		hopCfg := d.Cfg.OneHop
+		hopCfg.Obs = d.Obs
+		hopCfg.Store = backing
+		node = onehop.New(d.Net.Env(), ep, hashing.NodeID(name), hopCfg)
+	default:
+		chordCfg := d.Cfg.Chord
+		chordCfg.Obs = d.Obs
+		chordCfg.Store = backing
+		node = chord.New(d.Net.Env(), ep, hashing.NodeID(name), chordCfg)
+	}
+	// The service-facing lookup surface: the node itself, or the path
+	// cache wrapped around it. Services route reads and writes through
+	// it; the substrate's own protocol traffic stays on the inner ring.
+	var ring dht.Ring = node
+	var cache *dht.CachedRing
+	if d.Cfg.PathCache > 0 {
+		cache = dht.NewCachedRing(node, dht.PathCacheConfig{
+			Capacity: d.Cfg.PathCache,
+			Obs:      d.Obs,
+		})
+		ring = cache
+	}
 	ktsCfg := kts.Config{
 		Mode:         d.Cfg.KTSMode,
 		GraceDelay:   d.Cfg.GraceDelay,
@@ -178,28 +273,25 @@ func (d *Deployment) newPeerNamed(name string) *Peer {
 		RPCTimeout:   d.Cfg.ktsTimeout(),
 		RLU:          d.Cfg.RLU,
 		Obs:          d.Obs,
+		Persist:      backing,
 	}
-	if d.Depot != nil {
-		backing := d.Depot.Open(name)
-		chordCfg.Store = backing
-		ktsCfg.Persist = backing
-	}
-	node := chord.New(d.Net.Env(), ep, hashing.NodeID(name), chordCfg)
-	ktsSvc := kts.New(node, d.Set, ums.Namespace, ktsCfg)
-	if d.Depot != nil {
+	ktsSvc := kts.New(ring, d.Set, ums.Namespace, ktsCfg)
+	if backing != nil {
 		// Seed the counter service with what the slot retained, so a
 		// restarted responsible continues above every pre-crash grant.
-		for _, c := range chordCfg.Store.Counters() {
+		for _, c := range backing.Counters() {
 			ktsSvc.SeedCounters([]kts.CounterEntry{{Key: c.Key, TS: c.TS}})
 		}
 	}
 	p := &Peer{
-		Name: name,
-		EP:   ep,
-		Node: node,
-		KTS:  ktsSvc,
-		UMS:  ums.New(node, d.Set, ktsSvc),
-		BRK:  brk.New(node, d.Set),
+		Name:  name,
+		EP:    ep,
+		Node:  node,
+		Ring:  ring,
+		Cache: cache,
+		KTS:   ktsSvc,
+		UMS:   ums.New(ring, d.Set, ktsSvc),
+		BRK:   brk.New(ring, d.Set),
 	}
 	if d.tracer != nil {
 		p.UMS.SetTracer(d.tracer)
@@ -208,9 +300,16 @@ func (d *Deployment) newPeerNamed(name string) *Peer {
 	if d.Cfg.Repair.Enabled() {
 		rcfg := d.Cfg.Repair
 		rcfg.Obs = d.Obs
-		p.Repair = repair.New(node, d.Set, ktsSvc, node.Store(), ums.Namespace, rcfg)
+		p.Repair = repair.New(ring, d.Set, ktsSvc, node.Store(), ums.Namespace, rcfg)
 		p.UMS.SetReadRepair(p.Repair)
 		p.Repair.Start()
+	}
+	if d.Cfg.RepublishEvery > 0 {
+		p.Repub = dht.NewRepublisher(ring, node.Store(), dht.RepublishConfig{
+			Every:    d.Cfg.RepublishEvery,
+			PerRound: d.Cfg.RepublishPerRound,
+			Obs:      d.Obs,
+		})
 	}
 	return p
 }
@@ -271,6 +370,9 @@ func (d *Deployment) SpawnJoin(rng interface{ Intn(int) int }) *Peer {
 			continue
 		}
 		p.Node.Start()
+		if p.Repub != nil {
+			p.Repub.Start()
+		}
 		d.Peers = append(d.Peers, p)
 		return p
 	}
@@ -342,6 +444,9 @@ func (d *Deployment) RestartWithState(name string, rng interface{ Intn(int) int 
 		return nil
 	}
 	p.Node.Start()
+	if p.Repub != nil {
+		p.Repub.Start()
+	}
 	d.Peers = append(d.Peers, p)
 	if d.Depot != nil {
 		// Recovery strategy: ship the recovered counters to whoever is

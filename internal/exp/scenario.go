@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/can"
 	"repro/internal/chord"
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/kts"
 	"repro/internal/network/simwire"
 	"repro/internal/obs"
+	"repro/internal/onehop"
 	"repro/internal/repair"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -38,11 +40,21 @@ type Scenario struct {
 	UpdateRate float64       // updates per key per hour (Table 1: 1)
 
 	// Environment.
-	Seed    int64
-	Net     simwire.Config
-	Chord   chord.Config
-	Grace   time.Duration
-	Inspect time.Duration
+	Seed int64
+	Net  simwire.Config
+	// Ring picks the overlay substrate (zero value = RingChord).
+	Ring   RingKind
+	Chord  chord.Config
+	CAN    can.Config
+	OneHop onehop.Config
+	// PathCache enables the per-peer lookup path cache with this many
+	// arcs (0 = off); RepublishEvery/RepublishPerRound run the periodic
+	// republisher (see DeployConfig).
+	PathCache         int
+	RepublishEvery    time.Duration
+	RepublishPerRound int
+	Grace             time.Duration
+	Inspect           time.Duration
 	// RLU enables the §4.3 Responsibility-Loss-Unaware KTS fallback
 	// (ablation).
 	RLU bool
@@ -155,18 +167,24 @@ func (sc *Scenario) retrieve(p *Peer, k core.Key) (dht.OpResult, error) {
 func Run(sc Scenario) *Result {
 	wallStart := time.Now()
 	cfg := DeployConfig{
-		Peers:          sc.Peers,
-		Replicas:       sc.Replicas,
-		Seed:           sc.Seed,
-		Net:            sc.Net,
-		Chord:          sc.Chord,
-		GraceDelay:     sc.Grace,
-		InspectEvery:   sc.Inspect,
-		RLU:            sc.RLU,
-		PaperDataModel: !sc.DataHandoff,
-		Repair:         sc.Repair,
-		Durable:        sc.Durable,
-		NoObs:          sc.NoObs,
+		Peers:             sc.Peers,
+		Replicas:          sc.Replicas,
+		Seed:              sc.Seed,
+		Net:               sc.Net,
+		Ring:              sc.Ring,
+		Chord:             sc.Chord,
+		CAN:               sc.CAN,
+		OneHop:            sc.OneHop,
+		PathCache:         sc.PathCache,
+		RepublishEvery:    sc.RepublishEvery,
+		RepublishPerRound: sc.RepublishPerRound,
+		GraceDelay:        sc.Grace,
+		InspectEvery:      sc.Inspect,
+		RLU:               sc.RLU,
+		PaperDataModel:    !sc.DataHandoff,
+		Repair:            sc.Repair,
+		Durable:           sc.Durable,
+		NoObs:             sc.NoObs,
 	}
 	if sc.Algorithm == AlgUMSIndirect {
 		cfg.KTSMode = kts.ModeIndirect

@@ -1,0 +1,75 @@
+package onehop_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/dht/ringtest"
+	"repro/internal/hashing"
+	"repro/internal/network"
+	"repro/internal/network/simwire"
+	"repro/internal/onehop"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// factory plugs the one-hop ring into the cross-implementation
+// conformance suite with the same test-brisk timers the suite's own
+// sweep uses (internal/dht/ringtest). Running it here as well puts the
+// package's own statements under its coverage gate.
+func factory() ringtest.Factory {
+	return ringtest.Factory{
+		Name: "onehop",
+		New: func(env network.Env, ep network.Endpoint, id core.ID) dht.RingNode {
+			return onehop.New(env, ep, id, onehop.Config{
+				PingEvery:  500 * time.Millisecond,
+				RPCTimeout: 200 * time.Millisecond,
+			})
+		},
+		Assemble: func(nodes []dht.RingNode) {
+			concrete := make([]*onehop.Node, len(nodes))
+			for i, n := range nodes {
+				concrete[i] = n.(*onehop.Node)
+			}
+			onehop.AssembleRing(concrete)
+		},
+		MaxMeanHops:        func(n int) float64 { return 1.1 },
+		SupportsNudgeMerge: true,
+	}
+}
+
+func TestConformance(t *testing.T) { ringtest.Run(t, factory()) }
+
+// TestSingleNodeOwnsEverything pins the ownership predicate's edge
+// cases on a singleton ring: the only member owns everything, including
+// its own identity and the ID just before it, and its table and
+// predecessor describe the one-node topology.
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	k := simnet.New(1)
+	defer k.Stop()
+	net := simwire.New(k, simwire.Config{
+		LatencyMS:      stats.Normal{Mean: 5, Variance: 0, Min: 5},
+		BandwidthKbps:  stats.Normal{Mean: 1e6, Variance: 0, Min: 1e6},
+		DefaultTimeout: 200 * time.Millisecond,
+	})
+	ep := net.NewEndpoint("solo")
+	n := onehop.New(net.Env(), ep, hashing.NodeID("solo"), onehop.Config{
+		PingEvery:  500 * time.Millisecond,
+		RPCTimeout: 200 * time.Millisecond,
+	})
+	n.CreateRing()
+	for _, id := range []core.ID{0, n.Self().ID, n.Self().ID - 1, math.MaxUint64} {
+		if !n.OwnsID(id) {
+			t.Errorf("single node does not own %x", uint64(id))
+		}
+	}
+	if got := n.TableSize(); got != 1 {
+		t.Errorf("TableSize() = %d on a singleton ring, want 1", got)
+	}
+	if pred := n.Predecessor(); !pred.IsZero() {
+		t.Errorf("singleton predecessor = %v, want zero (table holds only self)", pred)
+	}
+}

@@ -7,12 +7,15 @@ import (
 	"time"
 
 	"repro/internal/brk"
+	"repro/internal/can"
 	"repro/internal/chord"
+	"repro/internal/dht"
 	"repro/internal/hashing"
 	"repro/internal/kts"
 	"repro/internal/network"
 	"repro/internal/network/tcpwire"
 	"repro/internal/obs"
+	"repro/internal/onehop"
 	"repro/internal/repair"
 	"repro/internal/store"
 	"repro/internal/ums"
@@ -52,6 +55,10 @@ var (
 type NodeConfig struct {
 	// Replicas is |Hr|. Default 10.
 	Replicas int
+	// Ring picks the overlay substrate (RingChord, RingCAN or
+	// RingOneHop). The zero value keeps the paper's Chord. All members
+	// of one deployment must run the same substrate.
+	Ring Ring
 	// Mode selects the counter initialization strategy. Default direct.
 	Mode Mode
 	// Seed drives the node's jitter streams; 0 derives one from the
@@ -82,6 +89,18 @@ type NodeConfig struct {
 	// observes stale or missing replicas among the probed positions
 	// refreshes them asynchronously with the value it found.
 	ReadRepair bool
+	// PathCache gives the node a lookup path cache with this many arcs:
+	// resolved lookups are remembered per key range and re-used after a
+	// liveness-and-ownership probe, cutting repeat-lookup hops on any
+	// substrate. Zero disables it.
+	PathCache int
+	// RepublishEvery enables the periodic republisher with the given
+	// period: the node re-pushes replicas it still holds but no longer
+	// owns to the current responsible. Zero disables it.
+	RepublishEvery time.Duration
+	// RepublishPerRound caps how many keys one republish round pushes.
+	// Default 16.
+	RepublishPerRound int
 	// DataDir, when non-empty, makes the node durable: hosted replicas
 	// and KTS counters are persisted to a write-ahead log in this
 	// directory and recovered on the next start, feeding the paper's
@@ -101,7 +120,9 @@ type NodeConfig struct {
 type Node struct {
 	env    *network.RealEnv
 	ep     *tcpwire.Endpoint
-	chord  *chord.Node
+	ring   dht.RingNode
+	cache  *dht.CachedRing  // nil when the path cache is off
+	repub  *dht.Republisher // nil when republish is off
 	kts    *kts.Service
 	ums    *ums.Service
 	brk    *brk.Service
@@ -133,21 +154,54 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 		}
 	}
 	env := network.NewRealEnv(cfg.Seed)
-	chordCfg := chord.Config{
-		StabilizeEvery:  cfg.StabilizeEvery,
-		FixFingersEvery: cfg.StabilizeEvery,
-		CheckPredEvery:  cfg.StabilizeEvery,
-		RPCTimeout:      2 * time.Second,
-		Obs:             reg,
-	}
+	// Replicas and counters share the one recoverable unit (when
+	// durable). The node's ring position derives from its listen
+	// address, so a restart on the same address resumes the same arc —
+	// the recovered replicas are the ones it is responsible for again.
+	var backing store.Store
 	if wal != nil {
-		// Replicas and counters share the one recoverable unit. The
-		// node's ring position derives from its listen address, so a
-		// restart on the same address resumes the same arc — the
-		// recovered replicas are the ones it is responsible for again.
-		chordCfg.Store = wal
+		backing = wal
 	}
-	node := chord.New(env, ep, hashing.NodeID(string(ep.Addr())), chordCfg)
+	var node dht.RingNode
+	switch cfg.Ring {
+	case "", RingChord:
+		node = chord.New(env, ep, hashing.NodeID(string(ep.Addr())), chord.Config{
+			StabilizeEvery:  cfg.StabilizeEvery,
+			FixFingersEvery: cfg.StabilizeEvery,
+			CheckPredEvery:  cfg.StabilizeEvery,
+			RPCTimeout:      2 * time.Second,
+			Obs:             reg,
+			Store:           backing,
+		})
+	case RingCAN:
+		node = can.New(env, ep, hashing.NodeID(string(ep.Addr())), can.Config{
+			PingEvery:  cfg.StabilizeEvery,
+			RPCTimeout: 2 * time.Second,
+			Obs:        reg,
+			Store:      backing,
+		})
+	case RingOneHop:
+		node = onehop.New(env, ep, hashing.NodeID(string(ep.Addr())), onehop.Config{
+			PingEvery:  cfg.StabilizeEvery,
+			RPCTimeout: 2 * time.Second,
+			Obs:        reg,
+			Store:      backing,
+		})
+	default:
+		if wal != nil {
+			wal.Close()
+		}
+		ep.Close()
+		return nil, fmt.Errorf("dcdht: start node: unknown ring %q (want chord, can or onehop)", cfg.Ring)
+	}
+	// The service-facing ring: the node itself, or the path cache
+	// around it.
+	var ring dht.Ring = node
+	var cache *dht.CachedRing
+	if cfg.PathCache > 0 {
+		cache = dht.NewCachedRing(node, dht.PathCacheConfig{Capacity: cfg.PathCache, Obs: reg})
+		ring = cache
+	}
 	set := hashing.NewSet(cfg.Replicas)
 	ktsCfg := kts.Config{
 		Mode:            cfg.Mode,
@@ -160,7 +214,7 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 	if wal != nil {
 		ktsCfg.Persist = wal
 	}
-	ktsSvc := kts.New(node, set, ums.Namespace, ktsCfg)
+	ktsSvc := kts.New(ring, set, ums.Namespace, ktsCfg)
 	if wal != nil {
 		// Seed the counter service with what the log retained, so the
 		// first gen_ts after a restart continues above every timestamp
@@ -175,12 +229,20 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		env:   env,
 		ep:    ep,
-		chord: node,
+		ring:  node,
+		cache: cache,
 		kts:   ktsSvc,
-		ums:   ums.New(node, set, ktsSvc),
-		brk:   brk.New(node, set),
+		ums:   ums.New(ring, set, ktsSvc),
+		brk:   brk.New(ring, set),
 		wal:   wal,
 		obs:   reg,
+	}
+	if cfg.RepublishEvery > 0 {
+		n.repub = dht.NewRepublisher(ring, node.Store(), dht.RepublishConfig{
+			Every:    cfg.RepublishEvery,
+			PerRound: cfg.RepublishPerRound,
+			Obs:      reg,
+		})
 	}
 	tracer := obs.NewMetricsTracer(reg)
 	n.ums.SetTracer(tracer)
@@ -215,7 +277,7 @@ func StartNode(listen string, cfg NodeConfig) (*Node, error) {
 	}
 	rcfg := repair.Config{Every: cfg.RepairEvery, PerRound: cfg.RepairPerRound, ReadRepair: cfg.ReadRepair, Obs: reg}
 	if rcfg.Enabled() {
-		n.repair = repair.New(node, set, ktsSvc, node.Store(), ums.Namespace, rcfg)
+		n.repair = repair.New(ring, set, ktsSvc, node.Store(), ums.Namespace, rcfg)
 		n.ums.SetReadRepair(n.repair)
 	}
 	return n, nil
@@ -228,9 +290,10 @@ func (n *Node) Addr() string { return string(n.ep.Addr()) }
 // maintenance (Chord stabilization plus the replica-maintenance sweep,
 // when enabled).
 func (n *Node) CreateRing() {
-	n.chord.CreateRing()
-	n.chord.Start()
+	n.ring.CreateRing()
+	n.ring.Start()
 	n.startRepair()
+	n.startRepublish()
 }
 
 // Join attaches this node to the ring reachable at bootstrap and starts
@@ -240,11 +303,12 @@ func (n *Node) CreateRing() {
 // down get corrected upward (use Recover directly for a synchronous,
 // deterministic run).
 func (n *Node) Join(bootstrap string) error {
-	if err := n.chord.Join(network.Addr(bootstrap)); err != nil {
+	if err := n.ring.Join(network.Addr(bootstrap)); err != nil {
 		return err
 	}
-	n.chord.Start()
+	n.ring.Start()
 	n.startRepair()
+	n.startRepublish()
 	if n.wal != nil && n.Recovered().Counters > 0 {
 		go func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -276,6 +340,31 @@ func (n *Node) startRepair() {
 	if n.repair != nil {
 		n.repair.Start()
 	}
+}
+
+func (n *Node) startRepublish() {
+	if n.repub != nil {
+		n.repub.Start()
+	}
+}
+
+// PathCacheStats reports the lookup path cache's counters (zero when
+// NodeConfig.PathCache is off).
+func (n *Node) PathCacheStats() PathCacheStats {
+	if n.cache == nil {
+		return PathCacheStats{}
+	}
+	return n.cache.Stats()
+}
+
+// Republished reports how many replicas the periodic republisher has
+// pushed to their current responsible (zero when RepublishEvery is
+// off).
+func (n *Node) Republished() uint64 {
+	if n.repub == nil {
+		return 0
+	}
+	return n.repub.Pushed()
 }
 
 // RepairStats reports the replica-maintenance subsystem's counters for
@@ -394,7 +483,7 @@ func nodeMulti(ctx context.Context, count int, one func(i int) (Key, Result, err
 // successor, flushing and closing the durable store (when there is
 // one), then closes the endpoint.
 func (n *Node) Leave() error {
-	err := n.chord.Leave()
+	err := n.ring.Leave()
 	if n.wal != nil {
 		if cerr := n.wal.Close(); err == nil {
 			err = cerr
@@ -409,7 +498,7 @@ func (n *Node) Leave() error {
 // flush — a durable store keeps only what its fsync policy had already
 // made stable, exactly like SIGKILL).
 func (n *Node) Close() {
-	n.chord.Crash()
+	n.ring.Crash()
 	n.env.Close()
 	n.ep.Close()
 }

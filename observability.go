@@ -6,7 +6,10 @@ import (
 	"net"
 	"net/http"
 
+	"repro/internal/can"
+	"repro/internal/chord"
 	"repro/internal/obs"
+	"repro/internal/onehop"
 )
 
 // MetricsRegistry is a node's metrics registry: counters, gauges and
@@ -46,10 +49,19 @@ type NodeStatus struct {
 	Addr string `json:"addr"`
 	// ID is the node's ring position (its hashed address).
 	ID string `json:"id"`
-	// Predecessor is the ring predecessor's address (empty when unknown).
+	// Ring is the overlay substrate ("chord", "can" or "onehop").
+	Ring string `json:"ring"`
+	// Predecessor is the ring predecessor's address (chord and onehop;
+	// empty when unknown).
 	Predecessor string `json:"predecessor,omitempty"`
-	// Successor is the ring successor's address.
+	// Successor is the ring successor's address (chord only).
 	Successor string `json:"successor,omitempty"`
+	// Neighbors is the zone-neighbor count (CAN only).
+	Neighbors int `json:"neighbors,omitempty"`
+	// Zones is the number of coordinate zones owned (CAN only).
+	Zones int `json:"zones,omitempty"`
+	// TableSize is the full routing table's member count (onehop only).
+	TableSize int `json:"table_size,omitempty"`
 	// Replicas is the number of replicas this node currently hosts.
 	Replicas int `json:"replicas"`
 	// Counters is the number of valid KTS counters this node holds.
@@ -63,17 +75,34 @@ type NodeStatus struct {
 // Status captures the node's current state for /debug/status.
 func (n *Node) Status() NodeStatus {
 	st := NodeStatus{
-		Addr:     string(n.chord.Self().Addr),
-		ID:       n.chord.Self().ID.String(),
-		Replicas: n.chord.Store().Len(),
+		Addr:     string(n.ring.Self().Addr),
+		ID:       n.ring.Self().ID.String(),
+		Replicas: n.ring.Store().Len(),
 		Counters: n.kts.VCSLen(),
 		Durable:  n.wal != nil,
 	}
-	if pred := n.chord.Predecessor(); !pred.IsZero() {
-		st.Predecessor = string(pred.Addr)
-	}
-	if succ := n.chord.Successor(); !succ.IsZero() {
-		st.Successor = string(succ.Addr)
+	// The neighborhood view is substrate-specific: chord has a
+	// predecessor and successor, CAN zone neighbors, onehop a
+	// predecessor plus the full membership table.
+	switch r := n.ring.(type) {
+	case *chord.Node:
+		st.Ring = string(RingChord)
+		if pred := r.Predecessor(); !pred.IsZero() {
+			st.Predecessor = string(pred.Addr)
+		}
+		if succ := r.Successor(); !succ.IsZero() {
+			st.Successor = string(succ.Addr)
+		}
+	case *can.Node:
+		st.Ring = string(RingCAN)
+		st.Neighbors = len(r.Neighbors())
+		st.Zones = len(r.Zones())
+	case *onehop.Node:
+		st.Ring = string(RingOneHop)
+		if pred := r.Predecessor(); !pred.IsZero() {
+			st.Predecessor = string(pred.Addr)
+		}
+		st.TableSize = r.TableSize()
 	}
 	if n.wal != nil {
 		rec := n.wal.Recovered()

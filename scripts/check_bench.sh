@@ -90,4 +90,36 @@ cmp -s "$out/BENCH_gateway.json" "$out/BENCH_gateway2.json" || {
 
 go run ./scripts/validate_bench "$out/BENCH_gateway.json"
 
-echo "bench check clean: consistency, recovery, workload and gateway figures regenerate and validate at toy scale"
+# Lookup acceleration: regenerate the three-arm routing comparison
+# (chord / chord+cache / onehop) at toy scale twice on the same seed,
+# require bit-identical JSON, then validate the orderings (onehop within
+# the 1.1-hop ceiling and strictly below chord; the cache never worse
+# than the ring it wraps; zero wrong-owner resolutions).
+go run ./cmd/dcdht-bench \
+    -figure lookup \
+    -lookup-peers 24 -lookup-samples 40 -lookup-churn 2 \
+    -lookup-warmup 2m -lookup-maint 1m \
+    -quiet \
+    -lookup-json "$out/BENCH_lookup.json" > "$out/lookup.txt"
+
+grep -q "Lookup acceleration: chord vs chord+cache vs onehop" "$out/lookup.txt" || {
+    echo "check_bench: lookup table missing from bench output" >&2
+    exit 1
+}
+
+go run ./cmd/dcdht-bench \
+    -figure lookup \
+    -lookup-peers 24 -lookup-samples 40 -lookup-churn 2 \
+    -lookup-warmup 2m -lookup-maint 1m \
+    -quiet \
+    -lookup-json "$out/BENCH_lookup2.json" > /dev/null
+
+cmp -s "$out/BENCH_lookup.json" "$out/BENCH_lookup2.json" || {
+    echo "check_bench: lookup figure is not deterministic across same-seed runs" >&2
+    diff "$out/BENCH_lookup.json" "$out/BENCH_lookup2.json" >&2 || true
+    exit 1
+}
+
+go run ./scripts/validate_bench "$out/BENCH_lookup.json"
+
+echo "bench check clean: consistency, recovery, workload, gateway and lookup figures regenerate and validate at toy scale"

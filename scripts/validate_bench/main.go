@@ -1,8 +1,9 @@
 // Command validate_bench checks a machine-readable bench file emitted
 // by dcdht-bench against the documented schema (docs/BENCHMARKS.md) and
 // its figure's acceptance invariants. The figure is picked from the
-// file name: a name containing "recovery" validates as the recovery
-// comparison; anything else as the consistency figure.
+// file name: a name containing "recovery", "gateway" or "lookup"
+// validates as that figure's export; anything else as the consistency
+// figure.
 //
 // Consistency (BENCH_consistency.json):
 //
@@ -32,6 +33,15 @@
 //     gets cover at least the coalesced traffic, and backend errors
 //     stayed at zero.
 //
+// Lookup (BENCH_lookup.json):
+//
+//   - every point ran lookups and resolved only true owners
+//     (wrong_owner == 0);
+//   - at every deployment size the onehop arm's mean hops stay within
+//     the 1.1 acceptance ceiling and strictly below plain chord's;
+//   - the chord+cache arm never costs more hops than plain chord, and
+//     its cache actually engaged.
+//
 // Usage: validate_bench BENCH_<figure>.json
 // Exit status 0 when the file conforms; 1 with diagnostics otherwise.
 package main
@@ -41,6 +51,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/exp"
@@ -65,9 +76,81 @@ func main() {
 		validateRecovery(data)
 	case strings.Contains(base, "gateway"):
 		validateGateway(data)
+	case strings.Contains(base, "lookup"):
+		validateLookup(data)
 	default:
 		validateConsistency(data)
 	}
+}
+
+// validateLookup checks the lookup acceleration figure: every point is
+// safe (wrong_owner == 0), and at each deployment size onehop stays at
+// ~one hop and strictly below chord, while the path cache never costs
+// more hops than the plain ring it wraps.
+func validateLookup(data []byte) {
+	var res exp.LookupResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		fail("not a lookup result: %v", err)
+	}
+	if len(res.Points) == 0 {
+		fail("empty point set")
+	}
+	if res.Samples <= 0 {
+		fail("samples %d not positive", res.Samples)
+	}
+	byKey := map[string]exp.LookupPoint{}
+	var sizes []int
+	for i, p := range res.Points {
+		switch p.Arm {
+		case exp.LookupArmChord, exp.LookupArmCache, exp.LookupArmOneHop:
+		default:
+			fail("point %d: unknown arm %q", i, p.Arm)
+		}
+		if p.Peers <= 0 || p.Samples <= 0 {
+			fail("point %d (%s): missing shape: peers=%d samples=%d", i, p.Arm, p.Peers, p.Samples)
+		}
+		if p.WrongOwner != 0 {
+			fail("point %d (%s/n=%d): %d lookups resolved a node that does not own the target", i, p.Arm, p.Peers, p.WrongOwner)
+		}
+		if p.MeanHops < 0 || p.MeanLatencyMs < 0 || p.MaintMsgsPerPeerMin < 0 {
+			fail("point %d (%s/n=%d): negative costs: hops=%v lat=%v maint=%v",
+				i, p.Arm, p.Peers, p.MeanHops, p.MeanLatencyMs, p.MaintMsgsPerPeerMin)
+		}
+		key := fmt.Sprintf("%s/%d", p.Arm, p.Peers)
+		if _, dup := byKey[key]; dup {
+			fail("duplicate point %s", key)
+		}
+		byKey[key] = p
+		if p.Arm == exp.LookupArmChord {
+			sizes = append(sizes, p.Peers)
+		}
+	}
+	sort.Ints(sizes)
+	for _, n := range sizes {
+		chord, ok1 := byKey[fmt.Sprintf("%s/%d", exp.LookupArmChord, n)]
+		cache, ok2 := byKey[fmt.Sprintf("%s/%d", exp.LookupArmCache, n)]
+		oneh, ok3 := byKey[fmt.Sprintf("%s/%d", exp.LookupArmOneHop, n)]
+		if !ok1 || !ok2 || !ok3 {
+			fail("n=%d: missing an arm (want chord, chord+cache and onehop)", n)
+		}
+		if oneh.MeanHops > 1.1 {
+			fail("n=%d: onehop mean hops %.3f exceeds the 1.1 acceptance ceiling", n, oneh.MeanHops)
+		}
+		if !(oneh.MeanHops < chord.MeanHops) {
+			fail("n=%d: onehop mean hops %.3f not strictly below chord's %.3f", n, oneh.MeanHops, chord.MeanHops)
+		}
+		if cache.MeanHops > chord.MeanHops {
+			fail("n=%d: chord+cache mean hops %.3f worse than plain chord's %.3f", n, cache.MeanHops, chord.MeanHops)
+		}
+		if cache.CacheHitRate <= 0 {
+			fail("n=%d: chord+cache reports a zero hit rate — the cache never engaged", n)
+		}
+		if oneh.OneHopTableSize <= 0 {
+			fail("n=%d: onehop reports no routing table", n)
+		}
+	}
+	fmt.Printf("validate_bench: %s conforms (%d points, onehop within one-hop ceiling at every size)\n",
+		os.Args[1], len(res.Points))
 }
 
 // validateRecovery checks a recovery comparison: schema, provenance and
