@@ -36,7 +36,13 @@
 // chord, chord behind the lookup path cache, and the one-hop
 // full-table ring — on same-seed deployments, comparing hops, latency
 // and maintenance traffic (see docs/LOOKUP.md), and writes
-// BENCH_lookup.json by default.
+// BENCH_lookup.json by default. The perf figure measures the hot paths
+// themselves — per-op message and KTS costs by algorithm and
+// consistency level, the bare sim kernel at 1k/10k/100k synthetic
+// peers, and a closed-loop macro workload (see docs/PERFORMANCE.md) —
+// and writes BENCH_perf.json by default; -perf-strip-timing zeroes the
+// host-dependent fields so same-seed runs are byte-identical, and
+// -cpuprofile/-memprofile capture pprof profiles of any run.
 package main
 
 import (
@@ -46,10 +52,13 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/perf"
 )
 
 // log is the process logger; main replaces it per -log-format before
@@ -74,7 +83,7 @@ func writeJSON(what, path string, v any) {
 func main() {
 	full := flag.Bool("full", false, "paper-scale axes: 10,000 peers, 3-hour simulated windows (slow; default is quick mode)")
 	seed := flag.Int64("seed", 42, "simulation seed; every figure replays bit-identically per seed")
-	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario,consistency,recovery,gateway,lookup")
+	figures := flag.String("figure", "all", "comma-separated figures to run: analysis,6,7,8,9,10,11,12,ablations,repair,workload,scenario,consistency,recovery,gateway,lookup,perf")
 	csvDir := flag.String("csv", "", "directory to also write one CSV file per figure (empty disables)")
 	repairJSON := flag.String("repair-json", "", "path for the machine-readable repair comparison, e.g. BENCH_repair.json (written when the repair figure runs; empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines on stderr")
@@ -128,6 +137,18 @@ func main() {
 	recoveryQueries := flag.Int("recovery-queries", 0, "measured retrieves per recovery mode; 0 selects the default (60)")
 	recoveryWindow := flag.Duration("recovery-duration", 0, "measured window of simulated time per recovery mode; 0 selects the shared figure default")
 	recoveryJSON := flag.String("recovery-json", "BENCH_recovery.json", "path for the machine-readable recovery results (written when the recovery figure runs; empty disables)")
+
+	// Perf-figure knobs (-figure perf).
+	perfOps := flag.Int("perf-ops", 0, "operations per perf micro point; 0 selects the default (30 quick, 200 full)")
+	perfPeers := flag.Int("perf-peers", 0, "deployment size for the perf micro and macro points; 0 selects the default (48 quick, 1000 full)")
+	perfKernelPeers := flag.String("perf-kernel-peers", "", "comma-separated synthetic scales for the kernel benchmark, e.g. 1000,10000,100000; empty selects the default")
+	perfKernelEvents := flag.Int("perf-kernel-events", 0, "kernel-benchmark chain length per synthetic peer; 0 selects the default (10 quick, 50 full)")
+	perfMacroOps := flag.Int("perf-macro-ops", 0, "macro workload operation count; 0 selects the default (300 quick, 1000000 full), negative skips the macro point")
+	perfStripTiming := flag.Bool("perf-strip-timing", false, "zero the host-dependent timing fields of the perf export so same-seed runs are byte-identical (CI determinism checks)")
+	perfJSON := flag.String("perf-json", "BENCH_perf.json", "path for the machine-readable perf results (written when the perf figure runs; empty disables)")
+
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 	logFormat := flag.String("log-format", "text", "log output format for diagnostics on stderr: text or json")
 	flag.Parse()
 
@@ -139,6 +160,19 @@ func main() {
 	default:
 		log.Error("unknown -log-format (want text or json)", "got", *logFormat)
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Error("cpu profile create failed", "path", *cpuProfile, "err", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Error("cpu profile start failed", "err", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	opts := exp.Options{Full: *full, Seed: *seed}
@@ -325,6 +359,36 @@ func main() {
 		emit(t)
 		lookupResult = res
 	}
+	var perfFigure *perf.Figure
+	if wanted("perf") {
+		var kernelPeers []int
+		for _, s := range strings.Split(*perfKernelPeers, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				var n int
+				if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n <= 0 {
+					log.Error("bad -perf-kernel-peers entry", "got", s)
+					os.Exit(2)
+				}
+				kernelPeers = append(kernelPeers, n)
+			}
+		}
+		t, fig, err := exp.FigurePerf(opts, exp.PerfOptions{
+			MicroOps:            *perfOps,
+			Peers:               *perfPeers,
+			KernelPeers:         kernelPeers,
+			KernelEventsPerPeer: *perfKernelEvents,
+			MacroOps:            *perfMacroOps,
+		})
+		if err != nil {
+			log.Error("perf figure failed", "err", err)
+			os.Exit(2)
+		}
+		if *perfStripTiming {
+			fig.StripTiming()
+		}
+		emit(t)
+		perfFigure = fig
+	}
 	var recoveryPoints []exp.RecoveryPoint
 	if wanted("recovery") {
 		t, points, err := exp.FigureRecovery(opts, exp.RecoveryOptions{
@@ -383,5 +447,22 @@ func main() {
 	}
 	if lookupResult != nil && *lookupJSON != "" {
 		writeJSON("lookup", *lookupJSON, lookupResult)
+	}
+	if perfFigure != nil && *perfJSON != "" {
+		writeJSON("perf", *perfJSON, perfFigure)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Error("mem profile create failed", "path", *memProfile, "err", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Error("mem profile write failed", "err", err)
+			os.Exit(1)
+		}
+		f.Close()
+		log.Info("wrote heap profile", "path", *memProfile)
 	}
 }

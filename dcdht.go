@@ -339,9 +339,10 @@ func cachedLastTS(svc *kts.Service, key Key, oc opConfig) (Timestamp, bool) {
 	return ts, true
 }
 
-// PutMulti implements Client: the writes fan out concurrently inside
-// the simulation, each issued from its own (random or pinned) live
-// peer, with per-key error isolation.
+// PutMulti implements Client: UMS writes share one batched KTS round
+// per responsible (kts.GenTSBatch) issued from a single live peer, then
+// replicate concurrently, with per-key error isolation. BRK has no KTS
+// round to batch, so its writes fan out per key as before.
 func (s *SimNetwork) PutMulti(ctx context.Context, items []KV, opts ...OpOption) ([]MultiResult, error) {
 	oc, err := resolveOpts(opts)
 	if err != nil {
@@ -351,28 +352,37 @@ func (s *SimNetwork) PutMulti(ctx context.Context, items []KV, opts ...OpOption)
 	for i, it := range items {
 		keys[i] = it.Key
 	}
-	return s.multi(ctx, keys, func(ctx context.Context, i int, p *exp.Peer) (Result, error) {
-		if oc.alg == AlgBRK {
+	if oc.alg == AlgBRK {
+		return s.multi(ctx, keys, func(ctx context.Context, i int, p *exp.Peer) (Result, error) {
 			return p.BRK.Insert(ctx, items[i].Key, items[i].Data)
+		}, oc)
+	}
+	return s.batchMulti(ctx, keys, oc, func(ctx context.Context, p *exp.Peer) ([]Result, []error) {
+		datas := make([][]byte, len(items))
+		for i := range items {
+			datas[i] = items[i].Data
 		}
-		return p.UMS.Insert(ctx, items[i].Key, items[i].Data)
-	}, oc)
+		return p.UMS.InsertMulti(ctx, keys, datas)
+	})
 }
 
-// GetMulti implements Client: the reads fan out concurrently inside the
-// simulation, with per-key error isolation, each at the requested
-// consistency level.
+// GetMulti implements Client: UMS reads at the provably-current level
+// share one batched KTS last_ts round per responsible
+// (kts.LastTSBatch) issued from a single live peer; the relaxed levels
+// and BRK have no KTS round to batch and fan out per key.
 func (s *SimNetwork) GetMulti(ctx context.Context, keys []Key, opts ...OpOption) ([]MultiResult, error) {
 	oc, err := resolveOpts(opts)
 	if err != nil {
 		return nil, fmt.Errorf("dcdht: get multi: %w", err)
 	}
-	return s.multi(ctx, keys, func(ctx context.Context, i int, p *exp.Peer) (Result, error) {
-		if oc.alg == AlgBRK {
+	if oc.alg == AlgBRK {
+		return s.multi(ctx, keys, func(ctx context.Context, i int, p *exp.Peer) (Result, error) {
 			return p.BRK.Retrieve(ctx, keys[i])
-		}
-		return p.UMS.RetrieveWith(ctx, keys[i], oc.readPolicy())
-	}, oc)
+		}, oc)
+	}
+	return s.batchMulti(ctx, keys, oc, func(ctx context.Context, p *exp.Peer) ([]Result, []error) {
+		return p.UMS.RetrieveMulti(ctx, keys, oc.readPolicy())
+	})
 }
 
 // ChurnOne makes one random peer depart (gracefully or by failure per
@@ -444,6 +454,39 @@ func (s *SimNetwork) op(ctx context.Context, oc opConfig, fn func(context.Contex
 		return res, fmt.Errorf("dcdht: simulation stalled: %w", core.ErrTimeout)
 	}
 	return res, err
+}
+
+// batchMulti runs a whole multi-operation from one issuing peer as a
+// single simulation process: the batched KTS round inside run is what
+// turns n per-key round trips into one round per replica set. Per-key
+// outcomes keep their error isolation.
+func (s *SimNetwork) batchMulti(ctx context.Context, keys []Key, oc opConfig, run func(context.Context, *exp.Peer) ([]Result, []error)) ([]MultiResult, error) {
+	out := make([]MultiResult, len(keys))
+	if err := network.CtxError(ctx); err != nil {
+		return nil, fmt.Errorf("dcdht: %w", err)
+	}
+	for i := range keys {
+		out[i].Key = keys[i]
+	}
+	if len(keys) == 0 {
+		return out, nil
+	}
+	p := s.pickPeer(oc)
+	if p == nil {
+		for i := range out {
+			out[i].Err = fmt.Errorf("dcdht: no live peer: %w", core.ErrUnreachable)
+		}
+		return out, nil
+	}
+	var results []Result
+	var errs []error
+	if !s.d.Do(func() { results, errs = run(ctx, p) }) {
+		return out, fmt.Errorf("dcdht: simulation stalled: %w", core.ErrTimeout)
+	}
+	for i := range out {
+		out[i].Result, out[i].Err = results[i], errs[i]
+	}
+	return out, nil
 }
 
 // multi fans n sub-operations out as concurrent simulation processes

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+)
+
+// TestEventualGetAllocsPinned is an allocation regression gate on the
+// cheapest read path: an Eventual-level retrieve through a warm
+// deployment, including the d.Do driver overhead, currently costs
+// ~40 heap objects. The pin has 2x headroom — it exists to catch a
+// hot-path rewrite that starts boxing per-op state, not to fight
+// single-object noise.
+func TestEventualGetAllocsPinned(t *testing.T) {
+	sc := Table1Scenario(AlgUMSDirect, 24, 7)
+	d := NewDeployment(DeployConfig{
+		Peers:    24,
+		Replicas: sc.Replicas,
+		Seed:     7,
+		Net:      sc.Net,
+		Chord:    sc.Chord,
+	})
+	defer d.K.Stop()
+	d.RunFor(sc.Warmup)
+	p := d.Peers[0]
+	key := core.Key("alloc-k")
+	if !d.Do(func() {
+		if _, err := p.UMS.Insert(context.Background(), key, []byte("v")); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	}) {
+		t.Fatal("insert stalled")
+	}
+	pol := dht.ReadPolicy{Level: dht.LevelEventual}
+	// Warm pools, caches and the kernel free list before pinning.
+	for i := 0; i < 5; i++ {
+		d.Do(func() { p.UMS.RetrieveWith(context.Background(), key, pol) })
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if !d.Do(func() {
+			if _, err := p.UMS.RetrieveWith(context.Background(), key, pol); err != nil {
+				t.Errorf("get: %v", err)
+			}
+		}) {
+			t.Error("get stalled")
+		}
+	})
+	if allocs > 80 {
+		t.Errorf("eventual get allocates %.1f objects/op, pinned at 80", allocs)
+	}
+}

@@ -1,0 +1,262 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// PerfOptions parameterizes the perf figure beyond the shared Options.
+// Zero values select the quick/full defaults.
+type PerfOptions struct {
+	// MicroOps is the operation count per micro point (one point per
+	// algorithm x op x level).
+	MicroOps int
+	// Peers is the deployment size the micro and macro points run on.
+	Peers int
+	// Bound is the staleness bound for the bounded-level micro reads.
+	Bound time.Duration
+	// KernelPeers are the synthetic scales for the scheduler benchmark.
+	KernelPeers []int
+	// KernelEventsPerPeer is each synthetic peer's chain length.
+	KernelEventsPerPeer int
+	// MacroOps bounds the end-to-end workload point; 0 skips quickly at
+	// the default, negative skips the macro point entirely.
+	MacroOps int
+	// MacroConcurrency is the macro point's closed-loop worker count.
+	MacroConcurrency int
+}
+
+func (po PerfOptions) withDefaults(full bool) PerfOptions {
+	if po.MicroOps == 0 {
+		if full {
+			po.MicroOps = 200
+		} else {
+			po.MicroOps = 30
+		}
+	}
+	if po.Peers == 0 {
+		if full {
+			po.Peers = 1000
+		} else {
+			po.Peers = 48
+		}
+	}
+	if po.Bound == 0 {
+		po.Bound = 10 * time.Minute
+	}
+	if len(po.KernelPeers) == 0 {
+		// The 100k point stays in quick mode on purpose: booting 100k
+		// synthetic peers and draining >= 1M events is the scale
+		// acceptance check, and the bare kernel does it in well under a
+		// second.
+		po.KernelPeers = []int{1000, 10000, 100000}
+	}
+	if po.KernelEventsPerPeer == 0 {
+		if full {
+			po.KernelEventsPerPeer = 50
+		} else {
+			po.KernelEventsPerPeer = 10
+		}
+	}
+	if po.MacroOps == 0 {
+		if full {
+			po.MacroOps = 1000000
+		} else {
+			po.MacroOps = 300
+		}
+	}
+	if po.MacroConcurrency == 0 {
+		if full {
+			po.MacroConcurrency = 16
+		} else {
+			po.MacroConcurrency = 4
+		}
+	}
+	return po
+}
+
+// FigurePerf measures the hot paths end to end: one micro point per
+// (algorithm, op, level) through a warm simulated deployment, the bare
+// kernel at synthetic 1k/10k/100k-peer scales, and one closed-loop
+// macro workload. Deterministic fields (op counts, msgs/op, KTS
+// reqs/op, simulated latency, kernel event counts) replay bit-for-bit
+// per seed; timing fields are the host's and are stripped before CI
+// byte-compares (see internal/perf).
+func FigurePerf(o Options, po PerfOptions) (*Table, *perf.Figure, error) {
+	po = po.withDefaults(o.Full)
+	fig := &perf.Figure{Schema: perf.SchemaV1, Seed: o.seed(), Full: o.Full}
+
+	sc := Table1Scenario(AlgUMSDirect, po.Peers, o.seed())
+	d := NewDeployment(DeployConfig{
+		Peers:    po.Peers,
+		Replicas: sc.Replicas,
+		Seed:     o.seed(),
+		Net:      sc.Net,
+		Chord:    sc.Chord,
+	})
+	defer d.K.Stop()
+	d.RunFor(sc.Warmup)
+
+	// All micro ops issue from one fixed peer: deterministic, and the
+	// bounded level reads through the last_ts cache that peer's own
+	// writes warmed — exactly the session shape the cache serves.
+	issuer := d.Peers[0]
+	keys := make([]core.Key, po.MicroOps)
+	for i := range keys {
+		keys[i] = core.Key(fmt.Sprintf("perf-k%03d", i))
+	}
+
+	// micro measures one operation shape: ops operations driven as a
+	// single simulation process, KTS traffic read off the deployment
+	// counters, wall time and allocations off the host clock.
+	micro := func(alg, op, level string, fn func(i int) (dht.OpResult, error)) (perf.OpPoint, error) {
+		g0, l0 := d.ktsRequests()
+		t0 := d.K.Now()
+		var msgs, failed int
+		var opErr error
+		tm := perf.Measure(po.MicroOps, func() {
+			if !d.Do(func() {
+				for i := 0; i < po.MicroOps; i++ {
+					r, err := fn(i)
+					if err != nil {
+						failed++
+						opErr = err
+						continue
+					}
+					msgs += r.Msgs
+				}
+			}) {
+				opErr = fmt.Errorf("exp: perf micro %s/%s stalled: %w", alg, op, core.ErrTimeout)
+				failed = po.MicroOps
+			}
+		})
+		if failed > 0 {
+			return perf.OpPoint{}, fmt.Errorf("exp: perf micro %s/%s/%s: %d/%d ops failed: %w",
+				alg, op, level, failed, po.MicroOps, opErr)
+		}
+		g1, l1 := d.ktsRequests()
+		p := perf.OpPoint{
+			Alg:           alg,
+			Op:            op,
+			Level:         level,
+			OpsRun:        po.MicroOps,
+			MsgsPerOp:     float64(msgs) / float64(po.MicroOps),
+			KTSReqsPerOp:  (g1 - g0 + l1 - l0) / float64(po.MicroOps),
+			SimLatencyMs:  float64((d.K.Now() - t0).Milliseconds()) / float64(po.MicroOps),
+			WallOpsPerSec: tm.OpsPerSec,
+			AllocsPerOp:   tm.AllocsPerOp,
+		}
+		o.progress("perf-micro %-4s %-3s %-8s  msgs/op=%6.2f kts/op=%5.2f simlat=%6.1fms  %8.0f ops/s wall",
+			alg, op, level, p.MsgsPerOp, p.KTSReqsPerOp, p.SimLatencyMs, p.WallOpsPerSec)
+		return p, nil
+	}
+
+	data := []byte("perf-payload")
+	points := []struct {
+		alg, op, level string
+		fn             func(i int) (dht.OpResult, error)
+	}{
+		{"ums", "put", "", func(i int) (dht.OpResult, error) {
+			return issuer.UMS.Insert(context.Background(), keys[i], data)
+		}},
+		{"ums", "get", "current", func(i int) (dht.OpResult, error) {
+			return issuer.UMS.RetrieveWith(context.Background(), keys[i], dht.ReadPolicy{Level: dht.LevelCurrent})
+		}},
+		{"ums", "get", "bounded", func(i int) (dht.OpResult, error) {
+			return issuer.UMS.RetrieveWith(context.Background(), keys[i], dht.ReadPolicy{Level: dht.LevelBounded, Bound: po.Bound})
+		}},
+		{"ums", "get", "eventual", func(i int) (dht.OpResult, error) {
+			return issuer.UMS.RetrieveWith(context.Background(), keys[i], dht.ReadPolicy{Level: dht.LevelEventual})
+		}},
+		{"brk", "put", "", func(i int) (dht.OpResult, error) {
+			return issuer.BRK.Insert(context.Background(), keys[i], data)
+		}},
+		{"brk", "get", "", func(i int) (dht.OpResult, error) {
+			return issuer.BRK.Retrieve(context.Background(), keys[i])
+		}},
+	}
+	for _, pt := range points {
+		p, err := micro(pt.alg, pt.op, pt.level, pt.fn)
+		if err != nil {
+			return nil, nil, err
+		}
+		fig.Ops = append(fig.Ops, p)
+	}
+
+	// The bare-kernel sweep: no protocol stack, just the sharded event
+	// queue at scales the deployment figures never reach.
+	for _, n := range po.KernelPeers {
+		kp := perf.KernelBench(perf.KernelConfig{
+			Seed:          o.seed(),
+			Peers:         n,
+			EventsPerPeer: po.KernelEventsPerPeer,
+		})
+		o.progress("perf-kernel n=%6d  events=%8d  %10.0f ev/s  %6.1f ns/ev  %5.2f allocs/ev",
+			kp.Peers, kp.Events, kp.EventsPerSec, kp.NsPerEvent, kp.AllocsPerEvent)
+		fig.Kernel = append(fig.Kernel, kp)
+	}
+
+	// The macro point: a closed-loop uniform workload through the same
+	// deployment, issued from random live peers like the workload figure.
+	if po.MacroOps > 0 {
+		spec := workload.Spec{
+			Pattern:     workload.Uniform,
+			Keys:        32,
+			KeyPrefix:   "perfwl-",
+			Ops:         po.MacroOps,
+			Concurrency: po.MacroConcurrency,
+			Seed:        o.seed(),
+		}
+		var rep *workload.Report
+		var err error
+		tm := perf.Measure(po.MacroOps, func() {
+			rep, err = d.RunWorkload(context.Background(), spec)
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("exp: perf macro workload: %w", err)
+		}
+		fig.Macro = &perf.MacroPoint{
+			Peers:         po.Peers,
+			Ops:           rep.Ops,
+			Failed:        rep.Reads.Errors + rep.Writes.Errors,
+			SimElapsedSec: rep.ElapsedSec,
+			SimOpsPerSec:  rep.OpsPerSec,
+			WallMs:        tm.WallSeconds * 1000,
+		}
+		o.progress("perf-macro ops=%d failed=%d sim=%.1fs (%.1f ops/s sim)  wall=%.0fms",
+			fig.Macro.Ops, fig.Macro.Failed, fig.Macro.SimElapsedSec, fig.Macro.SimOpsPerSec, fig.Macro.WallMs)
+	}
+
+	if err := fig.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	t := NewTable(
+		fmt.Sprintf("Perf: hot-path costs (n=%d, %d ops/point, seed %d)", po.Peers, po.MicroOps, o.seed()),
+		"point", "cost",
+		[]string{"msgs/op", "kts reqs/op", "sim lat ms", "wall ops/s", "allocs/op"})
+	for _, p := range fig.Ops {
+		row := p.Alg + " " + p.Op
+		if p.Level != "" {
+			row += " " + p.Level
+		}
+		t.Set(row, "msgs/op", p.MsgsPerOp)
+		t.Set(row, "kts reqs/op", p.KTSReqsPerOp)
+		t.Set(row, "sim lat ms", p.SimLatencyMs)
+		t.Set(row, "wall ops/s", p.WallOpsPerSec)
+		t.Set(row, "allocs/op", p.AllocsPerOp)
+	}
+	for _, kp := range fig.Kernel {
+		row := fmt.Sprintf("kernel n=%d", kp.Peers)
+		t.Set(row, "msgs/op", float64(kp.Events))
+		t.Set(row, "wall ops/s", kp.EventsPerSec)
+		t.Set(row, "allocs/op", kp.AllocsPerEvent)
+	}
+	return t, fig, nil
+}

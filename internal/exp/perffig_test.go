@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// tinyPerfOptions keeps the perf figure test in CI time.
+func tinyPerfOptions() PerfOptions {
+	return PerfOptions{
+		MicroOps:            6,
+		Peers:               24,
+		Bound:               10 * time.Minute,
+		KernelPeers:         []int{50, 200},
+		KernelEventsPerPeer: 3,
+		MacroOps:            30,
+		MacroConcurrency:    2,
+	}
+}
+
+func TestFigurePerfValidatesAtToyScale(t *testing.T) {
+	_, fig, err := FigurePerf(Options{Seed: 11}, tinyPerfOptions())
+	if err != nil {
+		t.Fatalf("FigurePerf: %v", err)
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatalf("figure invalid: %v", err)
+	}
+	if len(fig.Ops) != 6 {
+		t.Fatalf("op points = %d, want 6 (ums put/get x3 levels, brk put/get)", len(fig.Ops))
+	}
+	if fig.Macro == nil || fig.Macro.Ops == 0 {
+		t.Fatal("macro point missing or empty")
+	}
+	// Timing fields must be populated on a live run (they are only
+	// zeroed by an explicit StripTiming).
+	if fig.Kernel[0].EventsPerSec == 0 {
+		t.Fatal("kernel timing missing")
+	}
+}
+
+// TestFigurePerfDeterministic regenerates the figure twice on one seed
+// and demands the stripped exports match byte for byte — the property
+// scripts/check_bench.sh holds the shipped binary to.
+func TestFigurePerfDeterministic(t *testing.T) {
+	run := func() []byte {
+		_, fig, err := FigurePerf(Options{Seed: 23}, tinyPerfOptions())
+		if err != nil {
+			t.Fatalf("FigurePerf: %v", err)
+		}
+		fig.StripTiming()
+		data, err := json.Marshal(fig)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return data
+	}
+	a := run()
+	b := run()
+	if string(a) != string(b) {
+		t.Fatalf("same-seed perf figures differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestFigurePerfBaselineDrift proves ValidateAgainst catches a changed
+// deterministic outcome: a different seed produces different costs.
+func TestFigurePerfBaselineDrift(t *testing.T) {
+	_, base, err := FigurePerf(Options{Seed: 11}, tinyPerfOptions())
+	if err != nil {
+		t.Fatalf("FigurePerf: %v", err)
+	}
+	_, other, err := FigurePerf(Options{Seed: 12}, tinyPerfOptions())
+	if err != nil {
+		t.Fatalf("FigurePerf: %v", err)
+	}
+	if err := other.ValidateAgainst(base); err == nil {
+		t.Fatal("cross-seed figures validated against each other")
+	}
+	var perfCopy perf.Figure
+	data, _ := json.Marshal(base)
+	if err := json.Unmarshal(data, &perfCopy); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if err := perfCopy.ValidateAgainst(base); err != nil {
+		t.Fatalf("JSON round trip failed baseline check: %v", err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -122,9 +123,11 @@ func (c Config) withDefaults() Config {
 
 // Service methods registered on the endpoint.
 const (
-	MethodGenTS   = "kts.GenTS"
-	MethodLastTS  = "kts.LastTS"
-	MethodRecover = "kts.Recover"
+	MethodGenTS       = "kts.GenTS"
+	MethodLastTS      = "kts.LastTS"
+	MethodGenTSBatch  = "kts.GenTSBatch"
+	MethodLastTSBatch = "kts.LastTSBatch"
+	MethodRecover     = "kts.Recover"
 )
 
 // GenTSReq asks the responsible of timestamping for a new timestamp —
@@ -146,6 +149,41 @@ type LastTSReq struct{ Key core.Key }
 type LastTSResp struct {
 	TS   core.Timestamp
 	Cost network.Meter
+}
+
+// BatchReq asks the responsible for timestamps (gen_ts) or last
+// timestamps (last_ts) for a whole group of keys it serves — the
+// one-round-per-replica-set fan-in behind PutMulti/GetMulti. The keys
+// necessarily share a responsible at resolution time; ones that moved
+// since come back with a per-key ErrNotResponsible so the caller
+// re-resolves just those.
+type BatchReq struct{ Keys []core.Key }
+
+// WireSize charges the batch proportionally to its keys.
+func (r BatchReq) WireSize() int {
+	n := network.DefaultWireSize
+	for _, k := range r.Keys {
+		n += 8 + len(k)
+	}
+	return n
+}
+
+// BatchResp carries per-key outcomes, parallel to the request's Keys:
+// Code[i] is empty on success (TS[i] valid) or a network error code.
+type BatchResp struct {
+	TS   []core.Timestamp
+	Code []string
+	Msg  []string
+	Cost network.Meter
+}
+
+// WireSize charges the response proportionally to its entries.
+func (r BatchResp) WireSize() int {
+	n := network.DefaultWireSize + 24*len(r.TS)
+	for i := range r.Code {
+		n += len(r.Code[i]) + len(r.Msg[i])
+	}
+	return n
 }
 
 // CounterEntry is one (key, counter) pair moved by handover or recovery.
@@ -176,6 +214,7 @@ type RecoverResp struct{ Corrected int }
 func init() {
 	network.RegisterMessage(
 		GenTSReq{}, GenTSResp{}, LastTSReq{}, LastTSResp{},
+		BatchReq{}, BatchResp{},
 		CounterBatch{}, RecoverReq{}, RecoverResp{},
 	)
 }
@@ -192,8 +231,8 @@ type Service struct {
 	client *dht.Client // reads the replica namespace for indirect init
 	cfg    Config
 
-	// mu guards vcs, cache and the statistics (required on the TCP
-	// transport; under simulation execution is already serialized).
+	// mu guards vcs and the statistics (required on the TCP transport;
+	// under simulation execution is already serialized).
 	mu  sync.Mutex
 	vcs *VCS
 
@@ -201,8 +240,10 @@ type Service struct {
 	// client (from its own gen_ts and last_ts calls), each with the
 	// environment time it was observed at. It powers bounded-staleness
 	// reads: a retrieve may accept a replica at or past a cached floor
-	// whose age is within its bound, with no KTS round trip.
-	cache map[core.Key]cacheEntry
+	// whose age is within its bound, with no KTS round trip. It keeps
+	// its own striped locks, decoupled from mu, so hot bounded reads
+	// never contend with the server-side counter work.
+	cache lastTSCache
 
 	onRepair RepairFunc
 
@@ -210,9 +251,68 @@ type Service struct {
 	generated      uint64
 	indirectInits  uint64
 	directArrivals uint64
-	cacheHits      uint64
+	cacheHits      atomic.Uint64
 
 	metrics ktsMetrics
+}
+
+// lastTSCache is the client-side last-ts cache, striped by key hash:
+// concurrent drivers consulting or refreshing floors for different keys
+// proceed in parallel instead of serializing on the service mutex.
+type lastTSCache struct {
+	stripes [cacheStripes]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[core.Key]cacheEntry
+}
+
+// cacheStripes is the cache's lock fan-out (a power of two).
+const cacheStripes = 16
+
+// shardOf picks a key's stripe by FNV-1a, independent of the ring
+// hashes so cache contention does not correlate with replica placement.
+func (c *lastTSCache) shardOf(k core.Key) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return &c.stripes[h&(cacheStripes-1)]
+}
+
+// get returns the entry for k, if any.
+func (c *lastTSCache) get(k core.Key) (cacheEntry, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	s.mu.Unlock()
+	return e, ok
+}
+
+// note records an observation; newer timestamps win, equal ones refresh
+// the age. Each stripe holds its share of the global cap.
+func (c *lastTSCache) note(k core.Key, ts core.Timestamp, at time.Duration) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[core.Key]cacheEntry)
+	}
+	if e, ok := s.m[k]; ok {
+		if ts.Less(e.ts) {
+			return
+		}
+	} else if len(s.m) >= cacheCap/cacheStripes {
+		// Only a genuinely new key can grow the stripe past its cap;
+		// overwriting an existing entry never evicts a warm floor.
+		for victim := range s.m {
+			delete(s.m, victim)
+			break
+		}
+	}
+	s.m[k] = cacheEntry{ts: ts, at: at}
 }
 
 // ktsMetrics export the timestamping-side of the currency/cost trade:
@@ -362,15 +462,12 @@ func (s *Service) Stats() (generated, indirectInits, directArrivals uint64) {
 // bound); a successful consult counts as a cache hit.
 func (s *Service) Cached(k core.Key) (ts core.Timestamp, age time.Duration, ok bool) {
 	now := s.ring.Env().Now()
-	s.mu.Lock()
-	e, ok := s.cache[k]
+	e, ok := s.cache.get(k)
 	if !ok {
-		s.mu.Unlock()
 		s.metrics.cacheMisses.Inc()
 		return core.TSZero, 0, false
 	}
-	s.cacheHits++
-	s.mu.Unlock()
+	s.cacheHits.Add(1)
 	age = now - e.at
 	s.metrics.cacheHits.Inc()
 	s.metrics.cacheAge.Observe(age)
@@ -379,9 +476,7 @@ func (s *Service) Cached(k core.Key) (ts core.Timestamp, age time.Duration, ok b
 
 // CacheHits reports how many Cached consults found an entry.
 func (s *Service) CacheHits() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cacheHits
+	return s.cacheHits.Load()
 }
 
 // noteLastTS records an observed last-ts for k at the current
@@ -391,25 +486,7 @@ func (s *Service) noteLastTS(k core.Key, ts core.Timestamp) {
 	if ts.IsZero() {
 		return
 	}
-	now := s.ring.Env().Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cache == nil {
-		s.cache = make(map[core.Key]cacheEntry)
-	}
-	if e, ok := s.cache[k]; ok {
-		if ts.Less(e.ts) {
-			return
-		}
-	} else if len(s.cache) >= cacheCap {
-		// Only a genuinely new key can grow the cache past the cap;
-		// overwriting an existing entry never evicts a warm floor.
-		for victim := range s.cache {
-			delete(s.cache, victim)
-			break
-		}
-	}
-	s.cache[k] = cacheEntry{ts: ts, at: now}
+	s.cache.note(k, ts, s.ring.Env().Now())
 }
 
 // ---- client-side operations -------------------------------------------
@@ -444,6 +521,139 @@ func (s *Service) LastTS(ctx context.Context, k core.Key) (core.Timestamp, error
 	network.MeterFrom(ctx).Merge(r.Cost)
 	s.noteLastTS(k, r.TS)
 	return r.TS, nil
+}
+
+// GenTSBatch generates timestamps for many keys in one KTS round per
+// responsible: keys are grouped by rsp(k, hts) and each group travels as
+// a single gen_ts batch message instead of |keys| independent round
+// trips. Outcomes are per key (out[i], errs[i] parallel to keys); keys
+// whose responsible moved or died mid-call are retried individually like
+// the single-key path. This is PutMulti's fan-in.
+func (s *Service) GenTSBatch(ctx context.Context, keys []core.Key) ([]core.Timestamp, []error) {
+	s.metrics.genTSReqs.Add(uint64(len(keys)))
+	out, errs := s.batchCall(ctx, MethodGenTSBatch, keys)
+	for i, k := range keys {
+		if errs[i] == nil {
+			// A freshly generated timestamp IS the key's last_ts.
+			s.noteLastTS(k, out[i])
+		} else {
+			errs[i] = fmt.Errorf("kts: gen_ts(%q): %w", k, errs[i])
+		}
+	}
+	return out, errs
+}
+
+// LastTSBatch fetches last timestamps for many keys in one KTS round per
+// responsible — GetMulti's fan-in. Outcomes are per key; a zero
+// timestamp with a nil error means the key was never stamped.
+func (s *Service) LastTSBatch(ctx context.Context, keys []core.Key) ([]core.Timestamp, []error) {
+	s.metrics.lastTSReqs.Add(uint64(len(keys)))
+	out, errs := s.batchCall(ctx, MethodLastTSBatch, keys)
+	for i, k := range keys {
+		if errs[i] == nil {
+			s.noteLastTS(k, out[i])
+		} else {
+			errs[i] = fmt.Errorf("kts: last_ts(%q): %w", k, errs[i])
+		}
+	}
+	return out, errs
+}
+
+// retryableCallErr reports whether a per-key or transport error means
+// "re-resolve the responsible and try again" (the same set the
+// single-key path retries on).
+func retryableCallErr(err error) bool {
+	return errors.Is(err, core.ErrNotResponsible) || errors.Is(err, core.ErrTimeout) ||
+		errors.Is(err, core.ErrUnreachable)
+}
+
+// batchCall is the grouped analogue of callResponsible: resolve every
+// key's responsible, batch the keys per responsible, and issue one RPC
+// per group — the local group is served free of charge. Keys that come
+// back with a retryable outcome re-resolve on the next attempt.
+func (s *Service) batchCall(ctx context.Context, method string, keys []core.Key) ([]core.Timestamp, []error) {
+	n := len(keys)
+	out := make([]core.Timestamp, n)
+	errs := make([]error, n)
+	pending := make([]int, 0, n)
+	for i := range keys {
+		pending = append(pending, i)
+	}
+	for attempt := 0; attempt <= s.cfg.LookupRetries && len(pending) > 0; attempt++ {
+		if attempt > 0 {
+			// A responsible moved or died: give the ring a beat to
+			// converge before re-resolving.
+			if serr := network.SleepCtx(ctx, s.ring.Env(), 200*time.Millisecond); serr != nil {
+				for _, i := range pending {
+					errs[i] = serr
+				}
+				return out, errs
+			}
+		}
+		if err := network.CtxError(ctx); err != nil {
+			for _, i := range pending {
+				errs[i] = err
+			}
+			return out, errs
+		}
+		// Group the pending keys by responsible, preserving first-seen
+		// order so the round's RPC sequence is deterministic.
+		var order []network.Addr
+		groups := make(map[network.Addr][]int)
+		for _, i := range pending {
+			ref, _, err := s.ring.Lookup(ctx, s.set.HTS.ID(keys[i]))
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			if _, seen := groups[ref.Addr]; !seen {
+				order = append(order, ref.Addr)
+			}
+			groups[ref.Addr] = append(groups[ref.Addr], i)
+		}
+		var next []int
+		for _, addr := range order {
+			idx := groups[addr]
+			req := BatchReq{Keys: make([]core.Key, len(idx))}
+			for j, i := range idx {
+				req.Keys[j] = keys[i]
+			}
+			var resp network.Message
+			var err error
+			if addr == s.ring.Self().Addr {
+				// We are the responsible: serve locally, free of charge.
+				resp, err = s.serveLocal(method, req)
+			} else {
+				resp, err = s.ring.Endpoint().Invoke(ctx, addr, method, req, network.Call{
+					Timeout: s.cfg.RPCTimeout,
+				})
+			}
+			if err != nil {
+				// The whole group shares the transport outcome.
+				for _, i := range idx {
+					errs[i] = err
+					if retryableCallErr(err) {
+						next = append(next, i)
+					}
+				}
+				continue
+			}
+			r := resp.(BatchResp)
+			network.MeterFrom(ctx).Merge(r.Cost)
+			for j, i := range idx {
+				if r.Code[j] == "" {
+					out[i], errs[i] = r.TS[j], nil
+					continue
+				}
+				errs[i] = network.DecodeError(r.Code[j], r.Msg[j])
+				if retryableCallErr(errs[i]) {
+					next = append(next, i)
+				}
+			}
+		}
+		pending = next
+	}
+	return out, errs
 }
 
 // callResponsible resolves rsp(k, hts) and invokes a method on it,
@@ -491,6 +701,10 @@ func (s *Service) serveLocal(method string, req network.Message) (network.Messag
 		return s.handleGenTS(req.(GenTSReq))
 	case MethodLastTS:
 		return s.handleLastTS(req.(LastTSReq))
+	case MethodGenTSBatch:
+		return s.handleBatch(req.(BatchReq), true), nil
+	case MethodLastTSBatch:
+		return s.handleBatch(req.(BatchReq), false), nil
 	case MethodRecover:
 		return s.handleRecover(req.(RecoverReq)), nil
 	default:
@@ -508,9 +722,65 @@ func (s *Service) registerHandlers() {
 	ep.Handle(MethodLastTS, func(_ network.Addr, req network.Message) (network.Message, error) {
 		return s.handleLastTS(req.(LastTSReq))
 	})
+	ep.Handle(MethodGenTSBatch, func(_ network.Addr, req network.Message) (network.Message, error) {
+		return s.handleBatch(req.(BatchReq), true), nil
+	})
+	ep.Handle(MethodLastTSBatch, func(_ network.Addr, req network.Message) (network.Message, error) {
+		return s.handleBatch(req.(BatchReq), false), nil
+	})
 	ep.Handle(MethodRecover, func(_ network.Addr, req network.Message) (network.Message, error) {
 		return s.handleRecover(req.(RecoverReq)), nil
 	})
+}
+
+// handleBatch serves a grouped gen_ts/last_ts request: each key runs the
+// ordinary single-key handler concurrently (so indirect initializations
+// overlap their grace delays exactly as independent requests would) and
+// lands its outcome in the response slot matching the request's order.
+// Per-key failures — above all ErrNotResponsible for keys that moved
+// since the caller resolved — travel back as error codes, never failing
+// the keys this peer still serves.
+func (s *Service) handleBatch(req BatchReq, gen bool) BatchResp {
+	n := len(req.Keys)
+	resp := BatchResp{
+		TS:   make([]core.Timestamp, n),
+		Code: make([]string, n),
+		Msg:  make([]string, n),
+	}
+	costs := make([]network.Meter, n)
+	joinErr := network.GoJoin(s.ring.Env(), n, 10*time.Millisecond, func(i int) {
+		var r network.Message
+		var err error
+		if gen {
+			r, err = s.handleGenTS(GenTSReq{Key: req.Keys[i]})
+		} else {
+			r, err = s.handleLastTS(LastTSReq{Key: req.Keys[i]})
+		}
+		if err != nil {
+			resp.Code[i], resp.Msg[i] = network.EncodeError(err)
+			return
+		}
+		if gen {
+			g := r.(GenTSResp)
+			resp.TS[i], costs[i] = g.TS, g.Cost
+		} else {
+			l := r.(LastTSResp)
+			resp.TS[i], costs[i] = l.TS, l.Cost
+		}
+	})
+	if joinErr != nil {
+		// The environment shut down mid-batch: fail the slots that never
+		// produced an outcome.
+		for i := range resp.Code {
+			if resp.Code[i] == "" && resp.TS[i].IsZero() {
+				resp.Code[i], resp.Msg[i] = network.EncodeError(joinErr)
+			}
+		}
+	}
+	for _, c := range costs {
+		resp.Cost.Merge(c)
+	}
+	return resp
 }
 
 // handleGenTS implements Figure 4: ensure the counter exists (initialize

@@ -367,52 +367,10 @@ func (ep *Endpoint) Invoke(ctx context.Context, to network.Addr, method string, 
 		// times out — indistinguishable from a crashed destination.
 		n.countDrop()
 	} else {
-		n.k.After(reqDelay, func() {
-			// A partition that started while the message was in flight
-			// still blocks delivery: no cross-partition message is ever
-			// handed to a handler.
-			if !n.Reachable(ep.addr, to) {
-				n.countDrop()
-				return
-			}
-			n.mu.Lock()
-			dst := n.endpoints[to]
-			n.mu.Unlock()
-			if dst == nil || !dst.isAlive() {
-				n.countDrop()
-				return // silence; the caller times out
-			}
-			h := dst.handler(method)
-			if h == nil {
-				n.countDrop()
-				return
-			}
-			res, err := h(ep.addr, req)
-			// The reply travels back only if the destination survived
-			// serving the request and the partition still permits it.
-			if !dst.isAlive() {
-				n.countDrop()
-				return
-			}
-			code, msg := network.EncodeError(err)
-			respSize := network.DefaultWireSize
-			if err == nil {
-				respSize = network.SizeOf(res)
-			}
-			n.countMsg()
-			respDelay, respLost := n.conditions().Plan(to, ep.addr, respSize)
-			if respLost || !n.Reachable(to, ep.addr) {
-				n.countDrop()
-				return
-			}
-			n.k.After(respDelay, func() {
-				if !n.Reachable(to, ep.addr) {
-					n.countDrop()
-					return
-				}
-				reply.Resolve(simReply{body: res, code: code, msg: msg, size: respSize})
-			})
-		})
+		del := deliveryPool.Get().(*delivery)
+		del.n, del.from, del.to, del.method = n, ep.addr, to, method
+		del.req, del.reply = req, reply
+		n.k.AfterProc(reqDelay, deliverRequest, del)
 	}
 
 	v, err := reply.Await(timeout)
@@ -424,19 +382,108 @@ func (ep *Endpoint) Invoke(ctx context.Context, to network.Addr, method string, 
 		}
 		return nil, fmt.Errorf("simwire: %s->%s %s: %w", ep.addr, to, method, err)
 	}
-	r := v.(simReply)
-	meter.Count(r.size)
-	if r.code != "" {
-		return nil, network.DecodeError(r.code, r.msg)
+	del := v.(*delivery)
+	meter.Count(del.size)
+	body, code, msg := del.body, del.code, del.msg
+	del.release()
+	if code != "" {
+		return nil, network.DecodeError(code, msg)
 	}
-	return r.body, nil
+	return body, nil
 }
 
-type simReply struct {
+// delivery carries one message (and later its response) through the
+// simulated wire. Deliveries are pooled: the success path releases one
+// back after the caller copied the response out, and every drop path
+// releases on the spot. The one leak is a response that arrives after
+// the caller timed out — the resolved-but-unread future keeps the
+// delivery alive, so it must go to the garbage collector, never back to
+// the pool.
+type delivery struct {
+	n      *Network
+	from   network.Addr
+	to     network.Addr
+	method string
+	req    network.Message
+	reply  *simnet.Future
+	// Response leg, filled by deliverRequest.
 	body network.Message
 	code string
 	msg  string
 	size int
+}
+
+var deliveryPool = sync.Pool{New: func() any { return new(delivery) }}
+
+// release zeroes the delivery and returns it to the pool.
+func (d *delivery) release() {
+	*d = delivery{}
+	deliveryPool.Put(d)
+}
+
+// deliverRequest runs as a kernel process when the request arrives at
+// its destination: it serves the handler and schedules the response leg.
+func deliverRequest(x any) {
+	del := x.(*delivery)
+	n := del.n
+	// A partition that started while the message was in flight still
+	// blocks delivery: no cross-partition message is ever handed to a
+	// handler.
+	if !n.Reachable(del.from, del.to) {
+		n.countDrop()
+		del.release()
+		return
+	}
+	n.mu.Lock()
+	dst := n.endpoints[del.to]
+	n.mu.Unlock()
+	if dst == nil || !dst.isAlive() {
+		n.countDrop()
+		del.release()
+		return // silence; the caller times out
+	}
+	h := dst.handler(del.method)
+	if h == nil {
+		n.countDrop()
+		del.release()
+		return
+	}
+	res, err := h(del.from, del.req)
+	// The reply travels back only if the destination survived serving
+	// the request and the partition still permits it.
+	if !dst.isAlive() {
+		n.countDrop()
+		del.release()
+		return
+	}
+	code, msg := network.EncodeError(err)
+	respSize := network.DefaultWireSize
+	if err == nil {
+		respSize = network.SizeOf(res)
+	}
+	n.countMsg()
+	respDelay, respLost := n.conditions().Plan(del.to, del.from, respSize)
+	if respLost || !n.Reachable(del.to, del.from) {
+		n.countDrop()
+		del.release()
+		return
+	}
+	del.body, del.code, del.msg, del.size = res, code, msg, respSize
+	// The response is a pure event: resolving a future never blocks, so
+	// it needs no process of its own.
+	n.k.AfterCall(respDelay, deliverResponse, del)
+}
+
+// deliverResponse runs inline on the kernel loop when the response
+// arrives back at the caller.
+func deliverResponse(x any) {
+	del := x.(*delivery)
+	if !del.n.Reachable(del.to, del.from) {
+		del.n.countDrop()
+		del.release()
+		return
+	}
+	del.reply.Resolve(del)
 }
 
 func (n *Network) countMsg() {

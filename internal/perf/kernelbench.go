@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// KernelConfig shapes one scheduler benchmark run.
+type KernelConfig struct {
+	// Seed feeds the kernel; the event count is a pure function of
+	// Peers and EventsPerPeer, so the seed only matters for provenance.
+	Seed int64
+	// Peers is the number of synthetic event chains — each stands in
+	// for one simulated peer's maintenance timer.
+	Peers int
+	// EventsPerPeer is the chain length: how many times each peer's
+	// timer fires before going quiet.
+	EventsPerPeer int
+}
+
+// chain is one synthetic peer: a self-rescheduling kernel callback that
+// fires left more times at a fixed per-peer period. The tick function
+// is package-level and the chain travels as the callback argument, so a
+// steady-state reschedule allocates nothing — the benchmark measures
+// the scheduler, not closure creation.
+type chain struct {
+	k      *simnet.Kernel
+	left   int
+	period time.Duration
+}
+
+func tick(x any) {
+	c := x.(*chain)
+	if c.left--; c.left > 0 {
+		c.k.AfterCall(c.period, tick, c)
+	}
+}
+
+// KernelBench boots a fresh simulation kernel, schedules cfg.Peers
+// self-rescheduling event chains with deliberately co-prime periods (so
+// deadlines interleave across the queue shards rather than marching in
+// lockstep), and drains the queue. The deterministic field is the total
+// event count — exactly Peers x EventsPerPeer plus nothing, since
+// chains are pure AfterCall events with no processes — and the timing
+// fields record how fast this host dispatched them.
+func KernelBench(cfg KernelConfig) KernelPoint {
+	if cfg.Peers <= 0 {
+		cfg.Peers = 1000
+	}
+	if cfg.EventsPerPeer <= 0 {
+		cfg.EventsPerPeer = 10
+	}
+	k := simnet.New(cfg.Seed)
+	defer k.Stop()
+
+	chains := make([]chain, cfg.Peers)
+	for i := range chains {
+		chains[i] = chain{
+			k:    k,
+			left: cfg.EventsPerPeer,
+			// Periods 1..17ms, skipping lockstep: neighbouring peers land
+			// on different shards and different virtual instants.
+			period: time.Duration(1+i%17) * time.Millisecond,
+		}
+	}
+
+	point := KernelPoint{Peers: cfg.Peers}
+	t := Measure(cfg.Peers*cfg.EventsPerPeer, func() {
+		for i := range chains {
+			c := &chains[i]
+			k.AfterCall(c.period, tick, c)
+		}
+		k.RunUntilIdle()
+	})
+	point.Events = k.Events()
+	if t.WallSeconds > 0 {
+		point.EventsPerSec = float64(point.Events) / t.WallSeconds
+		point.NsPerEvent = t.WallSeconds * 1e9 / float64(point.Events)
+	}
+	point.AllocsPerEvent = t.AllocsPerOp * float64(cfg.Peers*cfg.EventsPerPeer) / float64(point.Events)
+	return point
+}

@@ -1,0 +1,300 @@
+// Package perf is the deterministic benchmark subsystem: it defines the
+// machine-readable perf figure (BENCH_perf.json), the measurement
+// discipline that keeps it reproducible, and the validation invariants
+// CI holds every regeneration to.
+//
+// The figure splits every metric into two classes:
+//
+//   - Deterministic fields — operation counts, messages per op, KTS
+//     requests per op, simulated latency, kernel event counts — are
+//     functions of the seed alone. Two runs at the same seed and scale
+//     produce bit-identical values, so CI regenerates the figure twice
+//     with timing stripped and byte-compares the files, then checks the
+//     deterministic fields against the committed baseline exactly.
+//
+//   - Timing fields — wall-clock ops/sec, ns/event, allocs/op — depend
+//     on the host and are never compared across machines. StripTiming
+//     zeroes them for the byte-compare; the committed baseline keeps one
+//     machine's numbers as a trajectory record, not a gate.
+//
+// The kernel benchmark (KernelBench) drives the sharded simulation
+// kernel with synthetic self-rescheduling event chains — no protocol
+// stack, pure scheduler — at deployment scales the protocol figures
+// never reach (1k/10k/100k peers), isolating the event-queue hot path
+// the rest of the suite sits on.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// SchemaV1 names the current perf figure schema; Validate rejects
+// anything else so a stale baseline fails loudly.
+const SchemaV1 = "dcdht-perf/v1"
+
+// Figure is the machine-readable perf export (BENCH_perf.json).
+type Figure struct {
+	// Schema tags the layout (SchemaV1).
+	Schema string `json:"schema"`
+	// Seed and Full echo the run's provenance.
+	Seed int64 `json:"seed"`
+	Full bool  `json:"full"`
+	// Ops holds one micro point per (algorithm, operation, level).
+	Ops []OpPoint `json:"ops"`
+	// Kernel holds the scheduler benchmark at each synthetic scale.
+	Kernel []KernelPoint `json:"kernel"`
+	// Macro is the end-to-end workload point (nil when skipped).
+	Macro *MacroPoint `json:"macro,omitempty"`
+}
+
+// OpPoint measures one operation shape end to end through a simulated
+// deployment: UMS or BRK, put or get, and for UMS gets the consistency
+// level the read ran at.
+type OpPoint struct {
+	// Alg is "ums" or "brk"; Op is "put" or "get"; Level is the
+	// consistency level for UMS gets ("current", "bounded", "eventual")
+	// and empty otherwise — puts and BRK ops have no level axis.
+	Alg   string `json:"alg"`
+	Op    string `json:"op"`
+	Level string `json:"level,omitempty"`
+
+	// Deterministic fields: functions of the seed alone.
+	OpsRun       int     `json:"ops_run"`
+	MsgsPerOp    float64 `json:"msgs_per_op"`
+	KTSReqsPerOp float64 `json:"kts_reqs_per_op"`
+	SimLatencyMs float64 `json:"sim_latency_ms"`
+
+	// Timing fields: host-dependent, zeroed by StripTiming.
+	WallOpsPerSec float64 `json:"wall_ops_per_sec"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+}
+
+// key identifies an op point across runs for baseline comparison.
+func (p OpPoint) key() string { return p.Alg + "/" + p.Op + "/" + p.Level }
+
+// KernelPoint measures the bare simulation kernel at one synthetic
+// deployment scale.
+type KernelPoint struct {
+	// Deterministic fields.
+	Peers  int    `json:"peers"`
+	Events uint64 `json:"events"`
+
+	// Timing fields.
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// MacroPoint measures one closed-loop workload run end to end.
+type MacroPoint struct {
+	// Deterministic fields.
+	Peers         int     `json:"peers"`
+	Ops           int     `json:"ops"`
+	Failed        int     `json:"failed"`
+	SimElapsedSec float64 `json:"sim_elapsed_sec"`
+	SimOpsPerSec  float64 `json:"sim_ops_per_sec"`
+	// Timing fields.
+	WallMs float64 `json:"wall_ms"`
+}
+
+// StripTiming zeroes every host-dependent field, leaving only the
+// deterministic ones — after this, two same-seed runs marshal to
+// byte-identical JSON.
+func (f *Figure) StripTiming() {
+	for i := range f.Ops {
+		f.Ops[i].WallOpsPerSec = 0
+		f.Ops[i].AllocsPerOp = 0
+	}
+	for i := range f.Kernel {
+		f.Kernel[i].EventsPerSec = 0
+		f.Kernel[i].NsPerEvent = 0
+		f.Kernel[i].AllocsPerEvent = 0
+	}
+	if f.Macro != nil {
+		f.Macro.WallMs = 0
+	}
+}
+
+// Validate checks the figure's internal invariants: schema, shape, and
+// the cost orderings the consistency model promises — relaxed reads
+// must cost less than provably-current ones, eventual reads must never
+// touch KTS, and every UMS write pays at least one timestamp grant.
+func (f *Figure) Validate() error {
+	if f.Schema != SchemaV1 {
+		return fmt.Errorf("perf: schema %q, want %q", f.Schema, SchemaV1)
+	}
+	if len(f.Ops) == 0 {
+		return fmt.Errorf("perf: empty op point set")
+	}
+	byKey := map[string]OpPoint{}
+	for i, p := range f.Ops {
+		if p.Alg != "ums" && p.Alg != "brk" {
+			return fmt.Errorf("perf: op point %d: unknown alg %q", i, p.Alg)
+		}
+		if p.Op != "put" && p.Op != "get" {
+			return fmt.Errorf("perf: op point %d: unknown op %q", i, p.Op)
+		}
+		switch p.Level {
+		case "":
+			if p.Alg == "ums" && p.Op == "get" {
+				return fmt.Errorf("perf: op point %d: ums get without a level", i)
+			}
+		case "current", "bounded", "eventual":
+			if p.Alg != "ums" || p.Op != "get" {
+				return fmt.Errorf("perf: op point %d: level %q on %s %s", i, p.Level, p.Alg, p.Op)
+			}
+		default:
+			return fmt.Errorf("perf: op point %d: unknown level %q", i, p.Level)
+		}
+		if p.OpsRun <= 0 {
+			return fmt.Errorf("perf: op point %s ran no operations", p.key())
+		}
+		if p.MsgsPerOp <= 0 || p.SimLatencyMs < 0 || p.KTSReqsPerOp < 0 {
+			return fmt.Errorf("perf: op point %s: implausible costs: msgs=%v lat=%v kts=%v",
+				p.key(), p.MsgsPerOp, p.SimLatencyMs, p.KTSReqsPerOp)
+		}
+		if _, dup := byKey[p.key()]; dup {
+			return fmt.Errorf("perf: duplicate op point %s", p.key())
+		}
+		byKey[p.key()] = p
+	}
+	// BRK has no timestamp service: any KTS traffic is a measurement bug.
+	for _, p := range f.Ops {
+		if p.Alg == "brk" && p.KTSReqsPerOp != 0 {
+			return fmt.Errorf("perf: brk point %s reports KTS traffic (%v/op)", p.key(), p.KTSReqsPerOp)
+		}
+	}
+	// UMS writes pay at least one gen_ts grant per insert.
+	if put, ok := byKey["ums/put/"]; ok && put.KTSReqsPerOp < 1 {
+		return fmt.Errorf("perf: ums put reports %v KTS reqs/op, want >= 1", put.KTSReqsPerOp)
+	}
+	// Level orderings, when all three UMS get levels are present.
+	cur, ok1 := byKey["ums/get/current"]
+	bnd, ok2 := byKey["ums/get/bounded"]
+	ev, ok3 := byKey["ums/get/eventual"]
+	if ok1 && ok2 && ok3 {
+		if ev.KTSReqsPerOp != 0 {
+			return fmt.Errorf("perf: eventual get touched KTS (%v reqs/op)", ev.KTSReqsPerOp)
+		}
+		if !(ev.MsgsPerOp < cur.MsgsPerOp) || !(bnd.MsgsPerOp < cur.MsgsPerOp) {
+			return fmt.Errorf("perf: messages not strictly ordered: eventual %.2f / bounded %.2f vs current %.2f",
+				ev.MsgsPerOp, bnd.MsgsPerOp, cur.MsgsPerOp)
+		}
+		if cur.KTSReqsPerOp < 1 {
+			return fmt.Errorf("perf: current get reports %v KTS reqs/op, want >= 1", cur.KTSReqsPerOp)
+		}
+	}
+	if len(f.Kernel) < 2 {
+		return fmt.Errorf("perf: kernel sweep has %d points, want >= 2 scales", len(f.Kernel))
+	}
+	for i, p := range f.Kernel {
+		if p.Peers <= 0 || p.Events == 0 {
+			return fmt.Errorf("perf: kernel point %d: peers=%d events=%d", i, p.Peers, p.Events)
+		}
+		if i > 0 {
+			prev := f.Kernel[i-1]
+			if p.Peers <= prev.Peers {
+				return fmt.Errorf("perf: kernel scales not increasing: %d after %d", p.Peers, prev.Peers)
+			}
+			if p.Events <= prev.Events {
+				return fmt.Errorf("perf: kernel events not increasing with scale: %d@%d after %d@%d",
+					p.Events, p.Peers, prev.Events, prev.Peers)
+			}
+		}
+	}
+	if f.Macro != nil {
+		if f.Macro.Ops <= 0 {
+			return fmt.Errorf("perf: macro point ran no operations")
+		}
+		if f.Macro.Failed*10 > f.Macro.Ops {
+			return fmt.Errorf("perf: macro point failed %d of %d ops (>10%%)", f.Macro.Failed, f.Macro.Ops)
+		}
+		if f.Macro.SimElapsedSec <= 0 {
+			return fmt.Errorf("perf: macro point reports no simulated window")
+		}
+	}
+	return nil
+}
+
+// ValidateAgainst checks f against a committed baseline: the same point
+// set, and every deterministic field bit-equal — the simulation is a
+// function of the seed, so any drift is a behavior change that must
+// come with a regenerated baseline. Timing fields are never compared.
+func (f *Figure) ValidateAgainst(base *Figure) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if f.Schema != base.Schema || f.Seed != base.Seed || f.Full != base.Full {
+		return fmt.Errorf("perf: provenance drifted from baseline: schema=%q seed=%d full=%v, want %q/%d/%v",
+			f.Schema, f.Seed, f.Full, base.Schema, base.Seed, base.Full)
+	}
+	if len(f.Ops) != len(base.Ops) {
+		return fmt.Errorf("perf: %d op points, baseline has %d", len(f.Ops), len(base.Ops))
+	}
+	for i, p := range f.Ops {
+		b := base.Ops[i]
+		if p.key() != b.key() {
+			return fmt.Errorf("perf: op point %d is %s, baseline has %s", i, p.key(), b.key())
+		}
+		if p.OpsRun != b.OpsRun || p.MsgsPerOp != b.MsgsPerOp ||
+			p.KTSReqsPerOp != b.KTSReqsPerOp || p.SimLatencyMs != b.SimLatencyMs {
+			return fmt.Errorf("perf: op point %s drifted from baseline: ops=%d msgs=%v kts=%v lat=%v, want %d/%v/%v/%v",
+				p.key(), p.OpsRun, p.MsgsPerOp, p.KTSReqsPerOp, p.SimLatencyMs,
+				b.OpsRun, b.MsgsPerOp, b.KTSReqsPerOp, b.SimLatencyMs)
+		}
+	}
+	if len(f.Kernel) != len(base.Kernel) {
+		return fmt.Errorf("perf: %d kernel points, baseline has %d", len(f.Kernel), len(base.Kernel))
+	}
+	for i, p := range f.Kernel {
+		b := base.Kernel[i]
+		if p.Peers != b.Peers || p.Events != b.Events {
+			return fmt.Errorf("perf: kernel point %d drifted: %d peers / %d events, want %d/%d",
+				i, p.Peers, p.Events, b.Peers, b.Events)
+		}
+	}
+	if (f.Macro == nil) != (base.Macro == nil) {
+		return fmt.Errorf("perf: macro point presence differs from baseline")
+	}
+	if f.Macro != nil {
+		m, b := f.Macro, base.Macro
+		if m.Peers != b.Peers || m.Ops != b.Ops || m.Failed != b.Failed ||
+			m.SimElapsedSec != b.SimElapsedSec || m.SimOpsPerSec != b.SimOpsPerSec {
+			return fmt.Errorf("perf: macro point drifted: %+v, want %+v", *m, *b)
+		}
+	}
+	return nil
+}
+
+// Timing is one measured stretch of host work: wall seconds and heap
+// allocations, normalized per operation by Measure.
+type Timing struct {
+	WallSeconds float64
+	OpsPerSec   float64
+	AllocsPerOp float64
+}
+
+// Measure runs fn — which performs ops operations — once, bracketed by
+// wall clock and heap accounting. The caller provides determinism; this
+// helper only attaches the host-dependent timing that StripTiming later
+// removes. A GC runs first so the Mallocs delta reflects fn alone as
+// closely as the runtime allows.
+func Measure(ops int, fn func()) Timing {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	t := Timing{WallSeconds: wall.Seconds()}
+	if ops > 0 {
+		t.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+		if wall > 0 {
+			t.OpsPerSec = float64(ops) / wall.Seconds()
+		}
+	}
+	return t
+}

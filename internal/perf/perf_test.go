@@ -1,0 +1,183 @@
+package perf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// validFigure builds a figure that satisfies every Validate invariant;
+// tests mutate copies of it to probe individual checks.
+func validFigure() *Figure {
+	return &Figure{
+		Schema: SchemaV1,
+		Seed:   42,
+		Ops: []OpPoint{
+			{Alg: "ums", Op: "put", OpsRun: 40, MsgsPerOp: 30, KTSReqsPerOp: 1, SimLatencyMs: 80, WallOpsPerSec: 1000, AllocsPerOp: 50},
+			{Alg: "ums", Op: "get", Level: "current", OpsRun: 40, MsgsPerOp: 12, KTSReqsPerOp: 1, SimLatencyMs: 60},
+			{Alg: "ums", Op: "get", Level: "bounded", OpsRun: 40, MsgsPerOp: 4, KTSReqsPerOp: 0.1, SimLatencyMs: 20},
+			{Alg: "ums", Op: "get", Level: "eventual", OpsRun: 40, MsgsPerOp: 3, KTSReqsPerOp: 0, SimLatencyMs: 15},
+			{Alg: "brk", Op: "put", OpsRun: 40, MsgsPerOp: 25, SimLatencyMs: 70},
+			{Alg: "brk", Op: "get", OpsRun: 40, MsgsPerOp: 18, SimLatencyMs: 65},
+		},
+		Kernel: []KernelPoint{
+			{Peers: 1000, Events: 10000, EventsPerSec: 5e6},
+			{Peers: 10000, Events: 100000, EventsPerSec: 4e6},
+			{Peers: 100000, Events: 1000000, EventsPerSec: 3e6},
+		},
+		Macro: &MacroPoint{Peers: 48, Ops: 300, SimElapsedSec: 120, SimOpsPerSec: 2.5, WallMs: 900},
+	}
+}
+
+func TestValidateAcceptsWellFormedFigure(t *testing.T) {
+	if err := validFigure().Validate(); err != nil {
+		t.Fatalf("valid figure rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBrokenFigures(t *testing.T) {
+	cases := []struct {
+		name   string
+		break_ func(*Figure)
+		want   string
+	}{
+		{"schema", func(f *Figure) { f.Schema = "dcdht-perf/v0" }, "schema"},
+		{"no ops", func(f *Figure) { f.Ops = nil }, "empty op point set"},
+		{"bad alg", func(f *Figure) { f.Ops[0].Alg = "paxos" }, "unknown alg"},
+		{"bad level", func(f *Figure) { f.Ops[1].Level = "snapshot" }, "unknown level"},
+		{"level on put", func(f *Figure) { f.Ops[0].Level = "current" }, "level"},
+		{"missing level", func(f *Figure) { f.Ops[1].Level = "" }, "without a level"},
+		{"no ops run", func(f *Figure) { f.Ops[0].OpsRun = 0 }, "ran no operations"},
+		{"brk kts", func(f *Figure) { f.Ops[4].KTSReqsPerOp = 2 }, "brk"},
+		{"put without grant", func(f *Figure) { f.Ops[0].KTSReqsPerOp = 0.5 }, "want >= 1"},
+		{"eventual kts", func(f *Figure) { f.Ops[3].KTSReqsPerOp = 1 }, "eventual get touched KTS"},
+		{"ordering", func(f *Figure) { f.Ops[3].MsgsPerOp = 50 }, "not strictly ordered"},
+		{"one kernel point", func(f *Figure) { f.Kernel = f.Kernel[:1] }, "kernel sweep"},
+		{"kernel scale order", func(f *Figure) { f.Kernel[2].Peers = 10 }, "not increasing"},
+		{"kernel event order", func(f *Figure) { f.Kernel[2].Events = 5 }, "events not increasing"},
+		{"macro empty", func(f *Figure) { f.Macro.Ops = 0 }, "macro point ran no operations"},
+		{"macro failures", func(f *Figure) { f.Macro.Failed = 200 }, ">10%"},
+	}
+	for _, tc := range cases {
+		f := validFigure()
+		tc.break_(f)
+		err := f.Validate()
+		if err == nil {
+			t.Errorf("%s: broken figure accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateAgainstComparesOnlyDeterministicFields(t *testing.T) {
+	base := validFigure()
+	f := validFigure()
+	// Timing drift between hosts must pass.
+	f.Ops[0].WallOpsPerSec = 123456
+	f.Ops[0].AllocsPerOp = 7
+	f.Kernel[0].EventsPerSec = 1
+	f.Macro.WallMs = 1e6
+	if err := f.ValidateAgainst(base); err != nil {
+		t.Fatalf("timing drift rejected: %v", err)
+	}
+	// Deterministic drift must fail.
+	f = validFigure()
+	f.Ops[1].MsgsPerOp++
+	if err := f.ValidateAgainst(base); err == nil {
+		t.Fatal("msgs_per_op drift accepted")
+	}
+	f = validFigure()
+	f.Kernel[1].Events++
+	if err := f.ValidateAgainst(base); err == nil {
+		t.Fatal("kernel event drift accepted")
+	}
+	f = validFigure()
+	f.Macro.SimOpsPerSec++
+	if err := f.ValidateAgainst(base); err == nil {
+		t.Fatal("macro drift accepted")
+	}
+	f = validFigure()
+	f.Seed++
+	if err := f.ValidateAgainst(base); err == nil {
+		t.Fatal("seed drift accepted")
+	}
+}
+
+func TestStripTimingProducesStableJSON(t *testing.T) {
+	a, b := validFigure(), validFigure()
+	// Pretend the two runs timed differently.
+	a.Ops[0].WallOpsPerSec, b.Ops[0].WallOpsPerSec = 111, 222
+	a.Kernel[0].NsPerEvent, b.Kernel[0].NsPerEvent = 3, 4
+	a.Macro.WallMs, b.Macro.WallMs = 5, 6
+	a.StripTiming()
+	b.StripTiming()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("stripped figures differ:\n%s\n%s", ja, jb)
+	}
+	if strings.Contains(string(ja), "111") {
+		t.Fatal("timing survived StripTiming")
+	}
+}
+
+func TestKernelBenchEventCountIsDeterministic(t *testing.T) {
+	cfg := KernelConfig{Seed: 7, Peers: 500, EventsPerPeer: 8}
+	a := KernelBench(cfg)
+	b := KernelBench(cfg)
+	if a.Events != b.Events {
+		t.Fatalf("event counts differ across runs: %d vs %d", a.Events, b.Events)
+	}
+	if want := uint64(500 * 8); a.Events != want {
+		t.Fatalf("events = %d, want exactly peers x chain length = %d", a.Events, want)
+	}
+	if a.Peers != 500 {
+		t.Fatalf("peers = %d, want 500", a.Peers)
+	}
+}
+
+func TestKernelBenchScalesEventsWithPeers(t *testing.T) {
+	small := KernelBench(KernelConfig{Seed: 1, Peers: 100, EventsPerPeer: 5})
+	large := KernelBench(KernelConfig{Seed: 1, Peers: 1000, EventsPerPeer: 5})
+	if large.Events <= small.Events {
+		t.Fatalf("events did not scale: %d at 100 peers vs %d at 1000", small.Events, large.Events)
+	}
+}
+
+func TestMeasureNormalizesPerOp(t *testing.T) {
+	var sink []*int
+	tm := Measure(100, func() {
+		for i := 0; i < 100; i++ {
+			v := i
+			sink = append(sink, &v)
+		}
+	})
+	_ = sink
+	if tm.WallSeconds <= 0 {
+		t.Fatalf("wall seconds %v not positive", tm.WallSeconds)
+	}
+	if tm.AllocsPerOp <= 0 {
+		t.Fatalf("allocs/op %v not positive for an allocating loop", tm.AllocsPerOp)
+	}
+	if tm.OpsPerSec <= 0 {
+		t.Fatalf("ops/sec %v not positive", tm.OpsPerSec)
+	}
+}
+
+// BenchmarkKernelDispatch is the bench-smoke entry point: one chain per
+// iteration batch through the sharded kernel, reported as ns/event.
+func BenchmarkKernelDispatch(b *testing.B) {
+	k := simnet.New(1)
+	defer k.Stop()
+	c := &chain{k: k, left: b.N, period: time.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.AfterCall(c.period, tick, c)
+	k.RunUntilIdle()
+}

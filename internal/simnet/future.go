@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -22,6 +23,12 @@ type awaitResult struct {
 	err error
 }
 
+// waiterPool recycles Await wake-up channels. A channel is returned only
+// after its single send was cleanly received; the stop path abandons it.
+// Stale events that still reference a recycled channel are inert: the
+// future's delivered flag stops them before they send.
+var waiterPool = sync.Pool{New: func() any { return make(chan awaitResult, 1) }}
+
 // NewFuture creates an unresolved future.
 func (k *Kernel) NewFuture() *Future { return &Future{k: k} }
 
@@ -40,18 +47,9 @@ func (f *Future) Resolve(v any) {
 	if f.waiter == nil {
 		return // consumer not blocked yet; Await will fast-path
 	}
-	w := f.waiter
-	k.push(k.now, func() {
-		k.mu.Lock()
-		if f.delivered {
-			k.mu.Unlock()
-			return
-		}
-		f.delivered = true
-		k.runnable++
-		k.mu.Unlock()
-		w <- awaitResult{val: f.val}
-	})
+	ev := k.push(k.now, kindResolve)
+	ev.f = f
+	ev.w = f.waiter
 }
 
 // Await blocks the calling process until the future resolves or the
@@ -69,25 +67,18 @@ func (f *Future) Await(timeout time.Duration) (any, error) {
 		k.mu.Unlock()
 		return nil, core.ErrStopped
 	}
-	w := make(chan awaitResult, 1)
+	w := waiterPool.Get().(chan awaitResult)
 	f.waiter = w
 	if timeout > 0 {
-		k.push(k.now+timeout, func() {
-			k.mu.Lock()
-			if f.delivered {
-				k.mu.Unlock()
-				return
-			}
-			f.delivered = true
-			k.runnable++
-			k.mu.Unlock()
-			w <- awaitResult{err: core.ErrTimeout}
-		})
+		ev := k.push(k.now+timeout, kindTimeout)
+		ev.f = f
+		ev.w = w
 	}
 	k.block()
 	k.mu.Unlock()
 	select {
 	case r := <-w:
+		waiterPool.Put(w)
 		return r.val, r.err
 	case <-k.stopCh:
 		return nil, core.ErrStopped

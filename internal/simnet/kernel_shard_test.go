@@ -1,0 +1,234 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The event queue is sharded by sequence number (shard = seq & 7), so
+// correctness properties that used to be trivially true of one heap —
+// total (at,seq) order, cancellation, removal — now cross shard
+// boundaries. These tests pin them down at the seams.
+
+// nopArg is a package-level callback so scheduling it allocates no
+// closure — the alloc tests below depend on that.
+func nopArg(any) {}
+
+// TestSimultaneousDeadlinesFireInScheduleOrder schedules many callbacks
+// at the identical virtual instant. Their sequence numbers spread
+// round-robin over all shards, and the merge layer must still dispatch
+// them in exact schedule order.
+func TestSimultaneousDeadlinesFireInScheduleOrder(t *testing.T) {
+	k := New(1)
+	defer k.Stop()
+	const n = 64 // 8 per shard
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		k.AfterCall(time.Millisecond, func(x any) { got = append(got, x.(int)) }, i)
+	}
+	k.RunUntilIdle()
+	if len(got) != n {
+		t.Fatalf("fired %d of %d callbacks", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("fire order diverged at %d: got %v", i, got[:i+1])
+		}
+	}
+}
+
+// TestCancelAcrossShards arms one timer per shard slot and cancels
+// every other one; only the survivors may fire, still in deadline
+// order, and cancellation must work regardless of which shard heap
+// holds the timer's event.
+func TestCancelAcrossShards(t *testing.T) {
+	k := New(2)
+	defer k.Stop()
+	const n = 48
+	var mu sync.Mutex
+	var fired []int
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = k.After(time.Duration(i+1)*time.Millisecond, func() {
+			mu.Lock()
+			fired = append(fired, i)
+			mu.Unlock()
+		})
+	}
+	for i := 0; i < n; i += 2 {
+		if !timers[i].Cancel() {
+			t.Fatalf("timer %d: Cancel returned false before firing", i)
+		}
+	}
+	k.RunUntilIdle()
+	mu.Lock()
+	defer mu.Unlock()
+	if want := n / 2; len(fired) != want {
+		t.Fatalf("%d timers fired, want %d", len(fired), want)
+	}
+	for j, v := range fired {
+		if want := 2*j + 1; v != want {
+			t.Fatalf("fire order diverged at %d: got %d, want %d", j, v, want)
+		}
+	}
+	for i := 1; i < n; i += 2 {
+		if timers[i].Cancel() {
+			t.Fatalf("timer %d: Cancel returned true after firing", i)
+		}
+	}
+}
+
+// TestCancelLastAndMiddleOfShardHeap removes events from the middle and
+// tail of a shard's heap — the swap-with-last paths in remove() — and
+// checks the survivors keep their order.
+func TestCancelLastAndMiddleOfShardHeap(t *testing.T) {
+	k := New(3)
+	defer k.Stop()
+	// All on one shard: every 8th push lands on shard seq&7 == same slot,
+	// so schedule 8 groups and cancel within each.
+	const n = 64
+	var got []int
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = k.After(time.Duration(n-i)*time.Millisecond, func() {
+			got = append(got, i)
+		})
+	}
+	// Cancel a middle band and the latest deadlines (heap tails).
+	for i := 20; i < 30; i++ {
+		timers[i].Cancel()
+	}
+	for i := 0; i < 4; i++ {
+		timers[i].Cancel() // longest deadlines, deepest heap entries
+	}
+	k.RunUntilIdle()
+	want := 0
+	for i := n - 1; i >= 0; i-- { // deadlines descend with i
+		if i >= 20 && i < 30 || i < 4 {
+			continue
+		}
+		want++
+	}
+	if len(got) != want {
+		t.Fatalf("%d timers fired, want %d", len(got), want)
+	}
+	// Deadlines are (n-i)ms, so survivors fire in descending i.
+	for j := 1; j < len(got); j++ {
+		if got[j] > got[j-1] {
+			t.Fatalf("deadline order violated: %v", got)
+		}
+	}
+}
+
+// TestConcurrentScheduleCancelRace hammers the shared queue from many
+// OS threads while the kernel drains it — the -race regression test
+// for the striped push/remove/dispatch paths.
+func TestConcurrentScheduleCancelRace(t *testing.T) {
+	k := New(4)
+	defer k.Stop()
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				tm := k.After(time.Duration(1+(g+i)%13)*time.Millisecond, func() { fired.Add(1) })
+				k.AfterCall(time.Duration(1+i%7)*time.Millisecond, nopArg, nil)
+				if i%3 == 0 {
+					tm.Cancel()
+				}
+			}
+		}(g)
+	}
+	producersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(producersDone)
+	}()
+	// Drain concurrently with the producers, then finish the tail.
+	draining := true
+	for draining {
+		select {
+		case <-producersDone:
+			draining = false
+		default:
+			k.Run(k.Now() + time.Millisecond)
+		}
+	}
+	k.RunUntilIdle()
+	if fired.Load() == 0 {
+		t.Fatal("no timers fired under the hammer")
+	}
+	if k.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d events left", k.QueueLen())
+	}
+}
+
+// TestQueueLenTracksAcrossShards checks the merged-queue accounting
+// that the sharded layout has to maintain explicitly.
+func TestQueueLenTracksAcrossShards(t *testing.T) {
+	k := New(5)
+	defer k.Stop()
+	timers := make([]*Timer, 20)
+	for i := range timers {
+		timers[i] = k.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	if got := k.QueueLen(); got != 20 {
+		t.Fatalf("QueueLen = %d, want 20", got)
+	}
+	for i := 0; i < 10; i++ {
+		timers[i].Cancel()
+	}
+	if got := k.QueueLen(); got != 10 {
+		t.Fatalf("QueueLen after cancels = %d, want 10", got)
+	}
+	k.RunUntilIdle()
+	if got := k.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after drain = %d, want 0", got)
+	}
+}
+
+// TestAfterCallSteadyStateAllocations pins the schedule/fire hot path:
+// once the free list is warm, an AfterCall round trip through the
+// sharded queue must not allocate at all.
+func TestAfterCallSteadyStateAllocations(t *testing.T) {
+	k := New(6)
+	defer k.Stop()
+	// Warm the event free list.
+	for i := 0; i < 100; i++ {
+		k.AfterCall(time.Millisecond, nopArg, nil)
+	}
+	k.RunUntilIdle()
+	allocs := testing.AllocsPerRun(200, func() {
+		k.AfterCall(time.Millisecond, nopArg, nil)
+		k.RunUntilIdle()
+	})
+	if allocs > 0 {
+		t.Errorf("AfterCall schedule/fire path allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestTimerFireAllocations pins the After path: one Timer object plus
+// the fired goroutine — the budget is small and must not creep.
+func TestTimerFireAllocations(t *testing.T) {
+	k := New(7)
+	defer k.Stop()
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		k.After(time.Millisecond, fn)
+	}
+	k.RunUntilIdle()
+	allocs := testing.AllocsPerRun(200, func() {
+		k.After(time.Millisecond, fn)
+		k.RunUntilIdle()
+	})
+	if allocs > 6 {
+		t.Errorf("After schedule/fire path allocates %.2f objects/op, want <= 6", allocs)
+	}
+}

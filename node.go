@@ -433,30 +433,61 @@ func (n *Node) LastTS(ctx context.Context, key Key, opts ...OpOption) (Timestamp
 	return n.kts.LastTS(ctx, key)
 }
 
-// PutMulti implements Client: the writes fan out on concurrent
-// goroutines with per-key error isolation. Invalid options fail the
-// batch as a whole.
+// PutMulti implements Client: UMS writes share one batched KTS round
+// per responsible (kts.GenTSBatch), then replicate concurrently, with
+// per-key error isolation. BRK writes have no KTS round to batch and
+// fan out per key. Invalid options fail the batch as a whole.
 func (n *Node) PutMulti(ctx context.Context, items []KV, opts ...OpOption) ([]MultiResult, error) {
-	if _, err := nodeOpts("put multi", "", opts); err != nil {
+	oc, err := nodeOpts("put multi", "", opts)
+	if err != nil {
 		return nil, err
 	}
-	return nodeMulti(ctx, len(items), func(i int) (Key, Result, error) {
-		r, err := n.Put(ctx, items[i].Key, items[i].Data, opts...)
-		return items[i].Key, r, err
-	})
+	if oc.alg == AlgBRK {
+		return nodeMulti(ctx, len(items), func(i int) (Key, Result, error) {
+			r, err := n.brk.Insert(ctx, items[i].Key, items[i].Data)
+			return items[i].Key, r, err
+		})
+	}
+	if cerr := network.CtxError(ctx); cerr != nil {
+		return nil, fmt.Errorf("dcdht: %w", cerr)
+	}
+	keys := make([]Key, len(items))
+	datas := make([][]byte, len(items))
+	for i, it := range items {
+		keys[i], datas[i] = it.Key, it.Data
+	}
+	results, errs := n.ums.InsertMulti(ctx, keys, datas)
+	out := make([]MultiResult, len(items))
+	for i := range out {
+		out[i] = MultiResult{Key: keys[i], Result: results[i], Err: errs[i]}
+	}
+	return out, nil
 }
 
-// GetMulti implements Client: the reads fan out on concurrent
-// goroutines with per-key error isolation. Invalid options fail the
-// batch as a whole.
+// GetMulti implements Client: UMS reads at the provably-current level
+// share one batched KTS last_ts round per responsible
+// (kts.LastTSBatch); the relaxed levels and BRK fan out per key. Every
+// outcome keeps its per-key error isolation.
 func (n *Node) GetMulti(ctx context.Context, keys []Key, opts ...OpOption) ([]MultiResult, error) {
-	if _, err := nodeOpts("get multi", "", opts); err != nil {
+	oc, err := nodeOpts("get multi", "", opts)
+	if err != nil {
 		return nil, err
 	}
-	return nodeMulti(ctx, len(keys), func(i int) (Key, Result, error) {
-		r, err := n.Get(ctx, keys[i], opts...)
-		return keys[i], r, err
-	})
+	if oc.alg == AlgBRK {
+		return nodeMulti(ctx, len(keys), func(i int) (Key, Result, error) {
+			r, err := n.brk.Retrieve(ctx, keys[i])
+			return keys[i], r, err
+		})
+	}
+	if cerr := network.CtxError(ctx); cerr != nil {
+		return nil, fmt.Errorf("dcdht: %w", cerr)
+	}
+	results, errs := n.ums.RetrieveMulti(ctx, keys, oc.readPolicy())
+	out := make([]MultiResult, len(keys))
+	for i := range out {
+		out[i] = MultiResult{Key: keys[i], Result: results[i], Err: errs[i]}
+	}
+	return out, nil
 }
 
 // nodeMulti fans count sub-operations out concurrently and gathers

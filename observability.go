@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/can"
 	"repro/internal/chord"
@@ -118,7 +119,9 @@ func (n *Node) Status() NodeStatus {
 
 // MetricsServer is a running observability HTTP server: GET /metrics
 // serves the Prometheus text exposition, GET /debug/status the
-// NodeStatus JSON.
+// NodeStatus JSON, and GET /debug/pprof/* the standard Go profiling
+// endpoints (CPU, heap, goroutine, block, mutex — see
+// docs/OBSERVABILITY.md for usage).
 type MetricsServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -146,6 +149,14 @@ func (n *Node) ServeMetrics(listen string) (*MetricsServer, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(n.Status())
 	})
+	// The standard profiling endpoints, registered explicitly rather
+	// than via the net/http/pprof import side effect so they bind to
+	// this mux, not http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return &MetricsServer{ln: ln, srv: srv}, nil

@@ -108,6 +108,30 @@ func TestNodeMetricsEndpoint(t *testing.T) {
 	if !st.Durable || st.Recovery == nil {
 		t.Errorf("durable node must report a recovery summary: %+v", st)
 	}
+
+	// /debug/pprof: the profiling endpoints ride on the same mux. The
+	// index must list profiles and a heap snapshot must download.
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Error("pprof index does not list the goroutine profile")
+	}
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatalf("pprof heap: %v", err)
+	}
+	heap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(heap) == 0 {
+		t.Fatalf("pprof heap: status %d, %d bytes, err %v", resp.StatusCode, len(heap), err)
+	}
 }
 
 // grepLines extracts the exposition lines containing substr, for

@@ -1,11 +1,13 @@
 #!/bin/sh
 # check_bench.sh — the bench smoke gate run by CI: regenerate the
-# consistency and recovery figures at toy scale and validate the emitted
-# BENCH_consistency.json / BENCH_recovery.json against the documented
-# schemas and acceptance invariants (scripts/validate_bench). A schema
-# drift, a broken figure, a consistency level that stopped being cheaper
-# than Current, or a durable restart that stopped beating
-# crash-and-forget all fail this gate.
+# consistency, recovery, workload, gateway, lookup and perf figures at
+# toy scale and validate the emitted BENCH_*.json files against the
+# documented schemas and acceptance invariants (scripts/validate_bench),
+# byte-comparing the deterministic exports against committed baselines.
+# A schema drift, a broken figure, a consistency level that stopped
+# being cheaper than Current, a durable restart that stopped beating
+# crash-and-forget, or a perf hot-path whose deterministic costs moved
+# without a regenerated baseline all fail this gate.
 # Run from the repository root: ./scripts/check_bench.sh
 set -eu
 
@@ -122,4 +124,43 @@ cmp -s "$out/BENCH_lookup.json" "$out/BENCH_lookup2.json" || {
 
 go run ./scripts/validate_bench "$out/BENCH_lookup.json"
 
-echo "bench check clean: consistency, recovery, workload, gateway and lookup figures regenerate and validate at toy scale"
+# Perf determinism and baseline: regenerate the toy-scale perf figure
+# twice with the host-dependent timing fields stripped and require
+# bit-identical JSON, then validate the deterministic fields against
+# the committed BENCH_perf.json exactly. To refresh the baseline after
+# an intended behaviour change, run the same command without
+# -perf-strip-timing (keeping one machine's timing as a trajectory
+# record) and commit the output as BENCH_perf.json:
+#   go run ./cmd/dcdht-bench -figure perf \
+#       -perf-ops 12 -perf-peers 32 -perf-kernel-events 10 \
+#       -perf-macro-ops 120 -quiet -perf-json BENCH_perf.json
+go run ./cmd/dcdht-bench \
+    -figure perf \
+    -perf-ops 12 -perf-peers 32 -perf-kernel-events 10 \
+    -perf-macro-ops 120 \
+    -perf-strip-timing \
+    -quiet \
+    -perf-json "$out/BENCH_perf.json" > "$out/perf.txt"
+
+grep -q "Perf: hot-path costs" "$out/perf.txt" || {
+    echo "check_bench: perf table missing from bench output" >&2
+    exit 1
+}
+
+go run ./cmd/dcdht-bench \
+    -figure perf \
+    -perf-ops 12 -perf-peers 32 -perf-kernel-events 10 \
+    -perf-macro-ops 120 \
+    -perf-strip-timing \
+    -quiet \
+    -perf-json "$out/BENCH_perf2.json" > /dev/null
+
+cmp -s "$out/BENCH_perf.json" "$out/BENCH_perf2.json" || {
+    echo "check_bench: perf figure is not deterministic across same-seed runs" >&2
+    diff "$out/BENCH_perf.json" "$out/BENCH_perf2.json" >&2 || true
+    exit 1
+}
+
+go run ./scripts/validate_bench "$out/BENCH_perf.json" BENCH_perf.json
+
+echo "bench check clean: consistency, recovery, workload, gateway, lookup and perf figures regenerate and validate at toy scale"

@@ -42,7 +42,21 @@
 //   - the chord+cache arm never costs more hops than plain chord, and
 //     its cache actually engaged.
 //
-// Usage: validate_bench BENCH_<figure>.json
+// Perf (BENCH_perf.json):
+//
+//   - the schema tag matches, every micro point ran operations, and
+//     the consistency cost orderings hold (Eventual and Bounded reads
+//     cost fewer messages than Current; Eventual never touches KTS;
+//     every UMS insert pays at least one gen_ts grant; BRK reports no
+//     KTS traffic at all);
+//   - the kernel sweep covers increasing synthetic scales with
+//     increasing event counts;
+//   - with a second argument, the file's deterministic fields must
+//     equal the committed baseline's exactly — same-seed simulation is
+//     a pure function, so any drift is a behavior change that needs a
+//     regenerated baseline (timing fields are never compared).
+//
+// Usage: validate_bench BENCH_<figure>.json [BASELINE.json]
 // Exit status 0 when the file conforms; 1 with diagnostics otherwise.
 package main
 
@@ -55,6 +69,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/perf"
 )
 
 func fail(format string, args ...any) {
@@ -63,14 +78,17 @@ func fail(format string, args ...any) {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fail("usage: validate_bench BENCH_<figure>.json")
+	if len(os.Args) != 2 && len(os.Args) != 3 {
+		fail("usage: validate_bench BENCH_<figure>.json [BASELINE.json]")
 	}
 	data, err := os.ReadFile(os.Args[1])
 	if err != nil {
 		fail("%v", err)
 	}
 	base := strings.ToLower(filepath.Base(os.Args[1]))
+	if len(os.Args) == 3 && !strings.Contains(base, "perf") {
+		fail("a baseline argument is only supported for the perf figure")
+	}
 	switch {
 	case strings.Contains(base, "recovery"):
 		validateRecovery(data)
@@ -78,9 +96,42 @@ func main() {
 		validateGateway(data)
 	case strings.Contains(base, "lookup"):
 		validateLookup(data)
+	case strings.Contains(base, "perf"):
+		validatePerf(data)
 	default:
 		validateConsistency(data)
 	}
+}
+
+// validatePerf checks a perf figure export against the schema and cost
+// orderings (perf.Figure.Validate), and — when a baseline path was
+// given — against the committed baseline's deterministic fields.
+func validatePerf(data []byte) {
+	var fig perf.Figure
+	if err := json.Unmarshal(data, &fig); err != nil {
+		fail("not a perf figure: %v", err)
+	}
+	if len(os.Args) == 3 {
+		baseData, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			fail("baseline: %v", err)
+		}
+		var baseline perf.Figure
+		if err := json.Unmarshal(baseData, &baseline); err != nil {
+			fail("baseline %s is not a perf figure: %v", os.Args[2], err)
+		}
+		if err := fig.ValidateAgainst(&baseline); err != nil {
+			fail("%v (regenerate the baseline if the change is intended)", err)
+		}
+		fmt.Printf("validate_bench: %s conforms and matches baseline %s (%d op points, %d kernel scales)\n",
+			os.Args[1], os.Args[2], len(fig.Ops), len(fig.Kernel))
+		return
+	}
+	if err := fig.Validate(); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("validate_bench: %s conforms (%d op points, %d kernel scales)\n",
+		os.Args[1], len(fig.Ops), len(fig.Kernel))
 }
 
 // validateLookup checks the lookup acceleration figure: every point is
